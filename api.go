@@ -1,0 +1,335 @@
+package slimgraph
+
+import (
+	"io"
+
+	"slimgraph/internal/centrality"
+	"slimgraph/internal/coloring"
+	"slimgraph/internal/components"
+	"slimgraph/internal/core"
+	"slimgraph/internal/distributed"
+	"slimgraph/internal/gen"
+	"slimgraph/internal/graph"
+	"slimgraph/internal/graphio"
+	"slimgraph/internal/matching"
+	"slimgraph/internal/metrics"
+	"slimgraph/internal/mincut"
+	"slimgraph/internal/mis"
+	"slimgraph/internal/mst"
+	"slimgraph/internal/rng"
+	"slimgraph/internal/schemes"
+	"slimgraph/internal/summarize"
+	"slimgraph/internal/traverse"
+	"slimgraph/internal/triangles"
+)
+
+// Graph is the CSR graph all of Slim Graph operates on. Vertices are
+// numbered [0, N); undirected edges carry one canonical EdgeID shared by
+// both directions.
+type Graph = graph.Graph
+
+// NodeID identifies a vertex.
+type NodeID = graph.NodeID
+
+// EdgeID indexes the canonical edge list.
+type EdgeID = graph.EdgeID
+
+// Edge is a (U, V, W) triple for building and enumerating graphs.
+type Edge = graph.Edge
+
+// Builder accumulates edges and produces a Graph.
+type Builder = graph.Builder
+
+// NewBuilder returns a builder for a graph with n vertices.
+func NewBuilder(n int, directed bool) *Builder { return graph.NewBuilder(n, directed) }
+
+// FromEdges builds a graph from an edge slice (weights of 1 mean
+// unweighted).
+func FromEdges(n int, directed bool, edges []Edge) *Graph {
+	return graph.FromEdges(n, directed, edges)
+}
+
+// FromWeightedEdges builds a weighted graph from an edge slice.
+func FromWeightedEdges(n int, directed bool, edges []Edge) *Graph {
+	return graph.FromWeightedEdges(n, directed, edges)
+}
+
+// E constructs an unweighted edge; WE a weighted one.
+func E(u, v NodeID) Edge             { return graph.E(u, v) }
+func WE(u, v NodeID, w float64) Edge { return graph.WE(u, v, w) }
+
+// ReadEdgeList parses a text edge list ("u v" or "u v w" per line, # and %
+// comments).
+func ReadEdgeList(r io.Reader, directed bool) (*Graph, error) {
+	return graphio.ReadEdgeList(r, directed)
+}
+
+// WriteEdgeList writes the canonical edge list as text.
+func WriteEdgeList(w io.Writer, g *Graph) error { return graphio.WriteEdgeList(w, g) }
+
+// WriteBinary writes the compact binary snapshot and returns its size in
+// bytes — the on-disk footprint used by the storage-reduction analyses.
+func WriteBinary(w io.Writer, g *Graph) (int64, error) { return graphio.WriteBinary(w, g) }
+
+// ReadBinary reads a snapshot written by WriteBinary.
+func ReadBinary(r io.Reader) (*Graph, error) { return graphio.ReadBinary(r) }
+
+// BinarySize returns the snapshot size without writing.
+func BinarySize(g *Graph) int64 { return graphio.BinarySize(g) }
+
+// Generators (deterministic per seed). See internal/gen for the analog
+// mapping to the paper's datasets.
+
+// GenerateRMAT returns an undirected R-MAT graph with 2^scale vertices and
+// about edgeFactor*2^scale edges (Graph500 partition probabilities).
+func GenerateRMAT(scale, edgeFactor int, seed uint64) *Graph {
+	return gen.RMAT(scale, edgeFactor, 0.57, 0.19, 0.19, seed)
+}
+
+// GenerateErdosRenyi returns a G(n, m)-style random graph.
+func GenerateErdosRenyi(n, m int, seed uint64) *Graph { return gen.ErdosRenyi(n, m, seed) }
+
+// GenerateBarabasiAlbert returns a preferential-attachment graph.
+func GenerateBarabasiAlbert(n, k int, seed uint64) *Graph { return gen.BarabasiAlbert(n, k, seed) }
+
+// GenerateGrid returns a rows x cols road-like grid, optionally with
+// diagonals (which introduce triangles).
+func GenerateGrid(rows, cols int, diagonal bool) *Graph { return gen.Grid2D(rows, cols, diagonal) }
+
+// GenerateCommunities returns a planted-partition graph: dense communities
+// of communitySize plus random inter-community edges (high triangle
+// density).
+func GenerateCommunities(n, communitySize int, pIn float64, interEdges int, seed uint64) *Graph {
+	return gen.PlantedPartition(n, communitySize, pIn, interEdges, seed)
+}
+
+// GenerateSmallWorld returns a Watts–Strogatz graph.
+func GenerateSmallWorld(n, k int, beta float64, seed uint64) *Graph {
+	return gen.WattsStrogatz(n, k, beta, seed)
+}
+
+// WithUniformWeights returns a weighted copy with per-edge uniform weights
+// in [lo, hi).
+func WithUniformWeights(g *Graph, lo, hi float64, seed uint64) *Graph {
+	return gen.WithUniformWeights(g, lo, hi, seed)
+}
+
+// Compression schemes (Table 2 of the paper). All return a Result with the
+// compressed graph and bookkeeping; all are deterministic per seed and
+// independent of the worker count (workers <= 0 means all CPUs).
+
+// Result is the outcome of one compression run.
+type Result = schemes.Result
+
+// Uniform keeps every edge independently with probability keep (§4.2.2).
+func Uniform(g *Graph, keep float64, seed uint64, workers int) *Result {
+	return schemes.Uniform(g, keep, seed, workers)
+}
+
+// SpectralOptions configures SpectralSparsify; see schemes.SpectralOptions.
+type SpectralOptions = schemes.SpectralOptions
+
+// Upsilon variants for SpectralSparsify.
+const (
+	UpsilonLogN   = schemes.UpsilonLogN
+	UpsilonAvgDeg = schemes.UpsilonAvgDeg
+)
+
+// SpectralSparsify samples edge e with probability min(1, Υ/min(du, dv)),
+// preserving the graph spectrum (§4.2.1).
+func SpectralSparsify(g *Graph, opts SpectralOptions) *Result { return schemes.Spectral(g, opts) }
+
+// TROptions configures TriangleReduction; see schemes.TROptions.
+type TROptions = schemes.TROptions
+
+// Triangle Reduction variants (§4.3).
+const (
+	TRBasic     = schemes.TRBasic
+	TREO        = schemes.TREO
+	TRCT        = schemes.TRCT
+	TRMaxWeight = schemes.TRMaxWeight
+	TRCollapse  = schemes.TRCollapse
+)
+
+// TriangleReduction applies Triangle p-x-Reduction in the selected variant.
+func TriangleReduction(g *Graph, opts TROptions) *Result {
+	return schemes.TriangleReduction(g, opts)
+}
+
+// RemoveLowDegree deletes degree <= 1 vertices (their edges vanish, IDs are
+// kept), preserving betweenness centrality structure (§4.4).
+func RemoveLowDegree(g *Graph, workers int) *Result { return schemes.LowDegree(g, workers) }
+
+// CutSparsify builds a Benczúr–Karger cut sparsifier (the §4.6 extension
+// scheme): edges sampled inversely to their Nagamochi–Ibaraki strength and
+// reweighted, preserving all cut weights within 1±ε for rho = O(log n/ε²);
+// rho <= 0 picks 8·ln n.
+func CutSparsify(g *Graph, rho float64, seed uint64, workers int) *Result {
+	return schemes.CutSparsify(g, rho, seed, workers)
+}
+
+// VertexSample keeps every vertex independently with probability keep;
+// edges incident to removed vertices vanish (the vertex-sampling class of
+// §2).
+func VertexSample(g *Graph, keep float64, seed uint64, workers int) *Result {
+	return schemes.VertexSample(g, keep, seed, workers)
+}
+
+// MinCut returns the weight of a global minimum cut (Stoer–Wagner; O(n^3),
+// for verification-scale graphs).
+func MinCut(g *Graph) float64 { return mincut.StoerWagner(g) }
+
+// SpannerOptions configures Spanner; see schemes.SpannerOptions.
+type SpannerOptions = schemes.SpannerOptions
+
+// Inter-cluster edge modes for Spanner.
+const (
+	PerVertex      = schemes.PerVertex
+	PerClusterPair = schemes.PerClusterPair
+)
+
+// Spanner derives an O(k)-spanner via low-diameter decomposition (§4.5.3).
+func Spanner(g *Graph, opts SpannerOptions) *Result { return schemes.Spanner(g, opts) }
+
+// SummarizeOptions configures Summarize; see summarize.Options.
+type SummarizeOptions = summarize.Options
+
+// Summary is a lossy ε-summary: supervertices, superedges, and corrections.
+type Summary = summarize.Summary
+
+// Summarize builds a SWeG-style lossy ε-summary (§4.5.4).
+func Summarize(g *Graph, opts SummarizeOptions) *Summary { return summarize.Summarize(g, opts) }
+
+// The programming model, for writing custom compression kernels (§4.1).
+
+// SG is the global container object available to kernels.
+type SG = core.SG
+
+// Rand is the per-kernel-instance random stream.
+type Rand = rng.Rand
+
+// Kernel argument views.
+type (
+	EdgeView     = core.EdgeView
+	VertexView   = core.VertexView
+	TriangleView = core.TriangleView
+	SubgraphView = core.SubgraphView
+)
+
+// Kernel types.
+type (
+	EdgeKernel     = core.EdgeKernel
+	VertexKernel   = core.VertexKernel
+	TriangleKernel = core.TriangleKernel
+	SubgraphKernel = core.SubgraphKernel
+)
+
+// NewSG returns a kernel execution context over g. Run kernels with its
+// Run*Kernel methods, then call Materialize for the compressed graph.
+func NewSG(g *Graph, seed uint64, workers int) *SG { return core.New(g, seed, workers) }
+
+// Stage-2 algorithms.
+
+// BFSResult is the parent tree and level of every vertex.
+type BFSResult = traverse.BFSResult
+
+// BFS runs a parallel breadth-first search from root.
+func BFS(g *Graph, root NodeID, workers int) *BFSResult { return traverse.BFS(g, root, workers) }
+
+// Dijkstra returns exact shortest-path distances and the SSSP parent array.
+func Dijkstra(g *Graph, root NodeID) ([]float64, []NodeID) { return traverse.Dijkstra(g, root) }
+
+// DeltaStepping returns SSSP distances with bucketed parallel relaxation;
+// delta <= 0 picks a heuristic bucket width.
+func DeltaStepping(g *Graph, root NodeID, delta float64, workers int) []float64 {
+	return traverse.DeltaStepping(g, root, delta, workers)
+}
+
+// Diameter returns the double-sweep diameter lower bound.
+func Diameter(g *Graph, workers int) int32 {
+	return traverse.DoubleSweepDiameter(g, 0, workers)
+}
+
+// PageRank returns the PageRank distribution (sums to 1) with standard
+// parameters (damping 0.85).
+func PageRank(g *Graph, workers int) []float64 {
+	return centrality.PageRank(g, centrality.PageRankOptions{Workers: workers})
+}
+
+// PageRankOptions configures PageRankWith.
+type PageRankOptions = centrality.PageRankOptions
+
+// PageRankWith runs PageRank with explicit options.
+func PageRankWith(g *Graph, opts PageRankOptions) []float64 { return centrality.PageRank(g, opts) }
+
+// Betweenness returns exact Brandes betweenness centrality (O(nm)).
+func Betweenness(g *Graph, workers int) []float64 { return centrality.Betweenness(g, workers) }
+
+// BetweennessSampled estimates betweenness from the given sources.
+func BetweennessSampled(g *Graph, sources []NodeID, workers int) []float64 {
+	return centrality.BetweennessSampled(g, sources, workers)
+}
+
+// ConnectedComponents returns per-vertex component labels (smallest member
+// ID).
+func ConnectedComponents(g *Graph) []NodeID { return components.Labels(g) }
+
+// ComponentCount returns the number of connected components.
+func ComponentCount(g *Graph) int { return components.Count(g) }
+
+// TriangleCount returns the exact number of triangles.
+func TriangleCount(g *Graph, workers int) int64 { return triangles.Count(g, workers) }
+
+// TrianglesPerVertex returns the per-vertex triangle counts.
+func TrianglesPerVertex(g *Graph, workers int) []int64 { return triangles.PerVertex(g, workers) }
+
+// MSTWeight returns the weight of a minimum spanning forest (Kruskal).
+func MSTWeight(g *Graph) float64 { return mst.Kruskal(g).Weight }
+
+// ColoringNumber returns the Szekeres–Wilf coloring number
+// (degeneracy + 1).
+func ColoringNumber(g *Graph) int { return coloring.ColoringNumber(g) }
+
+// MatchingSize returns the size of a greedy maximal matching.
+func MatchingSize(g *Graph) int { return matching.Size(g) }
+
+// IndependentSetSize returns the best greedy maximal-independent-set size.
+func IndependentSetSize(g *Graph) int { return mis.BestSize(g) }
+
+// Accuracy metrics (§5).
+
+// KLDivergence returns the Kullback–Leibler divergence D(P||Q) in bits.
+func KLDivergence(p, q []float64) float64 { return metrics.KLDivergence(p, q) }
+
+// JensenShannon returns the Jensen–Shannon divergence.
+func JensenShannon(p, q []float64) float64 { return metrics.JensenShannon(p, q) }
+
+// ReorderedPairs returns the fraction of vertex pairs whose order under two
+// score vectors inverted (normalized by n^2).
+func ReorderedPairs(orig, comp []float64) float64 { return metrics.ReorderedPairs(orig, comp) }
+
+// ReorderedNeighborPairs is the O(m) neighboring-pairs variant.
+func ReorderedNeighborPairs(g *Graph, orig, comp []float64) float64 {
+	return metrics.ReorderedNeighborPairs(g, orig, comp)
+}
+
+// BFSCriticalRetention returns |Ẽcr|/|Ecr| averaged over the given roots —
+// the BFS accuracy metric of §5.
+func BFSCriticalRetention(orig, compressed *Graph, roots []NodeID, workers int) float64 {
+	return metrics.BFSCriticalMulti(orig, compressed, roots, workers)
+}
+
+// DegreeDistribution returns the fraction of vertices per degree.
+func DegreeDistribution(g *Graph) []float64 { return metrics.DegreeDistribution(g) }
+
+// PowerLawSlope fits the degree distribution's log-log slope and R^2.
+func PowerLawSlope(dist []float64) (slope, r2 float64) { return metrics.PowerLawSlope(dist) }
+
+// Distributed compression (§7.3), simulated: see internal/distributed.
+
+// DistributedEngine runs edge kernels over partitioned edge ranges with one
+// goroutine per simulated rank.
+type DistributedEngine = distributed.Engine
+
+// DistributedRun is the outcome of a distributed compression.
+type DistributedRun = distributed.Run

@@ -1,0 +1,186 @@
+package slimgraph_test
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"slimgraph"
+)
+
+// TestEndToEndPipeline exercises the full paper pipeline through the public
+// API: generate, compress with several schemes, run stage-2 algorithms,
+// evaluate with the accuracy metrics.
+func TestEndToEndPipeline(t *testing.T) {
+	g := slimgraph.GenerateRMAT(10, 8, 1)
+	if g.N() != 1024 {
+		t.Fatalf("n = %d", g.N())
+	}
+	origPR := slimgraph.PageRank(g, 0)
+	origCC := slimgraph.ComponentCount(g)
+	origT := slimgraph.TriangleCount(g, 0)
+
+	uni := slimgraph.Uniform(g, 0.5, 7, 0)
+	if uni.Output.M() >= g.M() {
+		t.Fatal("uniform did not compress")
+	}
+	kl := slimgraph.KLDivergence(origPR, slimgraph.PageRank(uni.Output, 0))
+	if kl <= 0 || math.IsInf(kl, 1) {
+		t.Fatalf("KL = %v", kl)
+	}
+
+	eo := slimgraph.TriangleReduction(g, slimgraph.TROptions{P: 0.5, Variant: slimgraph.TREO, Seed: 7})
+	if cc := slimgraph.ComponentCount(eo.Output); cc != origCC {
+		t.Fatalf("EO TR changed #CC: %d -> %d", origCC, cc)
+	}
+
+	sp := slimgraph.Spanner(g, slimgraph.SpannerOptions{K: 8, Seed: 7})
+	if cc := slimgraph.ComponentCount(sp.Output); cc != origCC {
+		t.Fatalf("spanner changed #CC: %d -> %d", origCC, cc)
+	}
+	ret := slimgraph.BFSCriticalRetention(g, sp.Output, []slimgraph.NodeID{0, 100}, 0)
+	if ret <= 0 || ret > 1 {
+		t.Fatalf("retention %v", ret)
+	}
+
+	if newT := slimgraph.TriangleCount(uni.Output, 0); newT >= origT {
+		t.Fatalf("uniform sampling did not reduce triangles: %d -> %d", origT, newT)
+	}
+}
+
+func TestCustomKernelThroughPublicAPI(t *testing.T) {
+	// The programming model: a custom edge kernel that removes edges
+	// between two low-degree endpoints.
+	g := slimgraph.GenerateBarabasiAlbert(2000, 3, 5)
+	sg := slimgraph.NewSG(g, 42, 0)
+	sg.RunEdgeKernel(func(sg *slimgraph.SG, r *slimgraph.Rand, e slimgraph.EdgeView) {
+		if e.DegU+e.DegV < 8 && r.Float64() < 0.9 {
+			sg.Del(e.ID)
+		}
+	})
+	out := sg.Materialize()
+	if out.M() >= g.M() {
+		t.Fatal("custom kernel removed nothing")
+	}
+	// High-degree hub edges must be untouched.
+	hubEdges := 0
+	for e := 0; e < g.M(); e++ {
+		u, v := g.EdgeEndpoints(slimgraph.EdgeID(e))
+		if g.Degree(u)+g.Degree(v) >= 8 {
+			hubEdges++
+			if !out.HasEdge(u, v) {
+				t.Fatal("kernel deleted an out-of-scope edge")
+			}
+		}
+	}
+	if hubEdges == 0 {
+		t.Fatal("degenerate test graph")
+	}
+}
+
+func TestSummarizeRoundTripPublicAPI(t *testing.T) {
+	g := slimgraph.GenerateCommunities(300, 30, 0.7, 100, 3)
+	s := slimgraph.Summarize(g, slimgraph.SummarizeOptions{Iterations: 6, Seed: 1})
+	dec := s.Decode()
+	if dec.M() != g.M() {
+		t.Fatalf("lossless summary decode: m %d -> %d", g.M(), dec.M())
+	}
+	if s.CompressionRatio() >= 1 {
+		t.Fatalf("no storage reduction: %v", s.CompressionRatio())
+	}
+}
+
+func TestIORoundTripPublicAPI(t *testing.T) {
+	g := slimgraph.WithUniformWeights(slimgraph.GenerateGrid(10, 10, true), 1, 9, 2)
+	var buf bytes.Buffer
+	n, err := slimgraph.WriteBinary(&buf, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != slimgraph.BinarySize(g) {
+		t.Fatal("size mismatch")
+	}
+	h, err := slimgraph.ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.M() != g.M() || h.TotalWeight() != g.TotalWeight() {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+func TestWeightedPipelineMSTPreserved(t *testing.T) {
+	g := slimgraph.WithUniformWeights(slimgraph.GenerateCommunities(200, 20, 0.6, 100, 4), 1, 50, 5)
+	before := slimgraph.MSTWeight(g)
+	res := slimgraph.TriangleReduction(g, slimgraph.TROptions{
+		P: 1, Variant: slimgraph.TRMaxWeight, Seed: 6, Workers: 1})
+	after := slimgraph.MSTWeight(res.Output)
+	if math.Abs(before-after) > 1e-9 {
+		t.Fatalf("MST weight %v -> %v", before, after)
+	}
+}
+
+func TestAlgorithmSuiteSmoke(t *testing.T) {
+	g := slimgraph.GenerateSmallWorld(500, 6, 0.1, 7)
+	if d := slimgraph.Diameter(g, 0); d <= 0 {
+		t.Fatalf("diameter %d", d)
+	}
+	dist, parents := slimgraph.Dijkstra(g, 0)
+	if dist[0] != 0 || parents[0] != 0 {
+		t.Fatal("Dijkstra root broken")
+	}
+	ds := slimgraph.DeltaStepping(g, 0, 0, 0)
+	for v := range dist {
+		if math.Abs(dist[v]-ds[v]) > 1e-9 {
+			t.Fatalf("SSSP mismatch at %d", v)
+		}
+	}
+	if c := slimgraph.ColoringNumber(g); c < 2 {
+		t.Fatalf("coloring number %d", c)
+	}
+	if m := slimgraph.MatchingSize(g); m == 0 {
+		t.Fatal("empty matching")
+	}
+	if s := slimgraph.IndependentSetSize(g); s == 0 {
+		t.Fatal("empty independent set")
+	}
+	bc := slimgraph.Betweenness(g, 0)
+	if len(bc) != g.N() {
+		t.Fatal("bc length")
+	}
+	dd := slimgraph.DegreeDistribution(g)
+	slope, _ := slimgraph.PowerLawSlope(dd)
+	_ = slope
+	labels := slimgraph.ConnectedComponents(g)
+	if len(labels) != g.N() {
+		t.Fatal("labels length")
+	}
+}
+
+func TestDistributedPublicAPI(t *testing.T) {
+	g := slimgraph.GenerateRMAT(10, 8, 9)
+	engine := slimgraph.DistributedEngine{Ranks: 4, Seed: 1}
+	run := engine.UniformSample(g, 0.5)
+	ratio := float64(run.Output.M()) / float64(g.M())
+	if math.Abs(ratio-0.5) > 0.05 {
+		t.Fatalf("distributed ratio %v", ratio)
+	}
+}
+
+func TestReorderedPairsPublicAPI(t *testing.T) {
+	g := slimgraph.GenerateRMAT(9, 8, 11)
+	orig := slimgraph.PageRank(g, 0)
+	comp := slimgraph.PageRank(slimgraph.Uniform(g, 0.5, 3, 0).Output, 0)
+	frac := slimgraph.ReorderedPairs(orig, comp)
+	if frac <= 0 || frac >= 0.5 {
+		t.Fatalf("reordered fraction %v", frac)
+	}
+	nfrac := slimgraph.ReorderedNeighborPairs(g, orig, comp)
+	if nfrac < 0 || nfrac > 1 {
+		t.Fatalf("neighbor fraction %v", nfrac)
+	}
+	js := slimgraph.JensenShannon(orig, comp)
+	if js <= 0 || js > 1 {
+		t.Fatalf("JS %v", js)
+	}
+}

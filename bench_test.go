@@ -1,0 +1,105 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (one benchmark per artifact; see DESIGN.md §4 for the index). Each runs
+// the corresponding internal/experiments driver at smoke scale so that
+// `go test -bench=.` completes quickly; run `cmd/slimbench -scale 1` (or 2)
+// for paper-shape output tables.
+package slimgraph_test
+
+import (
+	"io"
+	"testing"
+
+	"slimgraph"
+	"slimgraph/internal/experiments"
+)
+
+func benchConfig() experiments.Config {
+	return experiments.Config{Scale: 0, Seed: 1, Workers: 0}
+}
+
+func runTable(b *testing.B, f func(experiments.Config) *experiments.Table) {
+	b.Helper()
+	cfg := benchConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab := f(cfg)
+		tab.Fprint(io.Discard)
+	}
+}
+
+func BenchmarkTable2_RemainingEdges(b *testing.B) { runTable(b, experiments.Table2) }
+func BenchmarkTable3_Bounds(b *testing.B)         { runTable(b, experiments.Table3) }
+func BenchmarkFigure5_Tradeoffs(b *testing.B)     { runTable(b, experiments.Figure5) }
+func BenchmarkFigure6_Spectral(b *testing.B)      { runTable(b, experiments.Figure6Spectral) }
+func BenchmarkFigure6_TR(b *testing.B)            { runTable(b, experiments.Figure6TR) }
+func BenchmarkTable5_KLDivergence(b *testing.B)   { runTable(b, experiments.Table5) }
+func BenchmarkTable6_Triangles(b *testing.B)      { runTable(b, experiments.Table6) }
+func BenchmarkBFSCriticalEdges(b *testing.B)      { runTable(b, experiments.BFSCritical) }
+func BenchmarkReorderedPairs(b *testing.B)        { runTable(b, experiments.ReorderedPairs) }
+func BenchmarkFigure7_DegreeDist(b *testing.B)    { runTable(b, experiments.Figure7) }
+func BenchmarkFigure8_Distributed(b *testing.B)   { runTable(b, experiments.Figure8) }
+func BenchmarkWeightedTR(b *testing.B)            { runTable(b, experiments.WeightedTR) }
+func BenchmarkCompressionTiming(b *testing.B)     { runTable(b, experiments.Timing) }
+func BenchmarkLowRankBaseline(b *testing.B)       { runTable(b, experiments.LowRank) }
+func BenchmarkCutPreservation(b *testing.B)       { runTable(b, experiments.CutPreservation) }
+func BenchmarkAblationEO(b *testing.B)            { runTable(b, experiments.AblationEO) }
+func BenchmarkAblationSpanner(b *testing.B)       { runTable(b, experiments.AblationSpanner) }
+func BenchmarkAblationUpsilon(b *testing.B)       { runTable(b, experiments.AblationUpsilon) }
+
+// Micro-benchmarks of the public API on a fixed mid-size graph, for
+// regression tracking of the kernels themselves.
+
+func benchGraph(b *testing.B) *slimgraph.Graph {
+	b.Helper()
+	return slimgraph.GenerateRMAT(13, 8, 1)
+}
+
+func BenchmarkSchemeUniform(b *testing.B) {
+	g := benchGraph(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		slimgraph.Uniform(g, 0.5, uint64(i), 0)
+	}
+}
+
+func BenchmarkSchemeSpectral(b *testing.B) {
+	g := benchGraph(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		slimgraph.SpectralSparsify(g, slimgraph.SpectralOptions{
+			P: 1, Variant: slimgraph.UpsilonLogN, Seed: uint64(i)})
+	}
+}
+
+func BenchmarkSchemeTREO(b *testing.B) {
+	g := benchGraph(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		slimgraph.TriangleReduction(g, slimgraph.TROptions{
+			P: 0.5, Variant: slimgraph.TREO, Seed: uint64(i)})
+	}
+}
+
+func BenchmarkSchemeSpanner(b *testing.B) {
+	g := benchGraph(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		slimgraph.Spanner(g, slimgraph.SpannerOptions{K: 8, Seed: uint64(i)})
+	}
+}
+
+func BenchmarkAlgoPageRank(b *testing.B) {
+	g := benchGraph(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		slimgraph.PageRank(g, 0)
+	}
+}
+
+func BenchmarkAlgoTriangleCount(b *testing.B) {
+	g := benchGraph(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		slimgraph.TriangleCount(g, 0)
+	}
+}

@@ -1,0 +1,52 @@
+// Writing a custom compression kernel: the Slim Graph programming model is
+// not limited to the built-in schemes. This example implements a
+// "weak-ties" kernel — remove edges whose endpoints share no other common
+// neighbor (edges in no triangle), keeping community cores intact — in a
+// dozen lines, plus a vertex kernel stacked on top.
+package main
+
+import (
+	"fmt"
+
+	"slimgraph"
+)
+
+func main() {
+	g := slimgraph.GenerateCommunities(10000, 20, 0.5, 30000, 31)
+	fmt.Println("input:", g)
+	origCC := slimgraph.ComponentCount(g)
+
+	// Pass 1 (triangle kernel): mark every edge that closes a triangle.
+	sg := slimgraph.NewSG(g, 1, 0)
+	sg.RunTriangleKernel(func(sg *slimgraph.SG, r *slimgraph.Rand, t slimgraph.TriangleView) {
+		for _, e := range t.E {
+			sg.MarkConsidered(e) // reuse the Edge-Once flags as "in a triangle"
+		}
+	})
+	// Pass 2 (edge kernel): drop weak ties — edges in no triangle — with
+	// probability 0.7.
+	sg.RunEdgeKernel(func(sg *slimgraph.SG, r *slimgraph.Rand, e slimgraph.EdgeView) {
+		if !sg.WasConsidered(e.ID) && r.Float64() < 0.7 {
+			sg.Del(e.ID)
+		}
+	})
+	// Pass 3 (vertex kernel): fully prune vertices the weak-tie removal
+	// isolated.
+	weak := sg.Materialize()
+	sg2 := slimgraph.NewSG(weak, 1, 0)
+	sg2.RunVertexKernel(func(sg *slimgraph.SG, r *slimgraph.Rand, v slimgraph.VertexView) {
+		if v.Deg == 0 {
+			sg.DelVertex(v.ID)
+		}
+	})
+	out := sg2.Materialize()
+
+	fmt.Printf("weak-ties kernel: m %d -> %d (%.1f%% reduction)\n",
+		g.M(), out.M(), 100*(1-float64(out.M())/float64(g.M())))
+	fmt.Printf("components: %d -> %d (weak ties were the bridges)\n",
+		origCC, slimgraph.ComponentCount(out))
+	fmt.Printf("triangles:  %d -> %d (community cores untouched)\n",
+		slimgraph.TriangleCount(g, 0), slimgraph.TriangleCount(out, 0))
+	fmt.Println("\nThree kernels, one scheme: the same local-view model the")
+	fmt.Println("paper's built-in schemes use is available for custom designs.")
+}

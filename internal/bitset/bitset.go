@@ -1,0 +1,127 @@
+// Package bitset provides plain and atomic bitsets.
+//
+// The Slim Graph engine marks deleted edges and vertices in atomic bitsets:
+// many kernel instances run concurrently and each deletion is a single
+// compare-and-swap, which is the "atomic SG.del(e)" of the paper's
+// pseudocode (Listing 1). The Edge-Once triangle-reduction variant uses a
+// second atomic bitset for its per-edge "considered" flags.
+package bitset
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+const wordBits = 64
+
+// Bits is a fixed-size bitset without synchronization. Use it from a single
+// goroutine or behind external synchronization.
+type Bits struct {
+	words []uint64
+	n     int
+}
+
+// New returns a bitset holding n bits, all zero.
+func New(n int) *Bits {
+	return &Bits{words: make([]uint64, (n+wordBits-1)/wordBits), n: n}
+}
+
+// Len returns the number of bits the set holds.
+func (b *Bits) Len() int { return b.n }
+
+// Set sets bit i.
+func (b *Bits) Set(i int) { b.words[i/wordBits] |= 1 << (uint(i) % wordBits) }
+
+// Clear clears bit i.
+func (b *Bits) Clear(i int) { b.words[i/wordBits] &^= 1 << (uint(i) % wordBits) }
+
+// Get reports whether bit i is set.
+func (b *Bits) Get(i int) bool {
+	return b.words[i/wordBits]&(1<<(uint(i)%wordBits)) != 0
+}
+
+// Count returns the number of set bits.
+func (b *Bits) Count() int {
+	c := 0
+	for _, w := range b.words {
+		c += popcount(w)
+	}
+	return c
+}
+
+// Reset clears all bits.
+func (b *Bits) Reset() {
+	for i := range b.words {
+		b.words[i] = 0
+	}
+}
+
+// Atomic is a fixed-size bitset safe for concurrent use. All operations use
+// atomic loads and compare-and-swap; there are no locks.
+type Atomic struct {
+	words []uint64
+	n     int
+}
+
+// NewAtomic returns an atomic bitset holding n bits, all zero.
+func NewAtomic(n int) *Atomic {
+	return &Atomic{words: make([]uint64, (n+wordBits-1)/wordBits), n: n}
+}
+
+// Len returns the number of bits the set holds.
+func (b *Atomic) Len() int { return b.n }
+
+// Set sets bit i. Concurrent calls for any bits are safe.
+func (b *Atomic) Set(i int) {
+	w := &b.words[i/wordBits]
+	mask := uint64(1) << (uint(i) % wordBits)
+	for {
+		old := atomic.LoadUint64(w)
+		if old&mask != 0 || atomic.CompareAndSwapUint64(w, old, old|mask) {
+			return
+		}
+	}
+}
+
+// TestAndSet sets bit i and reports whether it was already set. This is the
+// primitive behind Edge-Once semantics: exactly one kernel instance observes
+// "was not set".
+func (b *Atomic) TestAndSet(i int) (wasSet bool) {
+	w := &b.words[i/wordBits]
+	mask := uint64(1) << (uint(i) % wordBits)
+	for {
+		old := atomic.LoadUint64(w)
+		if old&mask != 0 {
+			return true
+		}
+		if atomic.CompareAndSwapUint64(w, old, old|mask) {
+			return false
+		}
+	}
+}
+
+// Get reports whether bit i is set.
+func (b *Atomic) Get(i int) bool {
+	return atomic.LoadUint64(&b.words[i/wordBits])&(1<<(uint(i)%wordBits)) != 0
+}
+
+// Count returns the number of set bits. It is only exact when no concurrent
+// writers are active.
+func (b *Atomic) Count() int {
+	c := 0
+	for i := range b.words {
+		c += popcount(atomic.LoadUint64(&b.words[i]))
+	}
+	return c
+}
+
+// Snapshot copies the current contents into a plain bitset.
+func (b *Atomic) Snapshot() *Bits {
+	s := New(b.n)
+	for i := range b.words {
+		s.words[i] = atomic.LoadUint64(&b.words[i])
+	}
+	return s
+}
+
+func popcount(x uint64) int { return bits.OnesCount64(x) }

@@ -1,0 +1,167 @@
+package bitset
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestBitsBasic(t *testing.T) {
+	b := New(130)
+	if b.Len() != 130 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		if b.Get(i) {
+			t.Fatalf("bit %d set in fresh set", i)
+		}
+		b.Set(i)
+		if !b.Get(i) {
+			t.Fatalf("bit %d not set after Set", i)
+		}
+	}
+	if b.Count() != 8 {
+		t.Fatalf("Count = %d, want 8", b.Count())
+	}
+	b.Clear(64)
+	if b.Get(64) {
+		t.Fatal("bit 64 still set after Clear")
+	}
+	if b.Count() != 7 {
+		t.Fatalf("Count = %d, want 7", b.Count())
+	}
+	b.Reset()
+	if b.Count() != 0 {
+		t.Fatalf("Count after Reset = %d", b.Count())
+	}
+}
+
+func TestBitsSetGetProperty(t *testing.T) {
+	const n = 1000
+	f := func(idxs []uint16) bool {
+		b := New(n)
+		want := map[int]bool{}
+		for _, raw := range idxs {
+			i := int(raw) % n
+			b.Set(i)
+			want[i] = true
+		}
+		for i := 0; i < n; i++ {
+			if b.Get(i) != want[i] {
+				return false
+			}
+		}
+		return b.Count() == len(want)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAtomicBasic(t *testing.T) {
+	b := NewAtomic(200)
+	b.Set(0)
+	b.Set(199)
+	if !b.Get(0) || !b.Get(199) || b.Get(100) {
+		t.Fatal("atomic get/set mismatch")
+	}
+	if b.Count() != 2 {
+		t.Fatalf("Count = %d", b.Count())
+	}
+	s := b.Snapshot()
+	if s.Count() != 2 || !s.Get(0) || !s.Get(199) {
+		t.Fatal("snapshot mismatch")
+	}
+}
+
+func TestAtomicTestAndSet(t *testing.T) {
+	b := NewAtomic(64)
+	if b.TestAndSet(5) {
+		t.Fatal("first TestAndSet reported already set")
+	}
+	if !b.TestAndSet(5) {
+		t.Fatal("second TestAndSet reported not set")
+	}
+	if !b.Get(5) {
+		t.Fatal("bit not set")
+	}
+}
+
+func TestAtomicConcurrentSet(t *testing.T) {
+	const n = 1 << 16
+	b := NewAtomic(n)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < n; i += 8 {
+				b.Set(i)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if b.Count() != n {
+		t.Fatalf("Count = %d, want %d", b.Count(), n)
+	}
+}
+
+func TestAtomicTestAndSetExactlyOneWinner(t *testing.T) {
+	// Every bit is contended by 8 goroutines; exactly one must win it.
+	const n = 4096
+	b := NewAtomic(n)
+	wins := make([]int, 8)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				if !b.TestAndSet(i) {
+					wins[w]++
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	total := 0
+	for _, c := range wins {
+		total += c
+	}
+	if total != n {
+		t.Fatalf("total wins = %d, want %d", total, n)
+	}
+}
+
+func TestAtomicConcurrentDisjointWords(t *testing.T) {
+	// Bits within the same word written by different goroutines.
+	b := NewAtomic(64)
+	var wg sync.WaitGroup
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			b.Set(i)
+		}(i)
+	}
+	wg.Wait()
+	if b.Count() != 64 {
+		t.Fatalf("Count = %d, want 64", b.Count())
+	}
+}
+
+func BenchmarkAtomicSet(b *testing.B) {
+	s := NewAtomic(1 << 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Set(i & (1<<20 - 1))
+	}
+}
+
+func BenchmarkAtomicTestAndSet(b *testing.B) {
+	s := NewAtomic(1 << 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.TestAndSet(i & (1<<20 - 1))
+	}
+}

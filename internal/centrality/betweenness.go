@@ -1,0 +1,112 @@
+package centrality
+
+import (
+	"sync"
+
+	"slimgraph/internal/graph"
+	"slimgraph/internal/parallel"
+)
+
+// Betweenness computes exact betweenness centrality with Brandes' algorithm
+// on unweighted graphs: one BFS + dependency accumulation per source,
+// sources processed in parallel. Cost is O(nm); use BetweennessSampled for
+// larger graphs. Scores use the undirected convention (each pair counted
+// once).
+func Betweenness(g *graph.Graph, workers int) []float64 {
+	sources := make([]graph.NodeID, g.N())
+	for i := range sources {
+		sources[i] = graph.NodeID(i)
+	}
+	bc := betweennessFrom(g, sources, workers)
+	// Undirected graphs double-count each (s, t) pair.
+	if !g.Directed() {
+		for i := range bc {
+			bc[i] /= 2
+		}
+	}
+	return bc
+}
+
+// BetweennessSampled estimates betweenness from the given subset of source
+// vertices (Brandes–Pich style sampling), scaled to the full-source scale.
+func BetweennessSampled(g *graph.Graph, sources []graph.NodeID, workers int) []float64 {
+	bc := betweennessFrom(g, sources, workers)
+	if len(sources) == 0 {
+		return bc
+	}
+	scale := float64(g.N()) / float64(len(sources))
+	if !g.Directed() {
+		scale /= 2
+	}
+	for i := range bc {
+		bc[i] *= scale
+	}
+	return bc
+}
+
+func betweennessFrom(g *graph.Graph, sources []graph.NodeID, workers int) []float64 {
+	n := g.N()
+	total := make([]float64, n)
+	var mu sync.Mutex
+	parallel.ForWorker(len(sources), workers, func(_, lo, hi int) {
+		// Per-worker scratch, reused across sources in this chunk.
+		local := make([]float64, n)
+		sigma := make([]float64, n)
+		dist := make([]int32, n)
+		delta := make([]float64, n)
+		order := make([]graph.NodeID, 0, n)
+		for si := lo; si < hi; si++ {
+			s := sources[si]
+			brandesSource(g, s, sigma, dist, delta, &order, local)
+		}
+		mu.Lock()
+		for i, v := range local {
+			total[i] += v
+		}
+		mu.Unlock()
+	})
+	return total
+}
+
+// brandesSource accumulates one source's dependencies into acc.
+func brandesSource(g *graph.Graph, s graph.NodeID, sigma []float64, dist []int32,
+	delta []float64, orderBuf *[]graph.NodeID, acc []float64) {
+	n := g.N()
+	for i := 0; i < n; i++ {
+		sigma[i] = 0
+		dist[i] = -1
+		delta[i] = 0
+	}
+	order := (*orderBuf)[:0]
+	sigma[s] = 1
+	dist[s] = 0
+	// BFS recording visitation order and path counts.
+	queue := append([]graph.NodeID(nil), s)
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		order = append(order, u)
+		for _, v := range g.Neighbors(u) {
+			if dist[v] < 0 {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+			if dist[v] == dist[u]+1 {
+				sigma[v] += sigma[u]
+			}
+		}
+	}
+	// Dependency accumulation in reverse BFS order.
+	for i := len(order) - 1; i >= 0; i-- {
+		w := order[i]
+		coeff := (1 + delta[w]) / sigma[w]
+		for _, v := range g.Neighbors(w) {
+			if dist[v] == dist[w]-1 {
+				delta[v] += sigma[v] * coeff
+			}
+		}
+		if w != s {
+			acc[w] += delta[w]
+		}
+	}
+	*orderBuf = order
+}

@@ -1,0 +1,186 @@
+package centrality
+
+import (
+	"math"
+	"testing"
+
+	"slimgraph/internal/gen"
+	"slimgraph/internal/graph"
+)
+
+func sumsToOne(t *testing.T, pr []float64) {
+	t.Helper()
+	sum := 0.0
+	for _, r := range pr {
+		if r < 0 {
+			t.Fatalf("negative rank %v", r)
+		}
+		sum += r
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Fatalf("ranks sum to %v", sum)
+	}
+}
+
+func TestPageRankUniformOnSymmetric(t *testing.T) {
+	// On a cycle every vertex has the same rank.
+	g := gen.Cycle(10)
+	pr := PageRank(g, PageRankOptions{Workers: 1})
+	sumsToOne(t, pr)
+	for _, r := range pr {
+		if math.Abs(r-0.1) > 1e-6 {
+			t.Fatalf("cycle rank %v, want 0.1", r)
+		}
+	}
+}
+
+func TestPageRankStarHubHighest(t *testing.T) {
+	g := gen.Star(11)
+	pr := PageRank(g, PageRankOptions{})
+	sumsToOne(t, pr)
+	for v := 1; v < 11; v++ {
+		if pr[0] <= pr[v] {
+			t.Fatalf("hub rank %v not above leaf rank %v", pr[0], pr[v])
+		}
+		if math.Abs(pr[v]-pr[1]) > 1e-9 {
+			t.Fatalf("leaves differ: %v vs %v", pr[v], pr[1])
+		}
+	}
+}
+
+func TestPageRankDanglingMassConserved(t *testing.T) {
+	// Directed chain into a sink: 0 -> 1 -> 2; vertex 2 is dangling.
+	g := graph.FromEdges(3, true, []graph.Edge{graph.E(0, 1), graph.E(1, 2)})
+	pr := PageRank(g, PageRankOptions{})
+	sumsToOne(t, pr)
+	if !(pr[2] > pr[1] && pr[1] > pr[0]) {
+		t.Fatalf("chain ranks not increasing: %v", pr)
+	}
+}
+
+func TestPageRankIsolatedVertices(t *testing.T) {
+	// Compression can fully isolate vertices; ranks must stay a
+	// distribution.
+	g := graph.FromEdges(5, false, []graph.Edge{graph.E(0, 1)})
+	pr := PageRank(g, PageRankOptions{})
+	sumsToOne(t, pr)
+}
+
+func TestPageRankParallelMatchesSequential(t *testing.T) {
+	g := gen.RMAT(10, 8, 0.57, 0.19, 0.19, 3)
+	a := PageRank(g, PageRankOptions{Workers: 1})
+	b := PageRank(g, PageRankOptions{Workers: 8})
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > 1e-9 {
+			t.Fatalf("rank[%d]: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestBetweennessPath(t *testing.T) {
+	// Path 0-1-2-3-4: BC of middle vertex 2 is 4 (pairs {0,1}x{3,4} ... ).
+	// Exact values: v1: pairs (0;2),(0;3),(0;4) -> 3; v2: (0;3),(0;4),(1;3),(1;4) -> 4.
+	g := gen.Path(5)
+	bc := Betweenness(g, 1)
+	want := []float64{0, 3, 4, 3, 0}
+	for i := range want {
+		if math.Abs(bc[i]-want[i]) > 1e-9 {
+			t.Fatalf("bc = %v, want %v", bc, want)
+		}
+	}
+}
+
+func TestBetweennessStar(t *testing.T) {
+	// Star hub lies on all (n-1 choose 2) leaf pairs.
+	g := gen.Star(6)
+	bc := Betweenness(g, 2)
+	if math.Abs(bc[0]-10) > 1e-9 { // C(5,2) = 10
+		t.Fatalf("hub bc = %v, want 10", bc[0])
+	}
+	for v := 1; v < 6; v++ {
+		if bc[v] != 0 {
+			t.Fatalf("leaf bc = %v", bc[v])
+		}
+	}
+}
+
+func TestBetweennessCompleteIsZero(t *testing.T) {
+	g := gen.Complete(6)
+	for _, v := range Betweenness(g, 2) {
+		if v != 0 {
+			t.Fatalf("complete graph has nonzero bc %v", v)
+		}
+	}
+}
+
+func TestBetweennessCycleUniform(t *testing.T) {
+	g := gen.Cycle(8)
+	bc := Betweenness(g, 1)
+	for i := 1; i < len(bc); i++ {
+		if math.Abs(bc[i]-bc[0]) > 1e-9 {
+			t.Fatalf("cycle bc not uniform: %v", bc)
+		}
+	}
+	if bc[0] <= 0 {
+		t.Fatalf("cycle bc should be positive, got %v", bc[0])
+	}
+}
+
+func TestBetweennessParallelMatchesSequential(t *testing.T) {
+	g := gen.ErdosRenyi(200, 800, 7)
+	a := Betweenness(g, 1)
+	b := Betweenness(g, 8)
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > 1e-6 {
+			t.Fatalf("bc[%d]: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestBetweennessSampledFullEqualsExact(t *testing.T) {
+	g := gen.ErdosRenyi(100, 400, 9)
+	all := make([]graph.NodeID, g.N())
+	for i := range all {
+		all[i] = graph.NodeID(i)
+	}
+	exact := Betweenness(g, 2)
+	sampled := BetweennessSampled(g, all, 2)
+	for i := range exact {
+		if math.Abs(exact[i]-sampled[i]) > 1e-6 {
+			t.Fatalf("bc[%d]: %v vs %v", i, exact[i], sampled[i])
+		}
+	}
+}
+
+func TestBetweennessDegreeOneLeafInvariant(t *testing.T) {
+	// §4.4: removing degree-1 vertices preserves BC of the others, because
+	// leaves contribute no shortest paths between higher-degree vertices.
+	// Here: verify a leaf has zero BC, the precondition for that claim.
+	g := graph.FromEdges(5, false, []graph.Edge{
+		graph.E(0, 1), graph.E(1, 2), graph.E(2, 0), graph.E(2, 3), graph.E(3, 4),
+	})
+	bc := Betweenness(g, 1)
+	if bc[4] != 0 {
+		t.Fatalf("leaf bc = %v, want 0", bc[4])
+	}
+}
+
+func BenchmarkPageRankRMAT14(b *testing.B) {
+	g := gen.RMAT(14, 8, 0.57, 0.19, 0.19, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		PageRank(g, PageRankOptions{})
+	}
+}
+
+func BenchmarkBetweennessSampled(b *testing.B) {
+	g := gen.RMAT(11, 8, 0.57, 0.19, 0.19, 1)
+	sources := make([]graph.NodeID, 32)
+	for i := range sources {
+		sources[i] = graph.NodeID(i * 17 % g.N())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BetweennessSampled(g, sources, 0)
+	}
+}

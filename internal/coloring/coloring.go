@@ -1,0 +1,162 @@
+// Package coloring implements greedy graph coloring and the coloring number
+// (Szekeres–Wilf / degeneracy) computation.
+//
+// The coloring number C_G is one of the Table 3 properties: EO p-1-TR keeps
+// it within a factor 1/3 (via the arboricity argument of §6.1) and spanners
+// admit colorings with O(n^{1/k} log n) colors. The coloring number equals
+// degeneracy + 1 and is attained by greedy coloring in smallest-last order,
+// which this package computes exactly with a bucket queue in O(n + m).
+package coloring
+
+import "slimgraph/internal/graph"
+
+// Greedy colors vertices in the given order, assigning each the smallest
+// color unused by its already-colored neighbors. It returns the colors and
+// the number of colors used.
+func Greedy(g *graph.Graph, order []graph.NodeID) (colors []int32, used int) {
+	n := g.N()
+	colors = make([]int32, n)
+	for i := range colors {
+		colors[i] = -1
+	}
+	mark := make([]int32, n+1) // mark[c] == v+1 when color c is blocked for v
+	maxColor := int32(-1)
+	for vi, v := range order {
+		stamp := int32(vi + 1)
+		for _, w := range g.Neighbors(v) {
+			if c := colors[w]; c >= 0 && int(c) < len(mark) {
+				mark[c] = stamp
+			}
+		}
+		c := int32(0)
+		for mark[c] == stamp {
+			c++
+		}
+		colors[v] = c
+		if c > maxColor {
+			maxColor = c
+		}
+	}
+	return colors, int(maxColor + 1)
+}
+
+// NaturalOrder returns vertices in ID order.
+func NaturalOrder(n int) []graph.NodeID {
+	order := make([]graph.NodeID, n)
+	for i := range order {
+		order[i] = graph.NodeID(i)
+	}
+	return order
+}
+
+// DegreeDescOrder returns vertices sorted by decreasing degree (Welsh–
+// Powell order), ties by ID.
+func DegreeDescOrder(g *graph.Graph) []graph.NodeID {
+	n := g.N()
+	// Counting sort by degree, largest first.
+	maxDeg := g.MaxDegree()
+	buckets := make([][]graph.NodeID, maxDeg+1)
+	for v := 0; v < n; v++ {
+		d := g.Degree(graph.NodeID(v))
+		buckets[d] = append(buckets[d], graph.NodeID(v))
+	}
+	order := make([]graph.NodeID, 0, n)
+	for d := maxDeg; d >= 0; d-- {
+		order = append(order, buckets[d]...)
+	}
+	return order
+}
+
+// DegeneracyOrder returns the smallest-last ordering and the degeneracy of
+// g: vertices are repeatedly removed by minimum remaining degree; the
+// largest degree seen at removal time is the degeneracy. Greedy coloring in
+// the reverse of the removal order uses at most degeneracy+1 colors — the
+// coloring number.
+func DegeneracyOrder(g *graph.Graph) (order []graph.NodeID, degeneracy int) {
+	n := g.N()
+	deg := make([]int32, n)
+	maxDeg := 0
+	for v := 0; v < n; v++ {
+		deg[v] = int32(g.Degree(graph.NodeID(v)))
+		if int(deg[v]) > maxDeg {
+			maxDeg = int(deg[v])
+		}
+	}
+	// Bucket queue over degrees with lazy position tracking.
+	buckets := make([][]graph.NodeID, maxDeg+1)
+	for v := 0; v < n; v++ {
+		buckets[deg[v]] = append(buckets[deg[v]], graph.NodeID(v))
+	}
+	removed := make([]bool, n)
+	removal := make([]graph.NodeID, 0, n)
+	cur := 0
+	for len(removal) < n {
+		// Find the lowest non-empty bucket. deg decreases by at most 1 per
+		// removal, so cur only needs to back up one step at a time.
+		for cur < len(buckets) && len(buckets[cur]) == 0 {
+			cur++
+		}
+		if cur >= len(buckets) {
+			break
+		}
+		v := buckets[cur][len(buckets[cur])-1]
+		buckets[cur] = buckets[cur][:len(buckets[cur])-1]
+		if removed[v] || int(deg[v]) != cur {
+			continue // stale bucket entry
+		}
+		removed[v] = true
+		removal = append(removal, v)
+		if cur > degeneracy {
+			degeneracy = cur
+		}
+		for _, w := range g.Neighbors(v) {
+			if removed[w] {
+				continue
+			}
+			deg[w]--
+			buckets[deg[w]] = append(buckets[deg[w]], w)
+			if int(deg[w]) < cur {
+				cur = int(deg[w])
+			}
+		}
+	}
+	// Smallest-last coloring order is the reverse of removal order.
+	order = make([]graph.NodeID, n)
+	for i, v := range removal {
+		order[n-1-i] = v
+	}
+	return order, degeneracy
+}
+
+// ColoringNumber returns the coloring number of g: degeneracy + 1, the
+// minimum over vertex orderings of the greedy-coloring color count.
+func ColoringNumber(g *graph.Graph) int {
+	if g.N() == 0 {
+		return 0
+	}
+	_, d := DegeneracyOrder(g)
+	return d + 1
+}
+
+// Valid reports whether colors is a proper coloring of g.
+func Valid(g *graph.Graph, colors []int32) bool {
+	for e := 0; e < g.M(); e++ {
+		u, v := g.EdgeEndpoints(graph.EdgeID(e))
+		if colors[u] == colors[v] {
+			return false
+		}
+	}
+	return true
+}
+
+// Arboricity bounds: the arboricity α satisfies α <= coloring number <= 2α
+// (§6.1). ArboricityLowerBound returns the max over sampled subgraph
+// densities ceil(m(S) / (|S|-1)) using the whole graph as S — a cheap,
+// always-valid lower bound.
+func ArboricityLowerBound(g *graph.Graph) int {
+	if g.N() <= 1 {
+		return 0
+	}
+	m, n := g.M(), g.N()
+	return (m + n - 2) / (n - 1) // ceil(m / (n-1))
+}

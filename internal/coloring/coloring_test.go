@@ -1,0 +1,154 @@
+package coloring
+
+import (
+	"testing"
+	"testing/quick"
+
+	"slimgraph/internal/gen"
+	"slimgraph/internal/graph"
+	"slimgraph/internal/rng"
+)
+
+func TestGreedyProducesValidColoring(t *testing.T) {
+	for _, g := range []*graph.Graph{
+		gen.Complete(6), gen.Cycle(7), gen.Path(10),
+		gen.RMAT(8, 8, 0.57, 0.19, 0.19, 3),
+	} {
+		colors, used := Greedy(g, NaturalOrder(g.N()))
+		if !Valid(g, colors) {
+			t.Fatalf("%v: invalid coloring", g)
+		}
+		if used > g.MaxDegree()+1 {
+			t.Fatalf("%v: %d colors > maxdeg+1 = %d", g, used, g.MaxDegree()+1)
+		}
+	}
+}
+
+func TestCompleteGraphNeedsNColors(t *testing.T) {
+	g := gen.Complete(7)
+	_, used := Greedy(g, NaturalOrder(7))
+	if used != 7 {
+		t.Fatalf("K7 used %d colors", used)
+	}
+	if ColoringNumber(g) != 7 {
+		t.Fatalf("K7 coloring number %d", ColoringNumber(g))
+	}
+}
+
+func TestCycleColoring(t *testing.T) {
+	even := gen.Cycle(8)
+	if ColoringNumber(even) != 3 { // degeneracy of a cycle is 2
+		t.Fatalf("C8 coloring number %d, want 3", ColoringNumber(even))
+	}
+	colors, used := Greedy(even, DegeneracyOrderOf(t, even))
+	if !Valid(even, colors) || used > 3 {
+		t.Fatalf("C8 greedy used %d", used)
+	}
+}
+
+func DegeneracyOrderOf(t *testing.T, g *graph.Graph) []graph.NodeID {
+	t.Helper()
+	order, _ := DegeneracyOrder(g)
+	return order
+}
+
+func TestDegeneracyKnownValues(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		want int
+	}{
+		{"path", gen.Path(10), 1},
+		{"cycle", gen.Cycle(10), 2},
+		{"K5", gen.Complete(5), 4},
+		{"star", gen.Star(20), 1},
+		{"tree-ish grid", gen.Grid2D(4, 4, false), 2},
+	}
+	for _, c := range cases {
+		if _, d := DegeneracyOrder(c.g); d != c.want {
+			t.Errorf("%s: degeneracy %d, want %d", c.name, d, c.want)
+		}
+	}
+}
+
+func TestDegeneracyOrderIsPermutation(t *testing.T) {
+	g := gen.RMAT(9, 8, 0.57, 0.19, 0.19, 5)
+	order, _ := DegeneracyOrder(g)
+	seen := make([]bool, g.N())
+	for _, v := range order {
+		if seen[v] {
+			t.Fatalf("vertex %d repeated", v)
+		}
+		seen[v] = true
+	}
+	for v, s := range seen {
+		if !s {
+			t.Fatalf("vertex %d missing", v)
+		}
+	}
+}
+
+func TestSmallestLastBeatsOrEqualsNatural(t *testing.T) {
+	g := gen.RMAT(10, 8, 0.57, 0.19, 0.19, 7)
+	_, natural := Greedy(g, NaturalOrder(g.N()))
+	order, d := DegeneracyOrder(g)
+	colors, smallest := Greedy(g, order)
+	if !Valid(g, colors) {
+		t.Fatal("invalid smallest-last coloring")
+	}
+	if smallest > d+1 {
+		t.Fatalf("smallest-last used %d > degeneracy+1 = %d", smallest, d+1)
+	}
+	if smallest > natural+2 {
+		t.Fatalf("smallest-last %d much worse than natural %d", smallest, natural)
+	}
+}
+
+func TestDegreeDescOrderValid(t *testing.T) {
+	g := gen.BarabasiAlbert(500, 3, 9)
+	order := DegreeDescOrder(g)
+	if len(order) != g.N() {
+		t.Fatalf("order length %d", len(order))
+	}
+	for i := 1; i < len(order); i++ {
+		if g.Degree(order[i-1]) < g.Degree(order[i]) {
+			t.Fatal("not degree-descending")
+		}
+	}
+	colors, _ := Greedy(g, order)
+	if !Valid(g, colors) {
+		t.Fatal("invalid Welsh-Powell coloring")
+	}
+}
+
+func TestGreedyAnyOrderValidProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		g := gen.ErdosRenyi(50, 150, seed)
+		order := NaturalOrder(g.N())
+		r.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		colors, used := Greedy(g, order)
+		return Valid(g, colors) && used <= g.MaxDegree()+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestArboricityLowerBound(t *testing.T) {
+	// K4: arboricity 2; bound: ceil(6/3) = 2.
+	if b := ArboricityLowerBound(gen.Complete(4)); b != 2 {
+		t.Fatalf("K4 bound %d", b)
+	}
+	if b := ArboricityLowerBound(gen.Path(10)); b != 1 {
+		t.Fatalf("path bound %d", b)
+	}
+}
+
+func BenchmarkDegeneracyRMAT13(b *testing.B) {
+	g := gen.RMAT(13, 8, 0.57, 0.19, 0.19, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		DegeneracyOrder(g)
+	}
+}

@@ -1,0 +1,266 @@
+// Package core implements the Slim Graph programming model (§3.1, §4.1):
+// programmable compression kernels that observe a local part of the graph —
+// a vertex, an edge, a triangle, or a subgraph — and delete (or reweight)
+// selected elements, executed in parallel by the engine.
+//
+// The SG type is the paper's global container object: it carries the input
+// graph, scheme parameters, and the atomic deletion state that makes
+// "atomic SG.del(e)" a single compare-and-swap. Kernels never mutate the
+// input graph; stage 1 marks deletions and Materialize rebuilds the
+// compressed CSR (stage 2 then runs ordinary graph algorithms on it).
+//
+// Randomness is keyed by graph element, not by thread: every kernel
+// instance receives a PRNG seeded with hash(seed, element ID), so a fixed
+// seed yields a bit-identical compressed graph regardless of the worker
+// count or scheduling — reproducibility the paper's evaluation methodology
+// needs.
+package core
+
+import (
+	"math"
+	"sync/atomic"
+
+	"slimgraph/internal/bitset"
+	"slimgraph/internal/graph"
+	"slimgraph/internal/parallel"
+	"slimgraph/internal/rng"
+	"slimgraph/internal/triangles"
+)
+
+// SG is the global container object available to every kernel instance.
+type SG struct {
+	g       *graph.Graph
+	seed    uint64
+	workers int
+
+	deletedEdges    *bitset.Atomic
+	deletedVertices *bitset.Atomic
+	considered      *bitset.Atomic // Edge-Once flags (§4.3)
+
+	weightBits []uint64 // new edge weights as float64 bits; 0 = unset
+	reweighted int32    // atomic flag: any SetWeight call happened
+
+	params map[string]float64
+}
+
+// New returns an SG over g. seed drives all kernel randomness; workers <= 0
+// uses all CPUs.
+func New(g *graph.Graph, seed uint64, workers int) *SG {
+	return &SG{
+		g:               g,
+		seed:            seed,
+		workers:         workers,
+		deletedEdges:    bitset.NewAtomic(g.M()),
+		deletedVertices: bitset.NewAtomic(g.N()),
+		considered:      bitset.NewAtomic(g.M()),
+		weightBits:      make([]uint64, g.M()),
+		params:          make(map[string]float64),
+	}
+}
+
+// Graph returns the input graph (stage-1 input; never mutated).
+func (sg *SG) Graph() *graph.Graph { return sg.g }
+
+// Workers returns the configured parallelism.
+func (sg *SG) Workers() int { return sg.workers }
+
+// Seed returns the randomness seed.
+func (sg *SG) Seed() uint64 { return sg.seed }
+
+// SetParam stores a named scheme parameter (the paper's SG.p, Upsilon, ...).
+func (sg *SG) SetParam(name string, v float64) { sg.params[name] = v }
+
+// Param returns a named scheme parameter (0 if unset).
+func (sg *SG) Param(name string) float64 { return sg.params[name] }
+
+// Del atomically deletes canonical edge e — both CSR directions disappear
+// at materialization.
+func (sg *SG) Del(e graph.EdgeID) { sg.deletedEdges.Set(int(e)) }
+
+// Deleted reports whether edge e has been deleted.
+func (sg *SG) Deleted(e graph.EdgeID) bool { return sg.deletedEdges.Get(int(e)) }
+
+// DelVertex atomically deletes vertex v: all incident edges disappear at
+// materialization. The vertex set is preserved (the vertex becomes
+// isolated) so per-vertex outputs stay comparable; use Compact afterwards
+// to renumber.
+func (sg *SG) DelVertex(v graph.NodeID) { sg.deletedVertices.Set(int(v)) }
+
+// VertexDeleted reports whether v has been deleted.
+func (sg *SG) VertexDeleted(v graph.NodeID) bool { return sg.deletedVertices.Get(int(v)) }
+
+// ConsiderOnce implements the Edge-Once protocol: it atomically marks e as
+// considered and reports whether e had already been considered by an
+// earlier kernel instance.
+func (sg *SG) ConsiderOnce(e graph.EdgeID) (alreadyConsidered bool) {
+	return sg.considered.TestAndSet(int(e))
+}
+
+// MarkConsidered marks e considered without reporting the previous state —
+// used to protect the surviving edges of a reduced triangle.
+func (sg *SG) MarkConsidered(e graph.EdgeID) { sg.considered.Set(int(e)) }
+
+// WasConsidered reports the Edge-Once flag of e.
+func (sg *SG) WasConsidered(e graph.EdgeID) bool { return sg.considered.Get(int(e)) }
+
+// SetWeight assigns edge e a new weight in the compressed graph (the
+// spectral kernel's "e.weight = 1/edge_stays"). Safe when each edge is
+// written by one kernel instance, which edge kernels guarantee.
+func (sg *SG) SetWeight(e graph.EdgeID, w float64) {
+	atomic.StoreUint64(&sg.weightBits[e], math.Float64bits(w))
+	atomic.StoreInt32(&sg.reweighted, 1)
+}
+
+// DeletedEdgeCount returns the number of edges deleted so far (exact only
+// when no kernels are running).
+func (sg *SG) DeletedEdgeCount() int { return sg.deletedEdges.Count() }
+
+// DeletedVertexCount returns the number of vertices deleted so far.
+func (sg *SG) DeletedVertexCount() int { return sg.deletedVertices.Count() }
+
+// elementRand returns the deterministic per-element PRNG.
+func (sg *SG) elementRand(kind, key uint64) *rng.Rand {
+	return rng.New(rng.Hash64(sg.seed^kind, key))
+}
+
+// Kind tags keep per-element random streams of different kernel types
+// disjoint.
+const (
+	kindEdge     = 0x45444745 // "EDGE"
+	kindVertex   = 0x56455254 // "VERT"
+	kindTriangle = 0x54524941 // "TRIA"
+	kindSubgraph = 0x53554247 // "SUBG"
+)
+
+// EdgeView is the kernel argument for edge kernels: the edge with adjacent
+// vertices and their properties (§4.2).
+type EdgeView struct {
+	ID         graph.EdgeID
+	U, V       graph.NodeID
+	DegU, DegV int
+	Weight     float64
+}
+
+// EdgeKernel is a compression kernel whose scope is a single edge.
+type EdgeKernel func(sg *SG, r *rng.Rand, e EdgeView)
+
+// RunEdgeKernel executes the kernel once per canonical edge, in parallel.
+func (sg *SG) RunEdgeKernel(k EdgeKernel) {
+	g := sg.g
+	parallel.ForChunks(g.M(), sg.workers, func(lo, hi int) {
+		for e := lo; e < hi; e++ {
+			id := graph.EdgeID(e)
+			u, v := g.EdgeEndpoints(id)
+			view := EdgeView{
+				ID: id, U: u, V: v,
+				DegU: g.Degree(u), DegV: g.Degree(v),
+				Weight: g.EdgeWeight(id),
+			}
+			k(sg, sg.elementRand(kindEdge, uint64(e)), view)
+		}
+	})
+}
+
+// VertexView is the kernel argument for vertex kernels: a vertex, its
+// degree, and its neighbors.
+type VertexView struct {
+	ID        graph.NodeID
+	Deg       int
+	Neighbors []graph.NodeID
+}
+
+// VertexKernel is a compression kernel whose scope is a single vertex.
+type VertexKernel func(sg *SG, r *rng.Rand, v VertexView)
+
+// RunVertexKernel executes the kernel once per vertex, in parallel.
+func (sg *SG) RunVertexKernel(k VertexKernel) {
+	g := sg.g
+	parallel.ForChunks(g.N(), sg.workers, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			id := graph.NodeID(v)
+			view := VertexView{ID: id, Deg: g.Degree(id), Neighbors: g.Neighbors(id)}
+			k(sg, sg.elementRand(kindVertex, uint64(v)), view)
+		}
+	})
+}
+
+// TriangleView is the kernel argument for triangle kernels: the triangle's
+// vertices, its three canonical edges, and their weights. Edges[i] follows
+// the triangles package convention (0: V0-V1, 1: V0-V2, 2: V1-V2).
+type TriangleView struct {
+	V       [3]graph.NodeID
+	E       [3]graph.EdgeID
+	Weights [3]float64
+}
+
+// TriangleKernel is a compression kernel whose scope is a triangle (§4.3).
+type TriangleKernel func(sg *SG, r *rng.Rand, t TriangleView)
+
+// RunTriangleKernel enumerates all triangles (O(m^{3/2}) work) and executes
+// the kernel on each, in parallel. The per-triangle PRNG is keyed by the
+// triangle's edge IDs, so results are schedule-independent.
+func (sg *SG) RunTriangleKernel(k TriangleKernel) {
+	g := sg.g
+	triangles.ForEach(g, sg.workers, func(t triangles.Triangle) {
+		view := TriangleView{V: t.V, E: t.E}
+		for i, e := range t.E {
+			view.Weights[i] = g.EdgeWeight(e)
+		}
+		key := rng.Hash64(uint64(t.E[0]), rng.Hash64(uint64(t.E[1]), uint64(t.E[2])))
+		k(sg, sg.elementRand(kindTriangle, key), view)
+	})
+}
+
+// SubgraphView is the kernel argument for subgraph kernels (§4.5): the
+// member vertices of one subgraph of the current mapping, plus shared
+// read-only access to the whole mapping so kernels can classify out-edges.
+type SubgraphView struct {
+	Index   int32          // dense subgraph index in [0, NumSubgraphs)
+	Members []graph.NodeID // vertices of this subgraph
+	Of      []int32        // Of[v] = subgraph index of any vertex v
+	Count   int            // total number of subgraphs (SG.sgr_cnt)
+}
+
+// SubgraphKernel is a compression kernel whose scope is a subgraph.
+type SubgraphKernel func(sg *SG, r *rng.Rand, s SubgraphView)
+
+// RunSubgraphKernel executes the kernel once per subgraph of the mapping,
+// in parallel. mapping[v] must be a dense subgraph index in [0, count).
+func (sg *SG) RunSubgraphKernel(mapping []int32, count int, k SubgraphKernel) {
+	members := make([][]graph.NodeID, count)
+	for v, c := range mapping {
+		members[c] = append(members[c], graph.NodeID(v))
+	}
+	parallel.ForChunks(count, sg.workers, func(lo, hi int) {
+		for c := lo; c < hi; c++ {
+			view := SubgraphView{
+				Index: int32(c), Members: members[c], Of: mapping, Count: count,
+			}
+			k(sg, sg.elementRand(kindSubgraph, uint64(c)), view)
+		}
+	})
+}
+
+// Materialize rebuilds the compressed graph from the deletion marks: edges
+// survive unless deleted directly or incident to a deleted vertex; new
+// weights from SetWeight apply. This is the stage-1 output of the engine.
+func (sg *SG) Materialize() *graph.Graph {
+	g := sg.g
+	keep := func(e graph.EdgeID) bool {
+		if sg.deletedEdges.Get(int(e)) {
+			return false
+		}
+		u, v := g.EdgeEndpoints(e)
+		return !sg.deletedVertices.Get(int(u)) && !sg.deletedVertices.Get(int(v))
+	}
+	var reweight func(e graph.EdgeID) float64
+	if atomic.LoadInt32(&sg.reweighted) != 0 {
+		reweight = func(e graph.EdgeID) float64 {
+			if bits := atomic.LoadUint64(&sg.weightBits[e]); bits != 0 {
+				return math.Float64frombits(bits)
+			}
+			return g.EdgeWeight(e)
+		}
+	}
+	return g.FilterEdges(keep, reweight)
+}

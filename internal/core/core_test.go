@@ -1,0 +1,228 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"slimgraph/internal/gen"
+	"slimgraph/internal/graph"
+	"slimgraph/internal/rng"
+)
+
+func TestEdgeKernelVisitsEveryEdgeOnce(t *testing.T) {
+	g := gen.ErdosRenyi(200, 800, 1)
+	sg := New(g, 1, 4)
+	visits := make([]int32, g.M())
+	sg.RunEdgeKernel(func(sg *SG, r *rng.Rand, e EdgeView) {
+		// Atomicity not needed: each edge visited by exactly one instance,
+		// but use the deletion bitset to double as a visit check.
+		if sg.Deleted(e.ID) {
+			t.Error("edge visited twice")
+		}
+		sg.Del(e.ID)
+		visits[e.ID]++
+	})
+	for e, v := range visits {
+		if v != 1 {
+			t.Fatalf("edge %d visited %d times", e, v)
+		}
+	}
+}
+
+func TestEdgeViewFields(t *testing.T) {
+	g := graph.FromWeightedEdges(3, false, []graph.Edge{
+		graph.WE(0, 1, 2.5), graph.WE(1, 2, 1.5),
+	})
+	sg := New(g, 1, 1)
+	sg.RunEdgeKernel(func(sg *SG, r *rng.Rand, e EdgeView) {
+		u, v := g.EdgeEndpoints(e.ID)
+		if e.U != u || e.V != v {
+			t.Errorf("edge %d endpoints (%d,%d), want (%d,%d)", e.ID, e.U, e.V, u, v)
+		}
+		if e.DegU != g.Degree(u) || e.DegV != g.Degree(v) {
+			t.Errorf("edge %d degrees wrong", e.ID)
+		}
+		if e.Weight != g.EdgeWeight(e.ID) {
+			t.Errorf("edge %d weight %v", e.ID, e.Weight)
+		}
+	})
+}
+
+func TestDeterministicAcrossWorkerCounts(t *testing.T) {
+	g := gen.RMAT(9, 8, 0.57, 0.19, 0.19, 3)
+	run := func(workers int) *graph.Graph {
+		sg := New(g, 42, workers)
+		sg.RunEdgeKernel(func(sg *SG, r *rng.Rand, e EdgeView) {
+			if r.Float64() < 0.5 {
+				sg.Del(e.ID)
+			}
+		})
+		return sg.Materialize()
+	}
+	a, b := run(1), run(8)
+	if a.M() != b.M() {
+		t.Fatalf("workers=1 left %d edges, workers=8 left %d", a.M(), b.M())
+	}
+	for e := 0; e < a.M(); e++ {
+		au, av := a.EdgeEndpoints(graph.EdgeID(e))
+		bu, bv := b.EdgeEndpoints(graph.EdgeID(e))
+		if au != bu || av != bv {
+			t.Fatal("different edges survived under different worker counts")
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	g := gen.RMAT(9, 8, 0.57, 0.19, 0.19, 3)
+	run := func(seed uint64) int {
+		sg := New(g, seed, 4)
+		sg.RunEdgeKernel(func(sg *SG, r *rng.Rand, e EdgeView) {
+			if r.Float64() < 0.5 {
+				sg.Del(e.ID)
+			}
+		})
+		return sg.Materialize().M()
+	}
+	if run(1) == run(2) && run(3) == run(4) && run(1) == run(3) {
+		t.Fatal("suspiciously identical results across seeds")
+	}
+}
+
+func TestVertexKernelDeletion(t *testing.T) {
+	g := gen.Star(10)
+	sg := New(g, 1, 2)
+	sg.RunVertexKernel(func(sg *SG, r *rng.Rand, v VertexView) {
+		if v.Deg <= 1 {
+			sg.DelVertex(v.ID)
+		}
+	})
+	if got := sg.DeletedVertexCount(); got != 9 {
+		t.Fatalf("deleted %d vertices, want 9 leaves", got)
+	}
+	h := sg.Materialize()
+	if h.N() != g.N() {
+		t.Fatal("vertex set must be preserved by materialization")
+	}
+	if h.M() != 0 {
+		t.Fatalf("m = %d, want 0 (all edges touched a leaf)", h.M())
+	}
+}
+
+func TestTriangleKernelSeesAllTriangles(t *testing.T) {
+	g := gen.Complete(6) // 20 triangles
+	sg := New(g, 1, 4)
+	var count int32
+	sg.RunTriangleKernel(func(sg *SG, r *rng.Rand, tr TriangleView) {
+		// Verify edge/weight consistency.
+		for i, e := range tr.E {
+			if tr.Weights[i] != g.EdgeWeight(e) {
+				t.Error("weight mismatch")
+			}
+		}
+		atomic.AddInt32(&count, 1)
+	})
+	if count != 20 {
+		t.Fatalf("saw %d triangles, want 20", count)
+	}
+}
+
+func TestSetWeightMaterializes(t *testing.T) {
+	g := gen.Cycle(10)
+	sg := New(g, 1, 1)
+	sg.RunEdgeKernel(func(sg *SG, r *rng.Rand, e EdgeView) {
+		sg.SetWeight(e.ID, 7)
+	})
+	h := sg.Materialize()
+	if !h.Weighted() {
+		t.Fatal("not weighted after SetWeight")
+	}
+	for e := 0; e < h.M(); e++ {
+		if h.EdgeWeight(graph.EdgeID(e)) != 7 {
+			t.Fatalf("weight %v", h.EdgeWeight(graph.EdgeID(e)))
+		}
+	}
+}
+
+func TestNoChangesMaterializesIdentical(t *testing.T) {
+	g := gen.ErdosRenyi(100, 300, 2)
+	sg := New(g, 1, 2)
+	h := sg.Materialize()
+	if h.M() != g.M() || h.N() != g.N() || h.Weighted() != g.Weighted() {
+		t.Fatal("identity materialization changed the graph")
+	}
+}
+
+func TestConsiderOnceProtocol(t *testing.T) {
+	g := gen.Cycle(5)
+	sg := New(g, 1, 1)
+	if sg.ConsiderOnce(0) {
+		t.Fatal("first ConsiderOnce returned alreadyConsidered")
+	}
+	if !sg.ConsiderOnce(0) {
+		t.Fatal("second ConsiderOnce returned fresh")
+	}
+	sg.MarkConsidered(2)
+	if !sg.WasConsidered(2) || sg.WasConsidered(1) {
+		t.Fatal("MarkConsidered/WasConsidered inconsistent")
+	}
+}
+
+func TestSubgraphKernelPartition(t *testing.T) {
+	g := gen.Grid2D(6, 6, false)
+	// Map vertices into 4 stripes.
+	mapping := make([]int32, g.N())
+	for v := range mapping {
+		mapping[v] = int32(v % 4)
+	}
+	var total int32
+	sg := New(g, 1, 2)
+	sg.RunSubgraphKernel(mapping, 4, func(sg *SG, r *rng.Rand, s SubgraphView) {
+		for _, v := range s.Members {
+			if s.Of[v] != s.Index {
+				t.Error("member not mapped to its subgraph")
+			}
+		}
+		if s.Count != 4 {
+			t.Error("wrong subgraph count")
+		}
+		atomic.AddInt32(&total, int32(len(s.Members)))
+	})
+	if int(total) != g.N() {
+		t.Fatalf("kernels saw %d members, want %d", total, g.N())
+	}
+}
+
+func TestParamStore(t *testing.T) {
+	g := gen.Cycle(4)
+	sg := New(g, 1, 1)
+	sg.SetParam("p", 0.25)
+	if sg.Param("p") != 0.25 || sg.Param("missing") != 0 {
+		t.Fatal("param store broken")
+	}
+}
+
+// Property: a kernel deleting each edge with probability p leaves about
+// (1-p)m edges (binomial concentration).
+func TestUniformDeletionConcentrationProperty(t *testing.T) {
+	g := gen.ErdosRenyi(500, 5000, 9)
+	f := func(seed uint64) bool {
+		sg := New(g, seed, 4)
+		p := 0.3
+		sg.RunEdgeKernel(func(sg *SG, r *rng.Rand, e EdgeView) {
+			if r.Float64() < p {
+				sg.Del(e.ID)
+			}
+		})
+		remaining := sg.Materialize().M()
+		expected := float64(g.M()) * (1 - p)
+		diff := float64(remaining) - expected
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff < 0.1*float64(g.M())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}

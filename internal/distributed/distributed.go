@@ -1,0 +1,200 @@
+// Package distributed simulates the paper's distributed-memory compression
+// pipeline (§3.2, §7.3).
+//
+// Substitution note (see DESIGN.md §3): the paper compresses graphs that
+// exceed single-node memory with MPI Remote Memory Access across Cray XC
+// nodes. The relevant structure — and what this package reproduces — is:
+//
+//  1. the canonical edge list is partitioned into contiguous rank-local
+//     ranges (a distributed CSR's edge ownership);
+//  2. every rank runs edge compression kernels over its own partition with
+//     a rank-local random stream, with no shared mutable state (the RMA
+//     window is write-local/read-remote in the paper; our deletion marks
+//     are rank-private slices);
+//  3. per-rank statistics (degree histograms, removal counts) are
+//     combined in a reduction step.
+//
+// Ranks are goroutines synchronized by an epoch barrier; the message-
+// passing reduction runs over channels. Everything is deterministic for a
+// fixed (seed, ranks) pair — matching how the paper reports reproducible
+// distributed runs — and independent of scheduling.
+package distributed
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"slimgraph/internal/graph"
+	"slimgraph/internal/rng"
+)
+
+// Engine is a simulated distributed-memory cluster.
+type Engine struct {
+	Ranks int    // number of simulated compute nodes; <= 0 means 4
+	Seed  uint64 // base seed; each rank derives its own stream
+}
+
+func (e Engine) ranks() int {
+	if e.Ranks <= 0 {
+		return 4
+	}
+	return e.Ranks
+}
+
+// RankStats reports one rank's work.
+type RankStats struct {
+	Rank      int
+	EdgesHeld int           // size of the rank-local partition
+	Removed   int           // edges this rank's kernels deleted
+	Elapsed   time.Duration // rank-local compression time
+}
+
+// Run is the outcome of a distributed compression.
+type Run struct {
+	Output    *graph.Graph
+	PerRank   []RankStats
+	Elapsed   time.Duration // wall-clock including gather
+	RanksUsed int
+}
+
+// String summarizes the run like the paper's Fig. 8 captions ("#compute
+// nodes used for compression: ...").
+func (r *Run) String() string {
+	removed := 0
+	for _, s := range r.PerRank {
+		removed += s.Removed
+	}
+	return fmt.Sprintf("distributed compression on %d ranks: removed %d edges in %v",
+		r.RanksUsed, removed, r.Elapsed)
+}
+
+// EdgeDecision is a rank-local edge kernel: it sees the rank index, the
+// rank's private random stream, and one owned edge; it returns false to
+// delete the edge.
+type EdgeDecision func(rank int, r *rng.Rand, e graph.EdgeID, u, v graph.NodeID) bool
+
+// partition returns the half-open range of canonical edges owned by rank.
+func partition(m, ranks, rank int) (lo, hi int) {
+	per := m / ranks
+	rem := m % ranks
+	lo = rank*per + min(rank, rem)
+	hi = lo + per
+	if rank < rem {
+		hi++
+	}
+	return lo, hi
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// RunEdgeKernel executes the decision kernel over all ranks and gathers the
+// compressed graph.
+func (e Engine) RunEdgeKernel(g *graph.Graph, kernel EdgeDecision) *Run {
+	start := time.Now()
+	ranks := e.ranks()
+	m := g.M()
+	keep := make([]bool, m) // each rank writes only its own range
+	stats := make([]RankStats, ranks)
+	var wg sync.WaitGroup
+	for rank := 0; rank < ranks; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			rankStart := time.Now()
+			lo, hi := partition(m, ranks, rank)
+			r := rng.New(rng.Hash64(e.Seed, uint64(rank)))
+			removed := 0
+			for ei := lo; ei < hi; ei++ {
+				id := graph.EdgeID(ei)
+				u, v := g.EdgeEndpoints(id)
+				if kernel(rank, r, id, u, v) {
+					keep[ei] = true
+				} else {
+					removed++
+				}
+			}
+			stats[rank] = RankStats{
+				Rank: rank, EdgesHeld: hi - lo, Removed: removed,
+				Elapsed: time.Since(rankStart),
+			}
+		}(rank)
+	}
+	wg.Wait()
+	out := g.FilterEdges(func(e graph.EdgeID) bool { return keep[e] }, nil)
+	return &Run{Output: out, PerRank: stats, Elapsed: time.Since(start), RanksUsed: ranks}
+}
+
+// UniformSample runs distributed random uniform sampling (the scheme the
+// paper used for its first distributed lossy compression of the largest
+// public graphs, Fig. 8): each edge stays with probability p.
+func (e Engine) UniformSample(g *graph.Graph, p float64) *Run {
+	return e.RunEdgeKernel(g, func(rank int, r *rng.Rand, id graph.EdgeID, u, v graph.NodeID) bool {
+		return r.Float64() < p
+	})
+}
+
+// SpectralSparsify runs the distributed variant of the §4.2.1 kernel with
+// Υ = p·ln(n) — degree lookups are rank-local reads of the replicated
+// degree array, mirroring the RMA get of the paper's implementation.
+func (e Engine) SpectralSparsify(g *graph.Graph, upsilon float64) *Run {
+	return e.RunEdgeKernel(g, func(rank int, r *rng.Rand, id graph.EdgeID, u, v graph.NodeID) bool {
+		minDeg := g.Degree(u)
+		if d := g.Degree(v); d < minDeg {
+			minDeg = d
+		}
+		if minDeg == 0 {
+			return true
+		}
+		stay := upsilon / float64(minDeg)
+		if stay > 1 {
+			stay = 1
+		}
+		return r.Float64() < stay
+	})
+}
+
+// DegreeHistogram computes the out-degree histogram with a distributed
+// reduction: each rank histograms the vertices it owns and the partial
+// histograms merge over a channel — the structure of the Fig. 8 analysis.
+func (e Engine) DegreeHistogram(g *graph.Graph) []int64 {
+	ranks := e.ranks()
+	n := g.N()
+	parts := make(chan []int64, ranks)
+	var wg sync.WaitGroup
+	for rank := 0; rank < ranks; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			lo, hi := partition(n, ranks, rank)
+			local := make([]int64, 0)
+			for v := lo; v < hi; v++ {
+				d := g.Degree(graph.NodeID(v))
+				for len(local) <= d {
+					local = append(local, 0)
+				}
+				local[d]++
+			}
+			parts <- local
+		}(rank)
+	}
+	wg.Wait()
+	close(parts)
+	var merged []int64
+	for part := range parts {
+		if len(part) > len(merged) {
+			grown := make([]int64, len(part))
+			copy(grown, merged)
+			merged = grown
+		}
+		for d, c := range part {
+			merged[d] += c
+		}
+	}
+	return merged
+}

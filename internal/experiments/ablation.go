@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"fmt"
+
+	"slimgraph/internal/components"
+	"slimgraph/internal/metrics"
+	"slimgraph/internal/schemes"
+)
+
+// AblationEO settles the Edge-Once semantics question raised by the paper's
+// inconsistent Listing 1 (see the schemes.TREO doc comment): it compares
+// plain p-1-TR against both readings of EO — the protective semantics
+// (theory-grade: at most one deletion per triangle, survivors shielded, the
+// default) and the redirect semantics (aggressive: every sampled triangle
+// deletes a fresh edge if one exists). Fig. 6's "EO removes more than
+// basic" holds only under redirect; Table 5's small KL at EO p=1.0 and the
+// §6.1 bounds hold only under the protective reading.
+func AblationEO(cfg Config) *Table {
+	t := &Table{
+		ID:    "Ablation (EO)",
+		Title: "Edge-Once semantics: edge reduction and CC preservation per reading, p=0.5",
+		Note: "protective EO removes <= basic and keeps components; redirect EO removes >= basic " +
+			"(the Fig. 6 shape) at the cost of connectivity",
+		Header: []string{"graph", "red(basic)", "red(EO-prot)", "red(EO-redir)",
+			"ΔCC(basic)", "ΔCC(EO-prot)", "ΔCC(EO-redir)"},
+	}
+	graphs := table6Graphs(cfg)
+	for _, i := range []int{2, 3, 5, 9} {
+		ng := graphs[i]
+		origCC := components.Count(ng.G)
+		run := func(v schemes.TRVariant) (float64, int) {
+			res := schemes.TriangleReduction(ng.G, schemes.TROptions{
+				P: 0.5, Variant: v, Seed: cfg.seed(), Workers: cfg.Workers})
+			return res.EdgeReduction(), components.Count(res.Output) - origCC
+		}
+		rb, db := run(schemes.TRBasic)
+		rp, dp := run(schemes.TREO)
+		rr, dr := run(schemes.TREORedirect)
+		t.AddRow(ng.Key, f3(rb), f3(rp), f3(rr),
+			fmt.Sprintf("%+d", db), fmt.Sprintf("%+d", dp), fmt.Sprintf("%+d", dr))
+	}
+	return t
+}
+
+// AblationSpanner compares the two inter-cluster rules of §4.5.3: the
+// per-vertex rule of the prose/Miller et al. (the default, matching the
+// paper's measured edge counts) against the per-cluster-pair reading of the
+// Listing 1 kernel.
+func AblationSpanner(cfg Config) *Table {
+	t := &Table{
+		ID:     "Ablation (spanner)",
+		Title:  "inter-cluster rule: per-vertex (default) vs per-cluster-pair",
+		Note:   "per-pair compresses harder but degrades BFS criticals and PageRank much faster",
+		Header: []string{"graph", "k", "mode", "ratio", "critical ret.", "KL(PR)"},
+	}
+	ng := fig5Graphs(cfg)[1] // the s-pok analog
+	origPR := pagerank(ng.G, cfg)
+	roots := sampleVertices(ng.G, 4)
+	for _, k := range []int{2, 8, 32} {
+		for _, mode := range []schemes.InterClusterMode{schemes.PerVertex, schemes.PerClusterPair} {
+			res := schemes.Spanner(ng.G, schemes.SpannerOptions{
+				K: k, Mode: mode, Seed: cfg.seed(), Workers: cfg.Workers})
+			ret := metrics.BFSCriticalMulti(ng.G, res.Output, roots, cfg.Workers)
+			kl := metrics.KLDivergence(origPR, pagerank(res.Output, cfg))
+			t.AddRow(ng.Key, d2(k), mode.String(), f3(res.CompressionRatio()), f3(ret), f4(kl))
+		}
+	}
+	return t
+}
+
+// AblationUpsilon sweeps the spectral keep parameter to expose the
+// Υ = p·log n knob's full range on one graph — the design-choice sweep
+// behind Fig. 5's spectral panel.
+func AblationUpsilon(cfg Config) *Table {
+	t := &Table{
+		ID:     "Ablation (Υ)",
+		Title:  "spectral sparsification keep parameter sweep (Υ = P·ln n)",
+		Note:   "larger P keeps more edges; spectral error falls as the ratio rises",
+		Header: []string{"P", "ratio", "isolated vertices", "KL(PR)"},
+	}
+	ng := fig5Graphs(cfg)[1]
+	origPR := pagerank(ng.G, cfg)
+	for _, p := range []float64{0.1, 0.25, 0.5, 1, 2, 4} {
+		res := schemes.Spectral(ng.G, schemes.SpectralOptions{
+			P: p, Variant: schemes.UpsilonLogN, Seed: cfg.seed(), Workers: cfg.Workers})
+		isolated := 0
+		for v := 0; v < res.Output.N(); v++ {
+			if res.Output.Degree(int32(v)) == 0 && ng.G.Degree(int32(v)) > 0 {
+				isolated++
+			}
+		}
+		kl := metrics.KLDivergence(origPR, pagerank(res.Output, cfg))
+		t.AddRow(fmt.Sprintf("%g", p), f3(res.CompressionRatio()), d2(isolated), f4(kl))
+	}
+	return t
+}

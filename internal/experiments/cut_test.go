@@ -1,0 +1,30 @@
+package experiments
+
+import (
+	"testing"
+)
+
+func TestCutPreservationShape(t *testing.T) {
+	tab := CutPreservation(smoke)
+	if len(tab.Rows) != 9 { // 3 graphs x 3 schemes
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+	totalCut, totalUni := 0.0, 0.0
+	for g := 0; g < 3; g++ {
+		base := 3 * g
+		cutErr := num(t, tab, base, 5)   // cut-sparsify
+		uniErr := num(t, tab, base+2, 5) // uniform at the same budget
+		// The sparsifier keeps the cut within 50% on every graph.
+		if cutErr > 0.5 {
+			t.Fatalf("graph %d: cut sparsifier error %v", g, cutErr)
+		}
+		totalCut += cutErr
+		totalUni += uniErr
+	}
+	// At the same edge budget, uniform sampling damages the planted cuts
+	// at least as much as the sparsifier in aggregate (with a small
+	// tolerance for reweighting wobble when budgets are near 1).
+	if totalUni+0.15 < totalCut {
+		t.Fatalf("uniform total error %v far below sparsifier %v", totalUni, totalCut)
+	}
+}

@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"fmt"
+
+	"slimgraph/internal/centrality"
+	"slimgraph/internal/components"
+	"slimgraph/internal/graph"
+	"slimgraph/internal/schemes"
+	"slimgraph/internal/traverse"
+	"slimgraph/internal/triangles"
+)
+
+// algoTimes measures the four Figure 5 algorithms on g and returns their
+// wall times in seconds.
+func algoTimes(g *graph.Graph, cfg Config) (bfs, cc, pr, tc float64) {
+	w := cfg.Workers
+	bfs = measure(func() { traverse.BFS(g, 0, w) }).Seconds()
+	cc = measure(func() { components.LabelsPropagation(g, w) }).Seconds()
+	pr = measure(func() {
+		centrality.PageRank(g, centrality.PageRankOptions{MaxIter: 20, Tolerance: 1e-300, Workers: w})
+	}).Seconds()
+	tc = measure(func() { triangles.Count(g, w) }).Seconds()
+	return
+}
+
+func relDiff(orig, comp float64) float64 {
+	if orig == 0 {
+		return 0
+	}
+	return (orig - comp) / orig
+}
+
+// Figure5 reproduces the storage/performance tradeoff analysis: the
+// relative runtime difference of BFS, CC, PR, and TC between original and
+// compressed graphs, against the compression parameter, with the
+// compression ratio alongside (the figure's color).
+func Figure5(cfg Config) *Table {
+	t := &Table{
+		ID:    "Figure 5",
+		Title: "relative runtime difference vs compression parameter (color = compression ratio)",
+		Note: "spanners give the largest reductions (after a k threshold), p-1-TR the smallest; " +
+			"uniform/spectral sweep the middle; fewer edges => faster algorithms",
+		Header: []string{"graph", "scheme", "param", "ratio", "relBFS", "relCC", "relPR", "relTC"},
+	}
+	for _, ng := range fig5Graphs(cfg) {
+		oBFS, oCC, oPR, oTC := algoTimes(ng.G, cfg)
+		add := func(scheme, param string, res *schemes.Result) {
+			cBFS, cCC, cPR, cTC := algoTimes(res.Output, cfg)
+			t.AddRow(ng.Key, scheme, param, f3(res.CompressionRatio()),
+				f3(relDiff(oBFS, cBFS)), f3(relDiff(oCC, cCC)),
+				f3(relDiff(oPR, cPR)), f3(relDiff(oTC, cTC)))
+		}
+		// Uniform sampling: the paper's p is the removal probability.
+		for _, p := range []float64{0.1, 0.5, 0.9} {
+			add("uniform", fmt.Sprintf("p=%g", p),
+				schemes.Uniform(ng.G, 1-p, cfg.seed(), cfg.Workers))
+		}
+		// Spectral: the figure's p is a removal strength ("p log(n) edges
+		// are removed from each vertex"); our keep parameter is 1-p.
+		for _, p := range []float64{0.005, 0.05, 0.5} {
+			add("spectral", fmt.Sprintf("p=%g", p), schemes.Spectral(ng.G, schemes.SpectralOptions{
+				P: 1 - p, Variant: schemes.UpsilonLogN, Seed: cfg.seed(), Workers: cfg.Workers,
+			}))
+		}
+		for _, p := range []float64{0.1, 0.5, 0.9} {
+			add("p-1-TR", fmt.Sprintf("p=%g", p), schemes.TriangleReduction(ng.G, schemes.TROptions{
+				P: p, Variant: schemes.TRBasic, Seed: cfg.seed(), Workers: cfg.Workers,
+			}))
+		}
+		for _, k := range []int{2, 8, 32, 128} {
+			add("spanner", fmt.Sprintf("k=%d", k), schemes.Spanner(ng.G, schemes.SpannerOptions{
+				K: k, Seed: cfg.seed(), Workers: cfg.Workers,
+			}))
+		}
+	}
+	return t
+}

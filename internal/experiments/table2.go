@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"slimgraph/internal/gen"
+	"slimgraph/internal/graph"
+	"slimgraph/internal/schemes"
+	"slimgraph/internal/summarize"
+	"slimgraph/internal/triangles"
+)
+
+// Table2 validates the remaining-edge formulas of the paper's scheme
+// overview (Table 2): for each scheme, the formula's prediction vs the
+// measured edge count, plus the compression time.
+func Table2(cfg Config) *Table {
+	t := &Table{
+		ID:    "Table 2",
+		Title: "#remaining edges: formula vs measured, with compression time",
+		Note: "uniform: (1-p)m exact in expectation; spectral: sum of min(1, Υ/min-deg); " +
+			"TR: m - pT is an upper bound on removals (shared triangle edges collide); " +
+			"spanner: O(n^{1+1/k}); summary: m ± 2εm",
+		Header: []string{"scheme", "params", "formula m'", "measured m'", "time"},
+	}
+	g := gen.RMAT(cfg.rmatScale(10), 10, 0.57, 0.19, 0.19, cfg.seed()+81)
+	m := float64(g.M())
+	n := float64(g.N())
+
+	{
+		removal := 0.5
+		res := schemes.Uniform(g, 1-removal, cfg.seed(), cfg.Workers)
+		t.AddRow("uniform", "p=0.5", f1((1-removal)*m), d2(res.Output.M()),
+			res.Elapsed.String())
+	}
+	{
+		p := 1.0
+		ups := p * math.Log(n)
+		expected := 0.0
+		for e := 0; e < g.M(); e++ {
+			u, v := g.EdgeEndpoints(graph.EdgeID(e))
+			minDeg := float64(g.Degree(u))
+			if d := float64(g.Degree(v)); d < minDeg {
+				minDeg = d
+			}
+			expected += math.Min(1, ups/minDeg)
+		}
+		res := schemes.Spectral(g, schemes.SpectralOptions{
+			P: p, Variant: schemes.UpsilonLogN, Seed: cfg.seed(), Workers: cfg.Workers})
+		t.AddRow("spectral", "p=1,logn", f1(expected), d2(res.Output.M()), res.Elapsed.String())
+	}
+	{
+		p := 0.5
+		T := float64(triangles.Count(g, cfg.Workers))
+		bound := math.Max(0, m-p*T)
+		res := schemes.TriangleReduction(g, schemes.TROptions{
+			P: p, Variant: schemes.TRBasic, Seed: cfg.seed(), Workers: cfg.Workers})
+		t.AddRow("p-1-TR", "p=0.5", fmt.Sprintf(">= %s (max(0, m - pT))", f1(bound)),
+			d2(res.Output.M()), res.Elapsed.String())
+	}
+	{
+		k := 8
+		res := schemes.Spanner(g, schemes.SpannerOptions{K: k, Seed: cfg.seed(), Workers: cfg.Workers})
+		order := math.Pow(n, 1+1.0/float64(k))
+		t.AddRow("spanner", "k=8", fmt.Sprintf("O(n^{1+1/k}) ~ %s", f1(order)),
+			d2(res.Output.M()), res.Elapsed.String())
+	}
+	{
+		eps := 0.1
+		s := summarize.Summarize(g, summarize.Options{
+			Iterations: 5, Epsilon: eps, Seed: cfg.seed(), Workers: cfg.Workers})
+		t.AddRow("eps-summary", "eps=0.1",
+			fmt.Sprintf("m ± 2εm = [%s, %s]", f1(m*(1-2*eps)), f1(m*(1+2*eps))),
+			fmt.Sprintf("%d (decoded), %d stored", s.Decode().M(), s.StorageEdges()),
+			s.Elapsed.String())
+	}
+	return t
+}

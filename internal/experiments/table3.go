@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"slimgraph/internal/coloring"
+	"slimgraph/internal/components"
+	"slimgraph/internal/gen"
+	"slimgraph/internal/graph"
+	"slimgraph/internal/matching"
+	"slimgraph/internal/mis"
+	"slimgraph/internal/schemes"
+	"slimgraph/internal/summarize"
+	"slimgraph/internal/traverse"
+	"slimgraph/internal/triangles"
+)
+
+// propSet is one row of Table 3: the twelve properties of a graph.
+type propSet struct {
+	n, m           int
+	stPath         float64 // shortest s-t path length (s=0, t=n-1)
+	avgPath        float64
+	diameter       int32
+	avgDeg, maxDeg float64
+	triangleCount  int64
+	componentCount int
+	coloringNumber int
+	independentSet int
+	matchingSize   int
+}
+
+func measureProps(g *graph.Graph, cfg Config) propSet {
+	var p propSet
+	p.n, p.m = g.N(), g.M()
+	dist, _ := traverse.Dijkstra(g, 0)
+	target := g.N() - 1
+	if math.IsInf(dist[target], 1) {
+		p.stPath = -1
+	} else {
+		p.stPath = dist[target]
+	}
+	roots := []graph.NodeID{0, graph.NodeID(g.N() / 3), graph.NodeID(2 * g.N() / 3)}
+	p.avgPath = traverse.AveragePathLength(g, roots, cfg.Workers)
+	p.diameter = traverse.DoubleSweepDiameter(g, 0, cfg.Workers)
+	p.avgDeg = g.AvgDegree()
+	p.maxDeg = float64(g.MaxDegree())
+	p.triangleCount = triangles.Count(g, cfg.Workers)
+	p.componentCount = components.Count(g)
+	p.coloringNumber = coloring.ColoringNumber(g)
+	p.independentSet = mis.BestSize(g)
+	p.matchingSize = matching.Size(g)
+	return p
+}
+
+func (p propSet) row(label string) []string {
+	st := "inf"
+	if p.stPath >= 0 {
+		st = f1(p.stPath)
+	}
+	return []string{
+		label, d2(p.n), d2(p.m), st, f1(p.avgPath), fmt.Sprintf("%d", p.diameter),
+		f1(p.avgDeg), f1(p.maxDeg), d2(int(p.triangleCount)), d2(p.componentCount),
+		d2(p.coloringNumber), d2(p.independentSet), d2(p.matchingSize),
+	}
+}
+
+// Table3 empirically validates the paper's bound table: the twelve graph
+// properties before and after each compression scheme. The paper's
+// qualitative predictions (which quantities can only shrink, which are
+// preserved exactly, which can explode) are checked by the accompanying
+// tests.
+func Table3(cfg Config) *Table {
+	t := &Table{
+		ID:    "Table 3",
+		Title: "property impact per scheme (measured; compare signs/limits with the paper's bounds)",
+		Note: "EO TR & spanner preserve #CC; uniform p-sampling can disconnect; " +
+			"deg-1 removal keeps T; spanner bounds distances by O(k); ε-summary can do anything",
+		Header: []string{"scheme", "n", "m", "s-t", "avgP", "D", "avgdeg", "maxdeg",
+			"T", "CC", "CG", "IS", "MC"},
+	}
+	b := cfg.boost()
+	g := gen.PlantedPartition(300*b, 25, 0.5, 450*b, cfg.seed()+71)
+
+	t.AddRow(measureProps(g, cfg).row("original")...)
+
+	summary := summarize.Summarize(g, summarize.Options{
+		Iterations: 6, Epsilon: 0.1, Seed: cfg.seed(), Workers: cfg.Workers})
+	t.AddRow(measureProps(summary.Decode(), cfg).row("eps-summary(0.1)")...)
+
+	uni := schemes.Uniform(g, 0.5, cfg.seed(), cfg.Workers) // remove half
+	t.AddRow(measureProps(uni.Output, cfg).row("uniform(p=0.5)")...)
+
+	spec := schemes.Spectral(g, schemes.SpectralOptions{
+		P: 1, Variant: schemes.UpsilonLogN, Seed: cfg.seed(), Workers: cfg.Workers})
+	t.AddRow(measureProps(spec.Output, cfg).row("spectral(logn)")...)
+
+	span := schemes.Spanner(g, schemes.SpannerOptions{K: 8, Seed: cfg.seed(), Workers: cfg.Workers})
+	t.AddRow(measureProps(span.Output, cfg).row("spanner(k=8)")...)
+
+	eo := schemes.TriangleReduction(g, schemes.TROptions{
+		P: 0.5, Variant: schemes.TREO, Seed: cfg.seed(), Workers: cfg.Workers})
+	t.AddRow(measureProps(eo.Output, cfg).row("EO-0.5-1-TR")...)
+
+	low := schemes.LowDegree(g, cfg.Workers)
+	t.AddRow(measureProps(low.Output, cfg).row("remove-deg<=1")...)
+
+	return t
+}

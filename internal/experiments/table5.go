@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"slimgraph/internal/centrality"
+	"slimgraph/internal/graph"
+	"slimgraph/internal/metrics"
+	"slimgraph/internal/schemes"
+)
+
+func pagerank(g *graph.Graph, cfg Config) []float64 {
+	return centrality.PageRank(g, centrality.PageRankOptions{Workers: cfg.Workers})
+}
+
+// Table5 reproduces the Kullback–Leibler divergences between PageRank
+// distributions on original and compressed graphs for the paper's scheme
+// lineup: EO-TR at p = 0.8 and 1.0, uniform sampling removing 20% and 50%,
+// and spanners at k = 2, 16, 128.
+func Table5(cfg Config) *Table {
+	t := &Table{
+		ID:    "Table 5",
+		Title: "KL divergence of PageRank distributions (original vs compressed)",
+		Note: "higher compression => higher KL; EO-TR and spanner k=2 smallest; uniform p=0.5 large; " +
+			"road network (v-usa) near zero under spanners",
+		Header: []string{"graph", "EO0.8-1-TR", "EO1.0-1-TR", "Unif(p=0.2)", "Unif(p=0.5)",
+			"Spank=2", "Spank=16", "Spank=128"},
+	}
+	for _, ng := range table5Graphs(cfg) {
+		orig := pagerank(ng.G, cfg)
+		kl := func(out *graph.Graph) string {
+			return f4(metrics.KLDivergence(orig, pagerank(out, cfg)))
+		}
+		eo08 := schemes.TriangleReduction(ng.G, schemes.TROptions{
+			P: 0.8, Variant: schemes.TREO, Seed: cfg.seed(), Workers: cfg.Workers})
+		eo10 := schemes.TriangleReduction(ng.G, schemes.TROptions{
+			P: 1.0, Variant: schemes.TREO, Seed: cfg.seed(), Workers: cfg.Workers})
+		u02 := schemes.Uniform(ng.G, 0.8, cfg.seed(), cfg.Workers) // remove 20%
+		u05 := schemes.Uniform(ng.G, 0.5, cfg.seed(), cfg.Workers) // remove 50%
+		sp2 := schemes.Spanner(ng.G, schemes.SpannerOptions{K: 2, Seed: cfg.seed(), Workers: cfg.Workers})
+		sp16 := schemes.Spanner(ng.G, schemes.SpannerOptions{K: 16, Seed: cfg.seed(), Workers: cfg.Workers})
+		sp128 := schemes.Spanner(ng.G, schemes.SpannerOptions{K: 128, Seed: cfg.seed(), Workers: cfg.Workers})
+		t.AddRow(ng.Key,
+			kl(eo08.Output), kl(eo10.Output),
+			kl(u02.Output), kl(u05.Output),
+			kl(sp2.Output), kl(sp16.Output), kl(sp128.Output))
+	}
+	return t
+}

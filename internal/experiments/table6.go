@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"slimgraph/internal/graph"
+	"slimgraph/internal/schemes"
+	"slimgraph/internal/triangles"
+)
+
+// Table6 reproduces the average-triangles-per-vertex analysis: the original
+// value and the value after each scheme/parameter combination. The paper's
+// headline: TR reduces T proportionally, uniform sampling scales it by the
+// cube of the keep rate, and almost all schemes — especially spanners with
+// large k — eliminate a large fraction of triangles.
+func Table6(cfg Config) *Table {
+	t := &Table{
+		ID:    "Table 6",
+		Title: "average number of triangles per vertex (3T/n) per scheme",
+		Note: "uniform(p) scales T by (1-p)^3; spanners at k>=16 eliminate nearly all triangles; " +
+			"spectral p=0.5 goes to ~0 (log n edges per vertex remain)",
+		Header: []string{"graph", "orig", "0.2-1-TR", "0.9-1-TR", "U(p=0.8)", "U(p=0.5)", "U(p=0.2)",
+			"Spk=2", "Spk=16", "Spk=128", "Spec0.5", "Spec0.05", "Spec0.005"},
+	}
+	for _, ng := range table6Graphs(cfg) {
+		avg := func(g *graph.Graph) string {
+			return f3(triangles.AveragePerVertex(g, cfg.Workers))
+		}
+		tr := func(p float64) string {
+			return avg(schemes.TriangleReduction(ng.G, schemes.TROptions{
+				P: p, Variant: schemes.TRBasic, Seed: cfg.seed(), Workers: cfg.Workers}).Output)
+		}
+		unif := func(removal float64) string {
+			return avg(schemes.Uniform(ng.G, 1-removal, cfg.seed(), cfg.Workers).Output)
+		}
+		span := func(k int) string {
+			return avg(schemes.Spanner(ng.G, schemes.SpannerOptions{
+				K: k, Seed: cfg.seed(), Workers: cfg.Workers}).Output)
+		}
+		// The evaluation's spectral p is a removal strength (larger p =>
+		// fewer edges; Fig. 5 axis: "p log(n) edges are removed from each
+		// vertex"), while §4.2.1's Υ = p·log n is a keep budget. Map the
+		// table's p to the keep parameter 1-p.
+		spec := func(p float64) string {
+			return avg(schemes.Spectral(ng.G, schemes.SpectralOptions{
+				P: 1 - p, Variant: schemes.UpsilonLogN, Seed: cfg.seed(), Workers: cfg.Workers}).Output)
+		}
+		t.AddRow(ng.Key, avg(ng.G),
+			tr(0.2), tr(0.9),
+			unif(0.8), unif(0.5), unif(0.2),
+			span(2), span(16), span(128),
+			spec(0.5), spec(0.05), spec(0.005))
+	}
+	return t
+}

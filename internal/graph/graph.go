@@ -1,0 +1,463 @@
+// Package graph provides the in-memory graph representation used by all of
+// Slim Graph: a compressed-sparse-row (CSR) structure in the style of the
+// GAP Benchmark Suite, extended with canonical edge identifiers.
+//
+// Canonical edge IDs are the key enabler of the compression-kernel model.
+// Every undirected edge {u, v} is stored once in a canonical list (with
+// u <= v) and referenced from both CSR directions, so "atomically delete
+// edge e" is a single bit set shared by both directions, and edge weights
+// are stored exactly once. Directed graphs use the directed edge list as the
+// canonical list and additionally keep an in-neighbor CSR.
+package graph
+
+import (
+	"fmt"
+	"sort"
+
+	"slimgraph/internal/parallel"
+)
+
+// NodeID identifies a vertex. Vertices are always numbered [0, N).
+type NodeID = int32
+
+// EdgeID indexes the canonical edge list. For undirected graphs both CSR
+// directions of an edge carry the same EdgeID.
+type EdgeID = int32
+
+// Edge is an input edge for builders and an output edge for enumeration.
+type Edge struct {
+	U, V NodeID
+	W    float64
+}
+
+// E constructs an unweighted edge (weight 1).
+func E(u, v NodeID) Edge { return Edge{U: u, V: v, W: 1} }
+
+// WE constructs a weighted edge.
+func WE(u, v NodeID, w float64) Edge { return Edge{U: u, V: v, W: w} }
+
+// Graph is an immutable CSR graph. Compression never mutates a Graph; it
+// produces a new one via FilterEdges, Compact, or Contract.
+type Graph struct {
+	n        int
+	directed bool
+	weighted bool
+
+	// Out-adjacency CSR. For undirected graphs every edge appears in both
+	// endpoint lists, each entry carrying the canonical EdgeID.
+	offsets []int64
+	nbrs    []NodeID
+	eids    []EdgeID
+
+	// In-adjacency CSR, built only for directed graphs.
+	inOffsets []int64
+	inNbrs    []NodeID
+	inEids    []EdgeID
+
+	// Canonical edge list; for undirected graphs edgeU[e] <= edgeV[e].
+	edgeU []NodeID
+	edgeV []NodeID
+	edgeW []float64 // nil when unweighted
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return g.n }
+
+// M returns the number of canonical edges (undirected edges counted once).
+func (g *Graph) M() int { return len(g.edgeU) }
+
+// NumArcs returns the number of directed adjacency entries: 2M for
+// undirected graphs, M for directed ones.
+func (g *Graph) NumArcs() int { return len(g.nbrs) }
+
+// Directed reports whether the graph is directed.
+func (g *Graph) Directed() bool { return g.directed }
+
+// Weighted reports whether the graph carries edge weights.
+func (g *Graph) Weighted() bool { return g.weighted }
+
+// Degree returns the out-degree of v (the degree, for undirected graphs).
+func (g *Graph) Degree(v NodeID) int {
+	return int(g.offsets[v+1] - g.offsets[v])
+}
+
+// InDegree returns the in-degree of v. For undirected graphs it equals
+// Degree.
+func (g *Graph) InDegree(v NodeID) int {
+	if !g.directed {
+		return g.Degree(v)
+	}
+	return int(g.inOffsets[v+1] - g.inOffsets[v])
+}
+
+// Neighbors returns a read-only view of v's out-neighbors, sorted by ID.
+func (g *Graph) Neighbors(v NodeID) []NodeID {
+	return g.nbrs[g.offsets[v]:g.offsets[v+1]]
+}
+
+// NeighborEdges returns parallel read-only views of v's out-neighbors and
+// the canonical EdgeIDs connecting them. Callers must not modify them.
+func (g *Graph) NeighborEdges(v NodeID) ([]NodeID, []EdgeID) {
+	lo, hi := g.offsets[v], g.offsets[v+1]
+	return g.nbrs[lo:hi], g.eids[lo:hi]
+}
+
+// InNeighbors returns a read-only view of v's in-neighbors (sorted). For
+// undirected graphs this is the same as Neighbors.
+func (g *Graph) InNeighbors(v NodeID) []NodeID {
+	if !g.directed {
+		return g.Neighbors(v)
+	}
+	return g.inNbrs[g.inOffsets[v]:g.inOffsets[v+1]]
+}
+
+// InNeighborEdges is NeighborEdges for the in-direction.
+func (g *Graph) InNeighborEdges(v NodeID) ([]NodeID, []EdgeID) {
+	if !g.directed {
+		return g.NeighborEdges(v)
+	}
+	lo, hi := g.inOffsets[v], g.inOffsets[v+1]
+	return g.inNbrs[lo:hi], g.inEids[lo:hi]
+}
+
+// EdgeEndpoints returns the canonical endpoints of edge e. For undirected
+// graphs u <= v.
+func (g *Graph) EdgeEndpoints(e EdgeID) (u, v NodeID) {
+	return g.edgeU[e], g.edgeV[e]
+}
+
+// EdgeWeight returns the weight of edge e (1 for unweighted graphs).
+func (g *Graph) EdgeWeight(e EdgeID) float64 {
+	if g.edgeW == nil {
+		return 1
+	}
+	return g.edgeW[e]
+}
+
+// HasEdge reports whether an arc u->v exists (for undirected graphs,
+// whether {u, v} exists), via binary search over the sorted adjacency.
+func (g *Graph) HasEdge(u, v NodeID) bool {
+	_, ok := g.FindEdge(u, v)
+	return ok
+}
+
+// FindEdge returns the canonical EdgeID of arc u->v if present.
+func (g *Graph) FindEdge(u, v NodeID) (EdgeID, bool) {
+	nbrs, eids := g.NeighborEdges(u)
+	i := sort.Search(len(nbrs), func(i int) bool { return nbrs[i] >= v })
+	if i < len(nbrs) && nbrs[i] == v {
+		return eids[i], true
+	}
+	return 0, false
+}
+
+// Edges returns a copy of the canonical edge list.
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, g.M())
+	for e := range out {
+		out[e] = Edge{U: g.edgeU[e], V: g.edgeV[e], W: g.EdgeWeight(EdgeID(e))}
+	}
+	return out
+}
+
+// TotalWeight returns the sum of canonical edge weights (M for unweighted
+// graphs).
+func (g *Graph) TotalWeight() float64 {
+	if g.edgeW == nil {
+		return float64(g.M())
+	}
+	s := 0.0
+	for _, w := range g.edgeW {
+		s += w
+	}
+	return s
+}
+
+// MaxDegree returns the maximum out-degree.
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for v := 0; v < g.n; v++ {
+		if d := g.Degree(NodeID(v)); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// AvgDegree returns the average out-degree.
+func (g *Graph) AvgDegree() float64 {
+	if g.n == 0 {
+		return 0
+	}
+	return float64(g.NumArcs()) / float64(g.n)
+}
+
+// DegreeHistogram returns counts[d] = number of vertices with out-degree d.
+func (g *Graph) DegreeHistogram() []int64 {
+	h := make([]int64, g.MaxDegree()+1)
+	for v := 0; v < g.n; v++ {
+		h[g.Degree(NodeID(v))]++
+	}
+	return h
+}
+
+// String summarizes the graph for logs and error messages.
+func (g *Graph) String() string {
+	kind := "undirected"
+	if g.directed {
+		kind = "directed"
+	}
+	w := ""
+	if g.weighted {
+		w = " weighted"
+	}
+	return fmt.Sprintf("%s%s graph: n=%d m=%d", kind, w, g.n, g.M())
+}
+
+// Validate checks the CSR invariants and returns the first violation found.
+// It is used by property tests and costs O(n + m).
+func (g *Graph) Validate() error {
+	if len(g.offsets) != g.n+1 {
+		return fmt.Errorf("graph: offsets length %d, want %d", len(g.offsets), g.n+1)
+	}
+	if g.offsets[0] != 0 || g.offsets[g.n] != int64(len(g.nbrs)) {
+		return fmt.Errorf("graph: offset endpoints [%d, %d] do not span %d arcs",
+			g.offsets[0], g.offsets[g.n], len(g.nbrs))
+	}
+	if len(g.eids) != len(g.nbrs) {
+		return fmt.Errorf("graph: eids length %d != nbrs length %d", len(g.eids), len(g.nbrs))
+	}
+	for v := 0; v < g.n; v++ {
+		if g.offsets[v] > g.offsets[v+1] {
+			return fmt.Errorf("graph: decreasing offsets at vertex %d", v)
+		}
+		nbrs, eids := g.NeighborEdges(NodeID(v))
+		for i, w := range nbrs {
+			if w < 0 || int(w) >= g.n {
+				return fmt.Errorf("graph: vertex %d has out-of-range neighbor %d", v, w)
+			}
+			if i > 0 && nbrs[i-1] > w {
+				return fmt.Errorf("graph: adjacency of %d not sorted", v)
+			}
+			e := eids[i]
+			if int(e) >= g.M() || e < 0 {
+				return fmt.Errorf("graph: vertex %d slot %d has bad edge id %d", v, i, e)
+			}
+			eu, ev := g.EdgeEndpoints(e)
+			if g.directed {
+				if eu != NodeID(v) || ev != w {
+					return fmt.Errorf("graph: arc %d->%d mapped to edge (%d, %d)", v, w, eu, ev)
+				}
+			} else if !(eu == NodeID(v) && ev == w) && !(eu == w && ev == NodeID(v)) {
+				return fmt.Errorf("graph: arc %d->%d mapped to edge (%d, %d)", v, w, eu, ev)
+			}
+		}
+	}
+	if !g.directed {
+		for e := 0; e < g.M(); e++ {
+			if g.edgeU[e] > g.edgeV[e] {
+				return fmt.Errorf("graph: canonical edge %d not normalized: (%d, %d)",
+					e, g.edgeU[e], g.edgeV[e])
+			}
+		}
+		if len(g.nbrs) != 2*g.M() {
+			return fmt.Errorf("graph: %d arcs for %d undirected edges", len(g.nbrs), g.M())
+		}
+	}
+	return nil
+}
+
+// Builder accumulates edges and produces a Graph. Self-loops are dropped and
+// parallel edges are merged (keeping the minimum weight) so that Build
+// always yields a simple graph.
+type Builder struct {
+	n        int
+	directed bool
+	weighted bool
+	edges    []Edge
+}
+
+// NewBuilder returns a builder for a graph with n vertices.
+func NewBuilder(n int, directed bool) *Builder {
+	return &Builder{n: n, directed: directed}
+}
+
+// AddEdge adds an unweighted edge (weight 1).
+func (b *Builder) AddEdge(u, v NodeID) { b.edges = append(b.edges, Edge{U: u, V: v, W: 1}) }
+
+// AddWeightedEdge adds a weighted edge and marks the graph weighted.
+func (b *Builder) AddWeightedEdge(u, v NodeID, w float64) {
+	b.weighted = true
+	b.edges = append(b.edges, Edge{U: u, V: v, W: w})
+}
+
+// AddEdges adds a batch of edges; any non-unit weight marks the graph
+// weighted.
+func (b *Builder) AddEdges(edges []Edge) {
+	for _, e := range edges {
+		if e.W != 1 {
+			b.weighted = true
+		}
+	}
+	b.edges = append(b.edges, edges...)
+}
+
+// SetWeighted forces the weighted flag, e.g. for graphs whose weights all
+// happen to be 1.
+func (b *Builder) SetWeighted() { b.weighted = true }
+
+// Build constructs the CSR graph. It returns an error for out-of-range
+// endpoints.
+func (b *Builder) Build() (*Graph, error) {
+	for _, e := range b.edges {
+		if e.U < 0 || int(e.U) >= b.n || e.V < 0 || int(e.V) >= b.n {
+			return nil, fmt.Errorf("graph: edge (%d, %d) out of range [0, %d)", e.U, e.V, b.n)
+		}
+	}
+	return build(b.n, b.directed, b.weighted, b.edges), nil
+}
+
+// FromEdges builds a graph directly from an edge slice. It panics on
+// out-of-range endpoints (callers constructing graphs programmatically).
+func FromEdges(n int, directed bool, edges []Edge) *Graph {
+	b := NewBuilder(n, directed)
+	b.AddEdges(edges)
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// FromWeightedEdges is FromEdges with the weighted flag forced on.
+func FromWeightedEdges(n int, directed bool, edges []Edge) *Graph {
+	b := NewBuilder(n, directed)
+	b.AddEdges(edges)
+	b.SetWeighted()
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func build(n int, directed, weighted bool, input []Edge) *Graph {
+	// Normalize: drop self-loops; canonicalize undirected endpoints.
+	edges := make([]Edge, 0, len(input))
+	for _, e := range input {
+		if e.U == e.V {
+			continue
+		}
+		if !directed && e.U > e.V {
+			e.U, e.V = e.V, e.U
+		}
+		edges = append(edges, e)
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].U != edges[j].U {
+			return edges[i].U < edges[j].U
+		}
+		if edges[i].V != edges[j].V {
+			return edges[i].V < edges[j].V
+		}
+		return edges[i].W < edges[j].W
+	})
+	// Dedup, keeping the minimum-weight copy (first after the sort above).
+	dst := 0
+	for i := range edges {
+		if i > 0 && edges[i].U == edges[dst-1].U && edges[i].V == edges[dst-1].V {
+			continue
+		}
+		edges[dst] = edges[i]
+		dst++
+	}
+	edges = edges[:dst]
+
+	g := &Graph{n: n, directed: directed, weighted: weighted}
+	m := len(edges)
+	g.edgeU = make([]NodeID, m)
+	g.edgeV = make([]NodeID, m)
+	if weighted {
+		g.edgeW = make([]float64, m)
+	}
+	for e, ed := range edges {
+		g.edgeU[e] = ed.U
+		g.edgeV[e] = ed.V
+		if weighted {
+			g.edgeW[e] = ed.W
+		}
+	}
+
+	// Out-CSR (for undirected graphs: both directions).
+	deg := make([]int64, n+1)
+	for _, e := range edges {
+		deg[e.U+1]++
+		if !directed {
+			deg[e.V+1]++
+		}
+	}
+	g.offsets = prefixSum(deg)
+	arcs := g.offsets[n]
+	g.nbrs = make([]NodeID, arcs)
+	g.eids = make([]EdgeID, arcs)
+	cursor := make([]int64, n)
+	copy(cursor, g.offsets[:n])
+	for e, ed := range edges {
+		place(g.nbrs, g.eids, cursor, ed.U, ed.V, EdgeID(e))
+		if !directed {
+			place(g.nbrs, g.eids, cursor, ed.V, ed.U, EdgeID(e))
+		}
+	}
+	sortAdjacency(n, g.offsets, g.nbrs, g.eids)
+
+	if directed {
+		indeg := make([]int64, n+1)
+		for _, e := range edges {
+			indeg[e.V+1]++
+		}
+		g.inOffsets = prefixSum(indeg)
+		g.inNbrs = make([]NodeID, m)
+		g.inEids = make([]EdgeID, m)
+		incur := make([]int64, n)
+		copy(incur, g.inOffsets[:n])
+		for e, ed := range edges {
+			place(g.inNbrs, g.inEids, incur, ed.V, ed.U, EdgeID(e))
+		}
+		sortAdjacency(n, g.inOffsets, g.inNbrs, g.inEids)
+	}
+	return g
+}
+
+func place(nbrs []NodeID, eids []EdgeID, cursor []int64, from, to NodeID, e EdgeID) {
+	i := cursor[from]
+	nbrs[i] = to
+	eids[i] = e
+	cursor[from] = i + 1
+}
+
+func prefixSum(counts []int64) []int64 {
+	for i := 1; i < len(counts); i++ {
+		counts[i] += counts[i-1]
+	}
+	return counts
+}
+
+func sortAdjacency(n int, offsets []int64, nbrs []NodeID, eids []EdgeID) {
+	parallel.For(n, 0, func(v int) {
+		lo, hi := offsets[v], offsets[v+1]
+		nb, ei := nbrs[lo:hi], eids[lo:hi]
+		sort.Sort(&adjSorter{nb, ei})
+	})
+}
+
+type adjSorter struct {
+	nbrs []NodeID
+	eids []EdgeID
+}
+
+func (s *adjSorter) Len() int           { return len(s.nbrs) }
+func (s *adjSorter) Less(i, j int) bool { return s.nbrs[i] < s.nbrs[j] }
+func (s *adjSorter) Swap(i, j int) {
+	s.nbrs[i], s.nbrs[j] = s.nbrs[j], s.nbrs[i]
+	s.eids[i], s.eids[j] = s.eids[j], s.eids[i]
+}

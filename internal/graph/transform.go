@@ -1,0 +1,139 @@
+package graph
+
+// Transformations that materialize compressed graphs. Stage 1 of the Slim
+// Graph engine marks deletions in bitsets; these functions rebuild a compact
+// CSR from the surviving elements (the "compression" output of §3.2).
+
+// FilterEdges returns a new graph containing exactly the canonical edges for
+// which keep returns true. Vertex IDs are preserved (compression never
+// renumbers vertices unless asked, so per-vertex metrics remain comparable).
+// If reweight is non-nil it supplies the new weight of every kept edge and
+// the result is weighted.
+func (g *Graph) FilterEdges(keep func(e EdgeID) bool, reweight func(e EdgeID) float64) *Graph {
+	kept := make([]Edge, 0, g.M())
+	for e := 0; e < g.M(); e++ {
+		id := EdgeID(e)
+		if !keep(id) {
+			continue
+		}
+		w := g.EdgeWeight(id)
+		if reweight != nil {
+			w = reweight(id)
+		}
+		kept = append(kept, Edge{U: g.edgeU[e], V: g.edgeV[e], W: w})
+	}
+	weighted := g.weighted || reweight != nil
+	return build(g.n, g.directed, weighted, kept)
+}
+
+// IsolateVertices returns a new graph in which every edge incident to a
+// vertex v with remove(v) == true has been deleted. The vertex set is
+// unchanged, which is how Slim Graph's vertex kernels keep outputs of
+// per-vertex algorithms comparable across compression.
+func (g *Graph) IsolateVertices(remove func(v NodeID) bool) *Graph {
+	return g.FilterEdges(func(e EdgeID) bool {
+		u, v := g.EdgeEndpoints(e)
+		return !remove(u) && !remove(v)
+	}, nil)
+}
+
+// Compact renumbers the graph to exclude vertices with remove(v) == true,
+// dropping their incident edges. It returns the new graph and a mapping
+// old ID -> new ID (-1 for removed vertices).
+func (g *Graph) Compact(remove func(v NodeID) bool) (*Graph, []NodeID) {
+	remap := make([]NodeID, g.n)
+	next := NodeID(0)
+	for v := 0; v < g.n; v++ {
+		if remove(NodeID(v)) {
+			remap[v] = -1
+		} else {
+			remap[v] = next
+			next++
+		}
+	}
+	edges := make([]Edge, 0, g.M())
+	for e := 0; e < g.M(); e++ {
+		u, v := g.edgeU[e], g.edgeV[e]
+		if remap[u] < 0 || remap[v] < 0 {
+			continue
+		}
+		edges = append(edges, Edge{U: remap[u], V: remap[v], W: g.EdgeWeight(EdgeID(e))})
+	}
+	return build(int(next), g.directed, g.weighted, edges), remap
+}
+
+// Contract merges vertices according to mapping, which assigns every old
+// vertex a label; vertices sharing a label become one vertex. Labels may be
+// arbitrary values in [0, n); they are compacted to [0, n'). Parallel edges
+// are merged (minimum weight kept) and self-loops dropped. Triangle
+// p-Reduction by Collapse uses this to fold sampled triangles into single
+// vertices. It returns the contracted graph and the old->new vertex map.
+func (g *Graph) Contract(mapping []NodeID) (*Graph, []NodeID) {
+	if len(mapping) != g.n {
+		panic("graph: Contract mapping has wrong length")
+	}
+	compact := make([]NodeID, g.n)
+	for i := range compact {
+		compact[i] = -1
+	}
+	next := NodeID(0)
+	remap := make([]NodeID, g.n)
+	for v := 0; v < g.n; v++ {
+		label := mapping[v]
+		if compact[label] < 0 {
+			compact[label] = next
+			next++
+		}
+		remap[v] = compact[label]
+	}
+	edges := make([]Edge, 0, g.M())
+	for e := 0; e < g.M(); e++ {
+		u, v := remap[g.edgeU[e]], remap[g.edgeV[e]]
+		if u == v {
+			continue
+		}
+		edges = append(edges, Edge{U: u, V: v, W: g.EdgeWeight(EdgeID(e))})
+	}
+	return build(int(next), g.directed, g.weighted, edges), remap
+}
+
+// InducedSubgraph returns the subgraph induced by the given vertices,
+// renumbered to [0, len(vertices)), plus the old->new map (-1 if excluded).
+func (g *Graph) InducedSubgraph(vertices []NodeID) (*Graph, []NodeID) {
+	remap := make([]NodeID, g.n)
+	for i := range remap {
+		remap[i] = -1
+	}
+	for i, v := range vertices {
+		remap[v] = NodeID(i)
+	}
+	edges := make([]Edge, 0)
+	for e := 0; e < g.M(); e++ {
+		u, v := g.edgeU[e], g.edgeV[e]
+		if remap[u] < 0 || remap[v] < 0 {
+			continue
+		}
+		edges = append(edges, Edge{U: remap[u], V: remap[v], W: g.EdgeWeight(EdgeID(e))})
+	}
+	return build(len(vertices), g.directed, g.weighted, edges), remap
+}
+
+// Symmetrize returns the undirected version of a directed graph (arcs in
+// either direction become one undirected edge). For undirected graphs it
+// returns a copy.
+func (g *Graph) Symmetrize() *Graph {
+	edges := g.Edges()
+	return build(g.n, false, g.weighted, edges)
+}
+
+// Reweight returns a copy of the graph with every canonical edge weight
+// replaced by weight(e). The result is always weighted.
+func (g *Graph) Reweight(weight func(e EdgeID) float64) *Graph {
+	return g.FilterEdges(func(EdgeID) bool { return true }, weight)
+}
+
+// Clone returns a deep structural copy (used by tests that need to assert
+// immutability of inputs).
+func (g *Graph) Clone() *Graph {
+	return build(g.n, g.directed, g.weighted, g.Edges())
+}

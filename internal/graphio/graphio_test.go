@@ -1,0 +1,118 @@
+package graphio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"slimgraph/internal/gen"
+	"slimgraph/internal/graph"
+)
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	g := gen.ErdosRenyi(100, 400, 1)
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	h, err := ReadEdgeList(&buf, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.M() != g.M() {
+		t.Fatalf("m = %d, want %d", h.M(), g.M())
+	}
+	for e := 0; e < g.M(); e++ {
+		u, v := g.EdgeEndpoints(graph.EdgeID(e))
+		if !h.HasEdge(u, v) {
+			t.Fatalf("edge (%d, %d) lost", u, v)
+		}
+	}
+}
+
+func TestWeightedEdgeListRoundTrip(t *testing.T) {
+	g := gen.WithUniformWeights(gen.Cycle(20), 1, 5, 3)
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	h, err := ReadEdgeList(&buf, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.Weighted() {
+		t.Fatal("weights lost")
+	}
+	if h.TotalWeight() != g.TotalWeight() {
+		t.Fatalf("total weight %v, want %v", h.TotalWeight(), g.TotalWeight())
+	}
+}
+
+func TestReadEdgeListCommentsAndBlank(t *testing.T) {
+	in := "# comment\n% other comment\n\n0 1\n1 2\n"
+	g, err := ReadEdgeList(strings.NewReader(in), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3 || g.M() != 2 {
+		t.Fatalf("n=%d m=%d", g.N(), g.M())
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	cases := []string{"0\n", "0 1 2 3\n", "a b\n", "-1 2\n", "0 x\n"}
+	for _, in := range cases {
+		if _, err := ReadEdgeList(strings.NewReader(in), false); err == nil {
+			t.Fatalf("input %q: expected error", in)
+		}
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	for _, g := range []*graph.Graph{
+		gen.ErdosRenyi(50, 200, 2),
+		gen.WithUniformWeights(gen.Grid2D(5, 5, true), 1, 9, 4),
+		gen.RMATDirected(6, 4, 0.57, 0.19, 0.19, 5),
+	} {
+		var buf bytes.Buffer
+		n, err := WriteBinary(&buf, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != int64(buf.Len()) {
+			t.Fatalf("reported %d bytes, wrote %d", n, buf.Len())
+		}
+		if n != BinarySize(g) {
+			t.Fatalf("BinarySize %d != written %d", BinarySize(g), n)
+		}
+		h, err := ReadBinary(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h.N() != g.N() || h.M() != g.M() || h.Directed() != g.Directed() || h.Weighted() != g.Weighted() {
+			t.Fatalf("round trip mismatch: %v vs %v", h, g)
+		}
+		if h.TotalWeight() != g.TotalWeight() {
+			t.Fatalf("weight mismatch: %v vs %v", h.TotalWeight(), g.TotalWeight())
+		}
+	}
+}
+
+func TestBinaryRejectsGarbage(t *testing.T) {
+	if _, err := ReadBinary(bytes.NewReader([]byte("not a graph at all..."))); err == nil {
+		t.Fatal("expected error for bad magic")
+	}
+	if _, err := ReadBinary(bytes.NewReader(nil)); err == nil {
+		t.Fatal("expected error for empty input")
+	}
+}
+
+func TestStorageReductionVisible(t *testing.T) {
+	// A compressed graph must have a proportionally smaller snapshot; this
+	// is the storage story of the paper.
+	g := gen.ErdosRenyi(200, 2000, 1)
+	half := g.FilterEdges(func(e graph.EdgeID) bool { return e%2 == 0 }, nil)
+	if BinarySize(half) >= BinarySize(g) {
+		t.Fatalf("compressed snapshot not smaller: %d vs %d", BinarySize(half), BinarySize(g))
+	}
+}

@@ -1,0 +1,108 @@
+package matching
+
+import (
+	"testing"
+	"testing/quick"
+
+	"slimgraph/internal/gen"
+	"slimgraph/internal/graph"
+)
+
+func TestGreedyPath(t *testing.T) {
+	// Path 0-1-2-3: greedy in edge order picks (0,1) and (2,3).
+	g := gen.Path(4)
+	edges, mate := Greedy(g)
+	if len(edges) != 2 {
+		t.Fatalf("matched %d edges, want 2", len(edges))
+	}
+	if !Valid(g, mate) || !Maximal(g, mate) {
+		t.Fatal("invalid or non-maximal matching")
+	}
+}
+
+func TestGreedyStar(t *testing.T) {
+	// A star has maximum matching size 1.
+	g := gen.Star(10)
+	if Size(g) != 1 {
+		t.Fatalf("star matching size %d, want 1", Size(g))
+	}
+}
+
+func TestGreedyComplete(t *testing.T) {
+	g := gen.Complete(8)
+	if Size(g) != 4 {
+		t.Fatalf("K8 matching size %d, want 4", Size(g))
+	}
+	g = gen.Complete(7)
+	if Size(g) != 3 {
+		t.Fatalf("K7 matching size %d, want 3", Size(g))
+	}
+}
+
+func TestValidAndMaximalProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := gen.ErdosRenyi(60, 150, seed)
+		_, mate := Greedy(g)
+		if !Valid(g, mate) || !Maximal(g, mate) {
+			return false
+		}
+		_, mate = GreedyRandomized(g, seed)
+		return Valid(g, mate) && Maximal(g, mate)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGreedyIsHalfApproxProperty(t *testing.T) {
+	// Any maximal matching is at least half of any other matching; check
+	// greedy vs the best found over several random orders.
+	f := func(seed uint64) bool {
+		g := gen.ErdosRenyi(40, 120, seed)
+		greedy := Size(g)
+		best := BestSize(g, []uint64{seed + 1, seed + 2, seed + 3})
+		return 2*greedy >= best
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestImproveNeverShrinksAndStaysValid(t *testing.T) {
+	g := gen.BarabasiAlbert(300, 2, 7)
+	_, mate := Greedy(g)
+	before := 0
+	for _, m := range mate {
+		if m >= 0 {
+			before++
+		}
+	}
+	before /= 2
+	after := Improve(g, mate)
+	if after < before {
+		t.Fatalf("Improve shrank matching: %d -> %d", before, after)
+	}
+	if !Valid(g, mate) {
+		t.Fatal("Improve produced an invalid matching")
+	}
+}
+
+func TestImprovePathAugmentation(t *testing.T) {
+	// Path 0-1-2-3 with only middle edge matched: Improve should reach 2.
+	g := gen.Path(4)
+	mate := []graph.NodeID{-1, 2, 1, -1}
+	if sz := Improve(g, mate); sz != 2 {
+		t.Fatalf("Improve reached %d, want 2", sz)
+	}
+	if !Valid(g, mate) {
+		t.Fatal("invalid after augmentation")
+	}
+}
+
+func BenchmarkGreedyRMAT13(b *testing.B) {
+	g := gen.RMAT(13, 8, 0.57, 0.19, 0.19, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Greedy(g)
+	}
+}

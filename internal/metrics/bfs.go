@@ -1,0 +1,72 @@
+package metrics
+
+import (
+	"slimgraph/internal/graph"
+	"slimgraph/internal/traverse"
+)
+
+// CriticalEdges returns the critical-edge set of a BFS traversal per the
+// paper's Figure 4 taxonomy: tree edges plus potential edges — every edge
+// connecting consecutive BFS levels, i.e. any edge that could appear in
+// some BFS tree from the same root. Edges with an unreachable endpoint are
+// never critical.
+func CriticalEdges(g *graph.Graph, dist []int32) []graph.EdgeID {
+	var out []graph.EdgeID
+	for e := 0; e < g.M(); e++ {
+		id := graph.EdgeID(e)
+		u, v := g.EdgeEndpoints(id)
+		du, dv := dist[u], dist[v]
+		if du < 0 || dv < 0 {
+			continue
+		}
+		if du-dv == 1 || dv-du == 1 {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// BFSCriticalResult reports the critical-edge retention of a compressed
+// graph for one root.
+type BFSCriticalResult struct {
+	Root               graph.NodeID
+	OriginalCritical   int // |Ecr|
+	CompressedCritical int // |Ẽcr|
+}
+
+// Retention returns |Ẽcr| / |Ecr| — the §5 BFS metric.
+func (r *BFSCriticalResult) Retention() float64 {
+	if r.OriginalCritical == 0 {
+		return 1
+	}
+	return float64(r.CompressedCritical) / float64(r.OriginalCritical)
+}
+
+// BFSCritical runs BFS from root on both graphs (which must share a vertex
+// set) and compares critical-edge counts.
+func BFSCritical(orig, compressed *graph.Graph, root graph.NodeID, workers int) *BFSCriticalResult {
+	if orig.N() != compressed.N() {
+		panic("metrics: graphs must share a vertex set")
+	}
+	do := traverse.BFS(orig, root, workers)
+	dc := traverse.BFS(compressed, root, workers)
+	return &BFSCriticalResult{
+		Root:               root,
+		OriginalCritical:   len(CriticalEdges(orig, do.Dist)),
+		CompressedCritical: len(CriticalEdges(compressed, dc.Dist)),
+	}
+}
+
+// BFSCriticalMulti averages retention over several roots, as the paper does
+// when reporting that accuracy "is maintained when different root vertices
+// are picked".
+func BFSCriticalMulti(orig, compressed *graph.Graph, roots []graph.NodeID, workers int) float64 {
+	if len(roots) == 0 {
+		return 1
+	}
+	total := 0.0
+	for _, r := range roots {
+		total += BFSCritical(orig, compressed, r, workers).Retention()
+	}
+	return total / float64(len(roots))
+}

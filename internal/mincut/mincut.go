@@ -1,0 +1,103 @@
+// Package mincut computes global minimum cuts with the Stoer–Wagner
+// algorithm. It is the measurement substrate for cut sparsification
+// (§4.6): a good cut sparsifier keeps the weight of every cut — in
+// particular the minimum one — within 1±ε, and the §6.3 claim that
+// spectral sparsification "preserves the value of minimum cuts" is
+// validated against this package.
+//
+// The implementation is the classic O(n^3) dense variant, intended for the
+// evaluation's verification graphs (up to a few thousand vertices), not for
+// the compression pipeline itself.
+package mincut
+
+import (
+	"slimgraph/internal/graph"
+)
+
+// StoerWagner returns the weight of a global minimum cut of g, treating
+// unweighted edges as weight 1. The graph must be undirected, with at
+// least 2 vertices; disconnected graphs have cut weight 0.
+func StoerWagner(g *graph.Graph) float64 {
+	if g.Directed() {
+		panic("mincut: directed graphs are not supported")
+	}
+	n := g.N()
+	if n < 2 {
+		return 0
+	}
+	// Dense adjacency accumulating merged-vertex weights.
+	w := make([][]float64, n)
+	for i := range w {
+		w[i] = make([]float64, n)
+	}
+	for e := 0; e < g.M(); e++ {
+		u, v := g.EdgeEndpoints(graph.EdgeID(e))
+		wt := g.EdgeWeight(graph.EdgeID(e))
+		w[u][v] += wt
+		w[v][u] += wt
+	}
+	active := make([]int, n)
+	for i := range active {
+		active[i] = i
+	}
+	best := -1.0
+	// n-1 minimum-cut phases, merging the last two added vertices each time.
+	for len(active) > 1 {
+		cutOfPhase, s, t := minimumCutPhase(w, active)
+		if best < 0 || cutOfPhase < best {
+			best = cutOfPhase
+		}
+		// Merge t into s.
+		for _, v := range active {
+			if v != s && v != t {
+				w[s][v] += w[t][v]
+				w[v][s] = w[s][v]
+			}
+		}
+		// Remove t from the active list.
+		for i, v := range active {
+			if v == t {
+				active = append(active[:i], active[i+1:]...)
+				break
+			}
+		}
+	}
+	if best < 0 {
+		return 0
+	}
+	return best
+}
+
+// minimumCutPhase runs one maximum-adjacency search over the active
+// vertices and returns the cut-of-the-phase plus the last two vertices
+// added (s before t).
+func minimumCutPhase(w [][]float64, active []int) (cut float64, s, t int) {
+	added := make(map[int]bool, len(active))
+	weights := make(map[int]float64, len(active))
+	for _, v := range active {
+		weights[v] = 0
+	}
+	prev := -1
+	last := -1
+	for range active {
+		// Pick the most tightly connected unadded vertex.
+		sel := -1
+		for _, v := range active {
+			if added[v] {
+				continue
+			}
+			if sel < 0 || weights[v] > weights[sel] {
+				sel = v
+			}
+		}
+		added[sel] = true
+		prev, last = last, sel
+		cut = weights[sel]
+		for _, v := range active {
+			if !added[v] {
+				weights[v] += w[sel][v]
+			}
+		}
+	}
+	return cut, prev, last
+}

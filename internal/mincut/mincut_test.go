@@ -1,0 +1,110 @@
+package mincut
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"slimgraph/internal/gen"
+	"slimgraph/internal/graph"
+	"slimgraph/internal/rng"
+)
+
+func TestSingleEdge(t *testing.T) {
+	g := graph.FromEdges(2, false, []graph.Edge{graph.E(0, 1)})
+	if c := StoerWagner(g); c != 1 {
+		t.Fatalf("cut = %v, want 1", c)
+	}
+}
+
+func TestPathCutIsOne(t *testing.T) {
+	g := gen.Path(10)
+	if c := StoerWagner(g); c != 1 {
+		t.Fatalf("path cut = %v, want 1", c)
+	}
+}
+
+func TestCycleCutIsTwo(t *testing.T) {
+	g := gen.Cycle(8)
+	if c := StoerWagner(g); c != 2 {
+		t.Fatalf("cycle cut = %v, want 2", c)
+	}
+}
+
+func TestCompleteGraphCut(t *testing.T) {
+	// K_n: min cut isolates one vertex, weight n-1.
+	for _, n := range []int{3, 5, 8} {
+		g := gen.Complete(n)
+		if c := StoerWagner(g); c != float64(n-1) {
+			t.Fatalf("K%d cut = %v, want %d", n, c, n-1)
+		}
+	}
+}
+
+func TestDisconnectedIsZero(t *testing.T) {
+	g := graph.FromEdges(4, false, []graph.Edge{graph.E(0, 1), graph.E(2, 3)})
+	if c := StoerWagner(g); c != 0 {
+		t.Fatalf("disconnected cut = %v, want 0", c)
+	}
+}
+
+func TestBottleneckGraph(t *testing.T) {
+	// Two K6 cliques joined by exactly 3 bridge edges: min cut = 3.
+	edges := []graph.Edge{}
+	for u := 0; u < 6; u++ {
+		for v := u + 1; v < 6; v++ {
+			edges = append(edges, graph.E(graph.NodeID(u), graph.NodeID(v)))
+			edges = append(edges, graph.E(graph.NodeID(u+6), graph.NodeID(v+6)))
+		}
+	}
+	edges = append(edges, graph.E(0, 6), graph.E(1, 7), graph.E(2, 8))
+	g := graph.FromEdges(12, false, edges)
+	if c := StoerWagner(g); c != 3 {
+		t.Fatalf("bottleneck cut = %v, want 3", c)
+	}
+}
+
+func TestWeightedCut(t *testing.T) {
+	// Triangle with one light edge pair: min cut isolates the vertex with
+	// the smallest incident weight sum.
+	g := graph.FromWeightedEdges(3, false, []graph.Edge{
+		graph.WE(0, 1, 10), graph.WE(1, 2, 1), graph.WE(0, 2, 1),
+	})
+	if c := StoerWagner(g); c != 2 {
+		t.Fatalf("weighted cut = %v, want 2 (isolate vertex 2)", c)
+	}
+}
+
+// Property: the min cut never exceeds the minimum weighted degree (that cut
+// always exists) and is positive iff the graph is connected.
+func TestCutBoundedByMinDegreeProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 20
+		edges := make([]graph.Edge, 50)
+		for i := range edges {
+			edges[i] = graph.E(graph.NodeID(r.Intn(n)), graph.NodeID(r.Intn(n)))
+		}
+		g := graph.FromEdges(n, false, edges)
+		cut := StoerWagner(g)
+		minDeg := math.Inf(1)
+		for v := 0; v < n; v++ {
+			d := float64(g.Degree(graph.NodeID(v)))
+			if d < minDeg {
+				minDeg = d
+			}
+		}
+		return cut <= minDeg+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkStoerWagner200(b *testing.B) {
+	g := gen.ErdosRenyi(200, 1200, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		StoerWagner(g)
+	}
+}

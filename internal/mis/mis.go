@@ -1,0 +1,161 @@
+// Package mis computes maximal independent sets.
+//
+// The maximum independent set size ÎS appears in Table 3 (EO p-1-TR bounds
+// it by ÎS + pT; spanners guarantee Ω(n^{1-1/k}/log n)). Exact MIS is
+// NP-hard, so as in the paper's evaluation we measure greedy maximal
+// independent sets; Luby's algorithm provides the parallel-flavor
+// cross-check.
+package mis
+
+import (
+	"slimgraph/internal/graph"
+	"slimgraph/internal/rng"
+)
+
+// Greedy returns a maximal independent set built by scanning vertices in
+// the given order (nil means ID order).
+func Greedy(g *graph.Graph, order []graph.NodeID) []graph.NodeID {
+	n := g.N()
+	blocked := make([]bool, n)
+	var set []graph.NodeID
+	take := func(v graph.NodeID) {
+		if blocked[v] {
+			return
+		}
+		set = append(set, v)
+		blocked[v] = true
+		for _, w := range g.Neighbors(v) {
+			blocked[w] = true
+		}
+	}
+	if order == nil {
+		for v := 0; v < n; v++ {
+			take(graph.NodeID(v))
+		}
+	} else {
+		for _, v := range order {
+			take(v)
+		}
+	}
+	return set
+}
+
+// MinDegreeGreedy scans vertices by increasing degree, the classic
+// heuristic that performs well on skewed graphs.
+func MinDegreeGreedy(g *graph.Graph) []graph.NodeID {
+	n := g.N()
+	maxDeg := g.MaxDegree()
+	buckets := make([][]graph.NodeID, maxDeg+1)
+	for v := 0; v < n; v++ {
+		d := g.Degree(graph.NodeID(v))
+		buckets[d] = append(buckets[d], graph.NodeID(v))
+	}
+	order := make([]graph.NodeID, 0, n)
+	for d := 0; d <= maxDeg; d++ {
+		order = append(order, buckets[d]...)
+	}
+	return Greedy(g, order)
+}
+
+// Luby computes a maximal independent set with Luby's randomized rounds:
+// each round, vertices draw random priorities; local maxima join the set
+// and their neighborhoods drop out. Deterministic for a fixed seed.
+func Luby(g *graph.Graph, seed uint64) []graph.NodeID {
+	n := g.N()
+	state := make([]int8, n) // 0 = undecided, 1 = in set, -1 = excluded
+	remaining := n
+	var set []graph.NodeID
+	for round := uint64(0); remaining > 0; round++ {
+		prio := func(v graph.NodeID) uint64 {
+			return rng.Hash64(seed+round, uint64(v))
+		}
+		// Phase 1: find local priority maxima among undecided vertices.
+		// Decisions read only round-start state, so no two adjacent
+		// undecided vertices can both win (priorities are totally ordered
+		// with the ID tie-break).
+		var winners []graph.NodeID
+		for v := graph.NodeID(0); int(v) < n; v++ {
+			if state[v] != 0 {
+				continue
+			}
+			pv := prio(v)
+			isMax := true
+			for _, w := range g.Neighbors(v) {
+				if state[w] != 0 {
+					continue
+				}
+				pw := prio(w)
+				if pw > pv || (pw == pv && w > v) {
+					isMax = false
+					break
+				}
+			}
+			if isMax {
+				winners = append(winners, v)
+			}
+		}
+		// Phase 2: commit winners and exclude their neighborhoods.
+		for _, v := range winners {
+			state[v] = 1
+			set = append(set, v)
+			remaining--
+			for _, w := range g.Neighbors(v) {
+				if state[w] == 0 {
+					state[w] = -1
+					remaining--
+				}
+			}
+		}
+	}
+	return set
+}
+
+// Valid reports whether set is independent in g (no two members adjacent).
+func Valid(g *graph.Graph, set []graph.NodeID) bool {
+	in := make([]bool, g.N())
+	for _, v := range set {
+		in[v] = true
+	}
+	for _, v := range set {
+		for _, w := range g.Neighbors(v) {
+			if in[w] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Maximal reports whether every vertex outside set has a neighbor inside.
+func Maximal(g *graph.Graph, set []graph.NodeID) bool {
+	in := make([]bool, g.N())
+	for _, v := range set {
+		in[v] = true
+	}
+	for v := graph.NodeID(0); int(v) < g.N(); v++ {
+		if in[v] {
+			continue
+		}
+		dominated := false
+		for _, w := range g.Neighbors(v) {
+			if in[w] {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			return false
+		}
+	}
+	return true
+}
+
+// BestSize returns the larger of the ID-order and min-degree greedy set
+// sizes — the ÎS estimate used by the experiments.
+func BestSize(g *graph.Graph) int {
+	a := len(Greedy(g, nil))
+	if b := len(MinDegreeGreedy(g)); b > a {
+		return b
+	}
+	return a
+}

@@ -1,0 +1,90 @@
+package mis
+
+import (
+	"testing"
+	"testing/quick"
+
+	"slimgraph/internal/gen"
+	"slimgraph/internal/graph"
+)
+
+func TestGreedyStar(t *testing.T) {
+	// Greedy in ID order takes the hub (vertex 0) -> size 1. Min-degree
+	// greedy takes the leaves -> size n-1.
+	g := gen.Star(10)
+	if got := len(Greedy(g, nil)); got != 1 {
+		t.Fatalf("ID-order greedy size %d, want 1", got)
+	}
+	if got := len(MinDegreeGreedy(g)); got != 9 {
+		t.Fatalf("min-degree greedy size %d, want 9", got)
+	}
+	if BestSize(g) != 9 {
+		t.Fatalf("BestSize %d, want 9", BestSize(g))
+	}
+}
+
+func TestGreedyComplete(t *testing.T) {
+	g := gen.Complete(7)
+	set := Greedy(g, nil)
+	if len(set) != 1 {
+		t.Fatalf("K7 independent set size %d, want 1", len(set))
+	}
+}
+
+func TestGreedyPathAlternates(t *testing.T) {
+	g := gen.Path(7)
+	set := Greedy(g, nil)
+	if len(set) != 4 { // 0, 2, 4, 6
+		t.Fatalf("P7 set size %d, want 4", len(set))
+	}
+	if !Valid(g, set) || !Maximal(g, set) {
+		t.Fatal("invalid or non-maximal")
+	}
+}
+
+func TestGreedyValidMaximalProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := gen.ErdosRenyi(60, 180, seed)
+		for _, set := range [][]graph.NodeID{
+			Greedy(g, nil), MinDegreeGreedy(g), Luby(g, seed),
+		} {
+			if !Valid(g, set) || !Maximal(g, set) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLubyDeterministicPerSeed(t *testing.T) {
+	g := gen.RMAT(8, 8, 0.57, 0.19, 0.19, 3)
+	a := Luby(g, 42)
+	b := Luby(g, 42)
+	if len(a) != len(b) {
+		t.Fatalf("same seed gave sizes %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed gave different sets")
+		}
+	}
+}
+
+func TestLubyEdgelessGraphTakesAll(t *testing.T) {
+	g := graph.FromEdges(12, false, nil)
+	set := Luby(g, 1)
+	if len(set) != 12 {
+		t.Fatalf("edgeless Luby size %d, want 12", len(set))
+	}
+}
+
+func BenchmarkMinDegreeGreedyRMAT13(b *testing.B) {
+	g := gen.RMAT(13, 8, 0.57, 0.19, 0.19, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MinDegreeGreedy(g)
+	}
+}

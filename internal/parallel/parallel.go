@@ -1,0 +1,181 @@
+// Package parallel provides the shared-memory execution substrate of the
+// Slim Graph engine: chunked parallel loops and reductions over index
+// ranges.
+//
+// The paper's engine "executes compression kernels in parallel" (§3.2); this
+// package supplies that machinery so kernels and graph algorithms stay free
+// of goroutine plumbing. Work is split into contiguous chunks that workers
+// claim with an atomic counter, which balances irregular per-element cost
+// (skewed degrees) without per-element overhead.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultWorkers returns the worker count used when a caller passes
+// workers <= 0: the number of usable CPUs.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// normalize clamps the worker count into [1, n] with n the loop length, so
+// tiny loops do not spawn idle goroutines.
+func normalize(workers, n int) int {
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// chunkSize picks a grain that gives each worker several chunks to steal,
+// amortizing the atomic fetch-add while keeping load balanced.
+func chunkSize(n, workers int) int {
+	c := n / (workers * 8)
+	if c < 64 {
+		c = 64
+	}
+	return c
+}
+
+// For runs body(i) for every i in [0, n) using the given number of workers
+// (<= 0 means DefaultWorkers). With workers == 1 the loop runs inline on the
+// calling goroutine, giving bitwise-deterministic execution order.
+func For(n, workers int, body func(i int)) {
+	ForChunks(n, workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			body(i)
+		}
+	})
+}
+
+// ForChunks runs body(lo, hi) over disjoint chunks covering [0, n). A body
+// invocation owns the half-open range [lo, hi). With workers == 1 it runs
+// inline as a single chunk.
+func ForChunks(n, workers int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	workers = normalize(workers, n)
+	if workers == 1 {
+		body(0, n)
+		return
+	}
+	chunk := chunkSize(n, workers)
+	var next int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				lo := int(atomic.AddInt64(&next, int64(chunk))) - chunk
+				if lo >= n {
+					return
+				}
+				hi := lo + chunk
+				if hi > n {
+					hi = n
+				}
+				body(lo, hi)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// ForWorker runs body(worker, lo, hi) like ForChunks but also passes the
+// worker index, so callers can maintain per-worker state (RNG streams,
+// scratch buffers, partial histograms) without synchronization.
+func ForWorker(n, workers int, body func(worker, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	workers = normalize(workers, n)
+	if workers == 1 {
+		body(0, 0, n)
+		return
+	}
+	chunk := chunkSize(n, workers)
+	var next int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for {
+				lo := int(atomic.AddInt64(&next, int64(chunk))) - chunk
+				if lo >= n {
+					return
+				}
+				hi := lo + chunk
+				if hi > n {
+					hi = n
+				}
+				body(w, lo, hi)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// SumInt64 reduces body over [0, n) by summation. Each chunk accumulates
+// locally; only per-chunk partial sums touch the shared accumulator.
+func SumInt64(n, workers int, body func(i int) int64) int64 {
+	var total int64
+	ForChunks(n, workers, func(lo, hi int) {
+		var local int64
+		for i := lo; i < hi; i++ {
+			local += body(i)
+		}
+		atomic.AddInt64(&total, local)
+	})
+	return total
+}
+
+// SumFloat64 reduces body over [0, n) by float summation. Partial sums are
+// combined under a mutex (float64 has no atomic add); with a handful of
+// chunks the contention is negligible.
+func SumFloat64(n, workers int, body func(i int) float64) float64 {
+	var mu sync.Mutex
+	total := 0.0
+	ForChunks(n, workers, func(lo, hi int) {
+		local := 0.0
+		for i := lo; i < hi; i++ {
+			local += body(i)
+		}
+		mu.Lock()
+		total += local
+		mu.Unlock()
+	})
+	return total
+}
+
+// MaxInt64 reduces body over [0, n) by maximum. Returns 0 for n <= 0.
+func MaxInt64(n, workers int, body func(i int) int64) int64 {
+	if n <= 0 {
+		return 0
+	}
+	var mu sync.Mutex
+	best := body(0)
+	ForChunks(n, workers, func(lo, hi int) {
+		local := body(lo)
+		for i := lo + 1; i < hi; i++ {
+			if v := body(i); v > local {
+				local = v
+			}
+		}
+		mu.Lock()
+		if local > best {
+			best = local
+		}
+		mu.Unlock()
+	})
+	return best
+}

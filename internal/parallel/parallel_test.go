@@ -1,0 +1,123 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestForCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 0} {
+		for _, n := range []int{0, 1, 63, 64, 65, 1000, 10000} {
+			hits := make([]int32, n)
+			For(n, workers, func(i int) { atomic.AddInt32(&hits[i], 1) })
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("workers=%d n=%d index %d hit %d times", workers, n, i, h)
+				}
+			}
+		}
+	}
+}
+
+func TestForChunksDisjointCover(t *testing.T) {
+	const n = 12345
+	hits := make([]int32, n)
+	ForChunks(n, 8, func(lo, hi int) {
+		if lo < 0 || hi > n || lo >= hi {
+			t.Errorf("bad chunk [%d, %d)", lo, hi)
+		}
+		for i := lo; i < hi; i++ {
+			atomic.AddInt32(&hits[i], 1)
+		}
+	})
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d hit %d times", i, h)
+		}
+	}
+}
+
+func TestForWorkerIndexInRange(t *testing.T) {
+	const n = 10000
+	const workers = 4
+	var bad int32
+	ForWorker(n, workers, func(w, lo, hi int) {
+		if w < 0 || w >= workers {
+			atomic.AddInt32(&bad, 1)
+		}
+	})
+	if bad != 0 {
+		t.Fatalf("%d chunks saw an out-of-range worker index", bad)
+	}
+}
+
+func TestForSingleWorkerIsOrdered(t *testing.T) {
+	const n = 1000
+	var order []int
+	For(n, 1, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if i != v {
+			t.Fatalf("sequential run out of order at %d: %d", i, v)
+		}
+	}
+}
+
+func TestSumInt64(t *testing.T) {
+	const n = 100000
+	got := SumInt64(n, 8, func(i int) int64 { return int64(i) })
+	want := int64(n) * (n - 1) / 2
+	if got != want {
+		t.Fatalf("SumInt64 = %d, want %d", got, want)
+	}
+}
+
+func TestSumInt64MatchesSequentialProperty(t *testing.T) {
+	f := func(vals []int32) bool {
+		var want int64
+		for _, v := range vals {
+			want += int64(v)
+		}
+		got := SumInt64(len(vals), 4, func(i int) int64 { return int64(vals[i]) })
+		return got == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSumFloat64(t *testing.T) {
+	const n = 10000
+	got := SumFloat64(n, 4, func(i int) float64 { return 1.0 })
+	if got != n {
+		t.Fatalf("SumFloat64 = %v, want %v", got, float64(n))
+	}
+}
+
+func TestMaxInt64(t *testing.T) {
+	vals := []int64{3, -1, 7, 7, 0, 5}
+	got := MaxInt64(len(vals), 3, func(i int) int64 { return vals[i] })
+	if got != 7 {
+		t.Fatalf("MaxInt64 = %d, want 7", got)
+	}
+	if MaxInt64(0, 3, func(i int) int64 { return 1 }) != 0 {
+		t.Fatal("MaxInt64 of empty range should be 0")
+	}
+}
+
+func TestForZeroAndNegativeN(t *testing.T) {
+	called := false
+	For(0, 4, func(i int) { called = true })
+	For(-5, 4, func(i int) { called = true })
+	if called {
+		t.Fatal("body called for empty range")
+	}
+}
+
+func BenchmarkForOverhead(b *testing.B) {
+	var sink int64
+	for i := 0; i < b.N; i++ {
+		sink += SumInt64(1<<16, 0, func(j int) int64 { return int64(j & 1) })
+	}
+	_ = sink
+}

@@ -1,0 +1,64 @@
+// Package schemes implements every lossy compression scheme of the paper's
+// Table 2 as Slim Graph compression kernels on top of internal/core:
+//
+//   - random uniform edge sampling (§4.2.2) — edge kernel
+//   - spectral sparsification, log n and average-degree Υ variants
+//     (§4.2.1) — edge kernel
+//   - Triangle Reduction: p-1, p-2, Edge-Once, Count-Triangles, max-weight
+//     (MST-preserving), and collapse variants (§4.3) — triangle kernels
+//   - low-degree vertex removal (§4.4) — vertex kernel
+//   - O(k)-spanners via low-diameter decomposition (§4.5.3) — subgraph
+//     kernel
+//
+// Lossy summarization (§4.5.4) lives in internal/summarize because it is
+// the one scheme with a convergence loop and a non-graph output (summary +
+// corrections).
+//
+// Every scheme returns a Result carrying the compressed graph and the
+// bookkeeping the evaluation needs (edge reduction, timing).
+package schemes
+
+import (
+	"fmt"
+	"time"
+
+	"slimgraph/internal/graph"
+)
+
+// Result is the outcome of one compression run.
+type Result struct {
+	Scheme string // scheme name, e.g. "uniform"
+	Params string // human-readable parameter summary, e.g. "p=0.5"
+	Input  *graph.Graph
+	Output *graph.Graph
+	// VertexMap is non-nil when the scheme changed the vertex set
+	// (triangle collapse): VertexMap[old] = new vertex ID.
+	VertexMap []graph.NodeID
+	Elapsed   time.Duration
+}
+
+// CompressionRatio returns |E_compressed| / |E_original| — the coloring of
+// Figure 5.
+func (r *Result) CompressionRatio() float64 {
+	if r.Input.M() == 0 {
+		return 1
+	}
+	return float64(r.Output.M()) / float64(r.Input.M())
+}
+
+// EdgeReduction returns 1 - CompressionRatio — the y-axis of Figure 6.
+func (r *Result) EdgeReduction() float64 { return 1 - r.CompressionRatio() }
+
+// String summarizes the run.
+func (r *Result) String() string {
+	return fmt.Sprintf("%s(%s): m %d -> %d (%.1f%% reduction) in %v",
+		r.Scheme, r.Params, r.Input.M(), r.Output.M(), 100*r.EdgeReduction(), r.Elapsed)
+}
+
+func finish(scheme, params string, in, out *graph.Graph, start time.Time) *Result {
+	return &Result{
+		Scheme: scheme, Params: params,
+		Input: in, Output: out,
+		Elapsed: time.Since(start),
+	}
+}

@@ -1,0 +1,223 @@
+package schemes
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"slimgraph/internal/core"
+	"slimgraph/internal/graph"
+	"slimgraph/internal/rng"
+	"slimgraph/internal/triangles"
+	"slimgraph/internal/unionfind"
+)
+
+// TRVariant selects the Triangle Reduction flavor (§4.3).
+type TRVariant int
+
+const (
+	// TRBasic is Triangle p-x-Reduction: every triangle is sampled with
+	// probability p; a sampled triangle loses x edges chosen u.a.r.
+	// Deletions of shared edges collide, so dense regions lose fewer
+	// distinct edges than pT.
+	TRBasic TRVariant = iota
+	// TREO is Edge-Once p-1-TR: each edge is considered for removal at
+	// most once. A sampled triangle picks one edge u.a.r.; the edge is
+	// deleted only if no earlier kernel instance considered it, and the
+	// triangle's other two edges become protected ("considered") as well.
+	// This realizes §4.3's protection of edges shared by many triangles
+	// (per-edge deletion probability <= p/3 regardless of how many
+	// triangles contain it) and the §6.1 analysis; it is also what keeps
+	// the number of connected components stable in §7.2.
+	//
+	// Note: the paper's Listing 1 EO pseudocode is internally inconsistent
+	// (its else-branch is unreachable), and Fig. 6 claims EO removes more
+	// edges than TRBasic while §6.1/Table 5 require the protective
+	// semantics implemented here, under which EO removes at most as many.
+	// We follow the theory; EXPERIMENTS.md records the deviation.
+	TREO
+	// TRCT is the Count-Triangles variant of EO: the candidate edge is the
+	// one belonging to the fewest triangles (instead of a uniform pick),
+	// steering deletions toward structurally unshared edges.
+	TRCT
+	// TRMaxWeight removes the maximum-weight edge of a sampled triangle,
+	// and only when the triangle's other two edges are still present — the
+	// cycle property then guarantees the MST weight is preserved exactly
+	// (§4.3, §6.1). Exactness holds for the sequential engine (Workers=1);
+	// parallel runs preserve it up to rare races.
+	TRMaxWeight
+	// TRCollapse collapses each sampled triangle into a single vertex,
+	// shrinking the vertex set as well (§4.3 "Triangle p-Reduction by
+	// Collapse").
+	TRCollapse
+	// TREORedirect is the alternative, aggressive reading of the Edge-Once
+	// pseudocode: a sampled triangle deletes a u.a.r. edge among its
+	// not-yet-considered edges (marking only that edge), so nearly every
+	// sampled triangle removes a distinct edge. This is the semantics
+	// under which Fig. 6's "EO removes more than basic" holds, at the cost
+	// of the §6.1 guarantees; it exists for the ablation study in
+	// EXPERIMENTS.md. Use TREO for the theory-grade behaviour.
+	TREORedirect
+)
+
+func (v TRVariant) String() string {
+	switch v {
+	case TREO:
+		return "EO"
+	case TRCT:
+		return "CT"
+	case TRMaxWeight:
+		return "maxweight"
+	case TRCollapse:
+		return "collapse"
+	case TREORedirect:
+		return "EO-redirect"
+	default:
+		return "basic"
+	}
+}
+
+// TROptions configures TriangleReduction.
+type TROptions struct {
+	P       float64 // triangle sampling probability
+	X       int     // edges removed per sampled triangle (TRBasic only); 0 means 1
+	Variant TRVariant
+	Seed    uint64
+	Workers int
+}
+
+func (o TROptions) paramString() string {
+	x := o.X
+	if x == 0 {
+		x = 1
+	}
+	return fmt.Sprintf("p=%g,x=%d,variant=%s", o.P, x, o.Variant)
+}
+
+// TriangleReduction applies Triangle p-x-Reduction (§4.3) in the selected
+// variant. Work is O(m^{3/2}) for the triangle enumeration (Table 2); the
+// CT variant adds one extra enumeration to count triangles per edge.
+func TriangleReduction(g *graph.Graph, opts TROptions) *Result {
+	if opts.P < 0 || opts.P > 1 {
+		panic("schemes: TR probability must be in [0, 1]")
+	}
+	x := opts.X
+	if x == 0 {
+		x = 1
+	}
+	if x != 1 && x != 2 {
+		panic("schemes: TR removes 1 or 2 edges per triangle")
+	}
+	if x == 2 && opts.Variant != TRBasic {
+		panic("schemes: p-2-TR is only defined for the basic variant")
+	}
+	start := time.Now()
+	if opts.Variant == TRCollapse {
+		return collapseTR(g, opts, start)
+	}
+	var perEdge []int64
+	if opts.Variant == TRCT {
+		perEdge = triangles.PerEdge(g, opts.Workers)
+	}
+	sg := core.New(g, opts.Seed, opts.Workers)
+	sg.SetParam("p", opts.P)
+	sg.SetParam("x", float64(x))
+	kernel := trKernel(opts.Variant, perEdge)
+	sg.RunTriangleKernel(kernel)
+	return finish("tr", opts.paramString(), g, sg.Materialize(), start)
+}
+
+// trKernel builds the triangle kernel for the non-collapse variants —
+// these are the p-1-reduction and p-1-reduction-EO kernels of Listing 1.
+func trKernel(variant TRVariant, perEdge []int64) core.TriangleKernel {
+	return func(sg *core.SG, r *rng.Rand, t core.TriangleView) {
+		trStays := sg.Param("p")
+		if r.Float64() >= trStays {
+			return // triangle not sampled for reduction
+		}
+		switch variant {
+		case TRBasic:
+			x := 1
+			if sg.Param("x") == 2 {
+				x = 2
+			}
+			first := r.Intn(3)
+			sg.Del(t.E[first])
+			if x == 2 {
+				second := (first + 1 + r.Intn(2)) % 3
+				sg.Del(t.E[second])
+			}
+		case TREO:
+			// Pick one edge u.a.r.; delete it only if fresh, then protect
+			// the whole triangle (each edge considered at most once).
+			chosen := r.Intn(3)
+			if !sg.ConsiderOnce(t.E[chosen]) {
+				sg.Del(t.E[chosen])
+			}
+			sg.MarkConsidered(t.E[(chosen+1)%3])
+			sg.MarkConsidered(t.E[(chosen+2)%3])
+		case TREORedirect:
+			// Aggressive reading: first fresh edge in a random order dies;
+			// survivors stay fair game for other triangles.
+			first := r.Intn(3)
+			for i := 0; i < 3; i++ {
+				e := t.E[(first+i)%3]
+				if !sg.ConsiderOnce(e) {
+					sg.Del(e)
+					break
+				}
+			}
+		case TRCT:
+			// Candidate = edge with the fewest triangles; ties by ID.
+			best := 0
+			for i := 1; i < 3; i++ {
+				c, b := perEdge[t.E[i]], perEdge[t.E[best]]
+				if c < b || (c == b && t.E[i] < t.E[best]) {
+					best = i
+				}
+			}
+			if !sg.ConsiderOnce(t.E[best]) {
+				sg.Del(t.E[best])
+			}
+			sg.MarkConsidered(t.E[(best+1)%3])
+			sg.MarkConsidered(t.E[(best+2)%3])
+		case TRMaxWeight:
+			// Heaviest edge, deleted only while the triangle is still a
+			// cycle (other two edges alive) — the MST cycle property.
+			hi := 0
+			for i := 1; i < 3; i++ {
+				if t.Weights[i] > t.Weights[hi] ||
+					(t.Weights[i] == t.Weights[hi] && t.E[i] > t.E[hi]) {
+					hi = i
+				}
+			}
+			o1, o2 := t.E[(hi+1)%3], t.E[(hi+2)%3]
+			if !sg.Deleted(o1) && !sg.Deleted(o2) {
+				sg.Del(t.E[hi])
+			}
+		}
+	}
+}
+
+// collapseTR implements Triangle p-Reduction by Collapse: sampled
+// triangles are merged into supervertices via union-find, then the graph is
+// contracted (parallel edges merged, loops dropped).
+func collapseTR(g *graph.Graph, opts TROptions, start time.Time) *Result {
+	uf := unionfind.New(g.N())
+	var mu sync.Mutex
+	sg := core.New(g, opts.Seed, opts.Workers)
+	sg.SetParam("p", opts.P)
+	sg.RunTriangleKernel(func(sg *core.SG, r *rng.Rand, t core.TriangleView) {
+		if r.Float64() >= sg.Param("p") {
+			return
+		}
+		mu.Lock()
+		uf.Union(t.V[0], t.V[1])
+		uf.Union(t.V[1], t.V[2])
+		mu.Unlock()
+	})
+	contracted, remap := g.Contract(uf.Labels())
+	res := finish("tr", opts.paramString(), g, contracted, start)
+	res.VertexMap = remap
+	return res
+}

@@ -1,0 +1,44 @@
+package schemes
+
+import (
+	"time"
+
+	"slimgraph/internal/core"
+	"slimgraph/internal/graph"
+	"slimgraph/internal/rng"
+)
+
+// LowDegree implements the single-vertex kernel of §4.4 (Listing 1 lines
+// 24-25): vertices of degree zero or one are removed. Degree-1 vertices
+// contribute no shortest paths between higher-degree vertices, so the
+// betweenness centrality of all remaining vertices is preserved exactly.
+//
+// The vertex set is kept (removed vertices become isolated) so per-vertex
+// outputs stay aligned; callers that want a smaller vertex set can Compact
+// the result.
+func LowDegree(g *graph.Graph, workers int) *Result {
+	start := time.Now()
+	sg := core.New(g, 0, workers)
+	sg.RunVertexKernel(func(sg *core.SG, r *rng.Rand, v core.VertexView) {
+		if v.Deg == 0 || v.Deg == 1 {
+			sg.DelVertex(v.ID)
+		}
+	})
+	return finish("lowdegree", "deg<=1", g, sg.Materialize(), start)
+}
+
+// LowDegreeIterative peels degree <= 1 vertices to a fixpoint (removing a
+// leaf can expose a new leaf). This is the natural extension the paper's
+// kernel invites; it reduces trees to nothing while leaving the 2-core
+// intact.
+func LowDegreeIterative(g *graph.Graph, workers int) *Result {
+	start := time.Now()
+	cur := g
+	for {
+		res := LowDegree(cur, workers)
+		if res.Output.M() == cur.M() {
+			return finish("lowdegree-iter", "deg<=1,fixpoint", g, res.Output, start)
+		}
+		cur = res.Output
+	}
+}

@@ -1,0 +1,157 @@
+package spectral
+
+import (
+	"math"
+	"testing"
+
+	"slimgraph/internal/gen"
+	"slimgraph/internal/graph"
+	"slimgraph/internal/rng"
+)
+
+func TestLaplacianMatVecConstantVectorIsZero(t *testing.T) {
+	// L * 1 = 0 for any graph: the Laplacian nullspace contains the
+	// all-ones vector.
+	g := gen.RMAT(8, 8, 0.57, 0.19, 0.19, 3)
+	x := make([]float64, g.N())
+	y := make([]float64, g.N())
+	for i := range x {
+		x[i] = 3.7
+	}
+	LaplacianMatVec(g, x, y, 2)
+	for i, v := range y {
+		if math.Abs(v) > 1e-9 {
+			t.Fatalf("y[%d] = %v, want 0", i, v)
+		}
+	}
+}
+
+func TestQuadraticFormMatchesMatVec(t *testing.T) {
+	g := gen.WithUniformWeights(gen.ErdosRenyi(100, 400, 5), 1, 3, 6)
+	r := rng.New(7)
+	x := make([]float64, g.N())
+	for i := range x {
+		x[i] = r.Float64() - 0.5
+	}
+	y := make([]float64, g.N())
+	LaplacianMatVec(g, x, y, 1)
+	dot := 0.0
+	for i := range x {
+		dot += x[i] * y[i]
+	}
+	qf := QuadraticForm(g, x)
+	if math.Abs(dot-qf) > 1e-9*math.Abs(qf) {
+		t.Fatalf("x^T L x: matvec %v, edgewise %v", dot, qf)
+	}
+}
+
+func TestMaxEigenvalueKnown(t *testing.T) {
+	// Complete graph K_n Laplacian has eigenvalue n (multiplicity n-1).
+	g := gen.Complete(10)
+	lam := MaxEigenvalue(g, 200, 1, 1)
+	if math.Abs(lam-10) > 1e-6 {
+		t.Fatalf("K10 lambda_max = %v, want 10", lam)
+	}
+	// Path P2 (single edge): eigenvalues {0, 2}.
+	p := gen.Path(2)
+	lam = MaxEigenvalue(p, 200, 1, 1)
+	if math.Abs(lam-2) > 1e-6 {
+		t.Fatalf("P2 lambda_max = %v, want 2", lam)
+	}
+}
+
+func TestMaxEigenvalueBoundedByTwiceMaxDegree(t *testing.T) {
+	// lambda_max <= 2 * max weighted degree for any graph.
+	g := gen.BarabasiAlbert(500, 3, 9)
+	lam := MaxEigenvalue(g, 100, 2, 2)
+	bound := 2 * float64(g.MaxDegree())
+	if lam > bound+1e-6 {
+		t.Fatalf("lambda %v exceeds bound %v", lam, bound)
+	}
+	if lam < float64(g.MaxDegree()) {
+		t.Fatalf("lambda %v below max degree %d (impossible for Laplacian)", lam, g.MaxDegree())
+	}
+}
+
+func TestQuadFormErrorIdenticalGraphsIsZero(t *testing.T) {
+	g := gen.ErdosRenyi(200, 800, 3)
+	if err := QuadFormError(g, g, 10, 1); err != 0 {
+		t.Fatalf("self error %v", err)
+	}
+}
+
+func TestQuadFormErrorDetectsEdgeLoss(t *testing.T) {
+	g := gen.ErdosRenyi(100, 500, 3)
+	// Remove half the edges with no reweighting: big spectral error.
+	h := g.FilterEdges(func(e graph.EdgeID) bool { return e%2 == 0 }, nil)
+	err := QuadFormError(g, h, 20, 2)
+	if err < 0.2 {
+		t.Fatalf("halved graph spectral error %v suspiciously low", err)
+	}
+}
+
+func TestEffectiveResistanceProxy(t *testing.T) {
+	g := gen.Star(5) // hub degree 4, leaves degree 1
+	e, _ := g.FindEdge(0, 1)
+	if p := EffectiveResistanceProxy(g, e); p != 1 {
+		t.Fatalf("star edge proxy %v, want 1 (min degree 1)", p)
+	}
+	k := gen.Complete(5) // all degrees 4
+	e2, _ := k.FindEdge(0, 1)
+	if p := EffectiveResistanceProxy(k, e2); p != 0.25 {
+		t.Fatalf("K5 edge proxy %v, want 0.25", p)
+	}
+}
+
+func TestLowRankPerfectOnFullRank(t *testing.T) {
+	// A clique block is rank-revealing enough: with rank == clusterSize the
+	// reconstruction inside each cluster is near-exact, so errors are only
+	// the inter-cluster losses.
+	g := gen.Complete(12)
+	res := LowRankApprox(g, 12, 12, 1)
+	if res.FalseNegatives != 0 || res.FalsePositives != 0 {
+		t.Fatalf("full-rank single-cluster reconstruction not exact: %+v", res)
+	}
+	if res.ErrorRate() != 0 {
+		t.Fatalf("error rate %v", res.ErrorRate())
+	}
+}
+
+func TestLowRankLosesInterClusterEdges(t *testing.T) {
+	// Two cliques joined by one edge, clusters split exactly at the seam.
+	edges := []graph.Edge{}
+	for u := 0; u < 5; u++ {
+		for v := u + 1; v < 5; v++ {
+			edges = append(edges, graph.E(graph.NodeID(u), graph.NodeID(v)))
+			edges = append(edges, graph.E(graph.NodeID(u+5), graph.NodeID(v+5)))
+		}
+	}
+	edges = append(edges, graph.E(0, 5))
+	g := graph.FromEdges(10, false, edges)
+	res := LowRankApprox(g, 5, 5, 1)
+	if res.FalseNegatives < 1 {
+		t.Fatalf("inter-cluster edge not counted lost: %+v", res)
+	}
+}
+
+func TestLowRankLowRankHasHighErrorOnSparse(t *testing.T) {
+	// The paper's observation: clustered SVD at small rank has very high
+	// error on sparse irregular graphs.
+	g := gen.RMAT(9, 4, 0.57, 0.19, 0.19, 3)
+	res := LowRankApprox(g, 64, 2, 1)
+	if res.ErrorRate() < 0.3 {
+		t.Fatalf("low-rank error rate %v unexpectedly low", res.ErrorRate())
+	}
+	if res.StorageFloats <= 0 || res.Clusters <= 0 {
+		t.Fatalf("bad bookkeeping: %+v", res)
+	}
+}
+
+func BenchmarkQuadFormErrorRMAT12(b *testing.B) {
+	g := gen.RMAT(12, 8, 0.57, 0.19, 0.19, 1)
+	h := g.FilterEdges(func(e graph.EdgeID) bool { return e%2 == 0 }, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		QuadFormError(g, h, 8, uint64(i))
+	}
+}

@@ -1,0 +1,168 @@
+package summarize
+
+import (
+	"testing"
+
+	"slimgraph/internal/gen"
+	"slimgraph/internal/graph"
+)
+
+func sameGraph(a, b *graph.Graph) bool {
+	if a.N() != b.N() || a.M() != b.M() {
+		return false
+	}
+	for e := 0; e < a.M(); e++ {
+		u, v := a.EdgeEndpoints(graph.EdgeID(e))
+		if !b.HasEdge(u, v) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestLosslessRoundTrip(t *testing.T) {
+	for _, g := range []*graph.Graph{
+		gen.Complete(8),
+		gen.ErdosRenyi(100, 300, 1),
+		gen.PlantedPartition(120, 12, 0.7, 30, 2),
+		gen.Star(15),
+	} {
+		s := Summarize(g, Options{Iterations: 5, Epsilon: 0, Seed: 3, Workers: 2})
+		dec := s.Decode()
+		if !sameGraph(g, dec) {
+			t.Fatalf("%v: lossless decode differs: m %d -> %d", g, g.M(), dec.M())
+		}
+	}
+}
+
+func TestCliqueCollapsesToOneSupervertex(t *testing.T) {
+	// In a clique all neighborhoods are near-identical: summarization must
+	// merge aggressively and store far fewer records than m.
+	g := gen.Complete(20) // m = 190
+	s := Summarize(g, Options{Iterations: 8, Seed: 5, Workers: 2})
+	if s.Supervertices > 4 {
+		t.Fatalf("clique kept %d supervertices", s.Supervertices)
+	}
+	if s.StorageEdges() >= g.M()/2 {
+		t.Fatalf("clique summary stores %d records for m=%d", s.StorageEdges(), g.M())
+	}
+}
+
+func TestPlantedCommunitiesCompress(t *testing.T) {
+	g := gen.PlantedPartition(200, 20, 0.9, 20, 7)
+	s := Summarize(g, Options{Iterations: 8, Seed: 9, Workers: 2})
+	if s.CompressionRatio() >= 1 {
+		t.Fatalf("no compression: ratio %v (%s)", s.CompressionRatio(), s)
+	}
+	if !sameGraph(g, s.Decode()) {
+		t.Fatal("lossless decode differs")
+	}
+}
+
+func TestEpsilonBoundsEdgeError(t *testing.T) {
+	g := gen.PlantedPartition(150, 15, 0.8, 50, 11)
+	eps := 0.2
+	s := Summarize(g, Options{Iterations: 6, Epsilon: eps, Seed: 13, Workers: 2})
+	dec := s.Decode()
+	// Table 3: lossy ε-summary has m ± 2εm edges.
+	diff := float64(dec.M() - g.M())
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > 2*eps*float64(g.M()) {
+		t.Fatalf("edge count error %v exceeds 2εm = %v", diff, 2*eps*float64(g.M()))
+	}
+}
+
+func TestEpsilonBoundsNeighborhoodError(t *testing.T) {
+	g := gen.PlantedPartition(150, 15, 0.8, 50, 17)
+	eps := 0.3
+	s := Summarize(g, Options{Iterations: 6, Epsilon: eps, Seed: 19, Workers: 2})
+	dec := s.Decode()
+	for v := 0; v < g.N(); v++ {
+		id := graph.NodeID(v)
+		// Symmetric difference of neighborhoods.
+		orig := map[graph.NodeID]bool{}
+		for _, w := range g.Neighbors(id) {
+			orig[w] = true
+		}
+		symDiff := 0
+		for _, w := range dec.Neighbors(id) {
+			if !orig[w] {
+				symDiff++
+			} else {
+				delete(orig, w)
+			}
+		}
+		symDiff += len(orig)
+		budget := int(eps*float64(g.Degree(id))) + 1
+		if symDiff > budget {
+			t.Fatalf("vertex %d neighborhood error %d exceeds budget %d", v, symDiff, budget)
+		}
+	}
+}
+
+func TestEpsilonZeroDropsNothing(t *testing.T) {
+	g := gen.ErdosRenyi(80, 240, 23)
+	s := Summarize(g, Options{Iterations: 4, Epsilon: 0, Seed: 29, Workers: 1})
+	if s.DroppedPlus != 0 || s.DroppedMinus != 0 {
+		t.Fatalf("lossless run dropped corrections: +%d -%d", s.DroppedPlus, s.DroppedMinus)
+	}
+}
+
+func TestLargerEpsilonSmallerStorage(t *testing.T) {
+	g := gen.PlantedPartition(200, 20, 0.7, 100, 31)
+	s0 := Summarize(g, Options{Iterations: 6, Epsilon: 0, Seed: 37, Workers: 2})
+	s3 := Summarize(g, Options{Iterations: 6, Epsilon: 0.3, Seed: 37, Workers: 2})
+	if s3.StorageEdges() > s0.StorageEdges() {
+		t.Fatalf("eps=0.3 stores %d > eps=0 %d", s3.StorageEdges(), s0.StorageEdges())
+	}
+}
+
+func TestDeterministicPerSeed(t *testing.T) {
+	g := gen.PlantedPartition(100, 10, 0.8, 40, 41)
+	a := Summarize(g, Options{Iterations: 5, Seed: 43, Workers: 1})
+	b := Summarize(g, Options{Iterations: 5, Seed: 43, Workers: 4})
+	if a.Supervertices != b.Supervertices || a.StorageEdges() != b.StorageEdges() {
+		t.Fatalf("worker count changed summary: %s vs %s", a, b)
+	}
+}
+
+func TestSuperOfIsRepresentativeMinID(t *testing.T) {
+	g := gen.Complete(10)
+	s := Summarize(g, Options{Iterations: 6, Seed: 47, Workers: 1})
+	for v, rep := range s.SuperOf {
+		if rep > graph.NodeID(v) {
+			t.Fatalf("representative %d exceeds member %d", rep, v)
+		}
+		if s.SuperOf[rep] != rep {
+			t.Fatalf("representative %d not self-mapped", rep)
+		}
+	}
+}
+
+func TestStringNonEmpty(t *testing.T) {
+	g := gen.Cycle(6)
+	s := Summarize(g, Options{Iterations: 2, Seed: 1, Workers: 1})
+	if s.String() == "" || s.Elapsed <= 0 {
+		t.Fatal("bad metadata")
+	}
+}
+
+func BenchmarkSummarizePlanted(b *testing.B) {
+	g := gen.PlantedPartition(500, 25, 0.6, 300, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Summarize(g, Options{Iterations: 5, Epsilon: 0.1, Seed: uint64(i)})
+	}
+}
+
+func TestDirectedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for directed graph")
+		}
+	}()
+	d := graph.FromEdges(3, true, []graph.Edge{graph.E(0, 1), graph.E(1, 2)})
+	Summarize(d, Options{Iterations: 1, Seed: 1})
+}

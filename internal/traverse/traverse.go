@@ -1,0 +1,285 @@
+// Package traverse implements graph traversals: parallel level-synchronous
+// BFS, Dijkstra and delta-stepping SSSP, and diameter/average-path-length
+// estimators.
+//
+// These are the stage-2 algorithms of the Slim Graph pipeline — the paper
+// runs BFS (Graph500-style, with predecessor output) and SSSP over
+// compressed graphs and compares the outcomes against the originals.
+package traverse
+
+import (
+	"container/heap"
+	"math"
+	"sync/atomic"
+
+	"slimgraph/internal/graph"
+	"slimgraph/internal/parallel"
+)
+
+// BFSResult holds the traversal tree and level of every vertex.
+// Parent[root] == root; unreachable vertices have Parent == -1 and
+// Dist == -1. Parent is the Graph500 "predecessor" output the paper's BFS
+// metric is defined over.
+type BFSResult struct {
+	Parent []graph.NodeID
+	Dist   []int32
+}
+
+// Reached returns the number of vertices reachable from the root (including
+// the root itself).
+func (r *BFSResult) Reached() int {
+	c := 0
+	for _, d := range r.Dist {
+		if d >= 0 {
+			c++
+		}
+	}
+	return c
+}
+
+// Ecc returns the eccentricity of the root within its component: the
+// maximum finite distance.
+func (r *BFSResult) Ecc() int32 {
+	var max int32
+	for _, d := range r.Dist {
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// BFS runs a level-synchronous parallel breadth-first search from root.
+// Vertices are claimed with CAS on the parent array, so with workers > 1
+// parent choices among same-level candidates are nondeterministic (levels
+// are always exact). workers <= 0 uses all CPUs; workers == 1 is fully
+// deterministic.
+func BFS(g *graph.Graph, root graph.NodeID, workers int) *BFSResult {
+	n := g.N()
+	parent := make([]graph.NodeID, n)
+	dist := make([]int32, n)
+	for i := range parent {
+		parent[i] = -1
+		dist[i] = -1
+	}
+	parent[root] = root
+	dist[root] = 0
+	frontier := []graph.NodeID{root}
+	level := int32(0)
+	for len(frontier) > 0 {
+		level++
+		nextPer := make([][]graph.NodeID, parallel.DefaultWorkers())
+		parallel.ForWorker(len(frontier), workers, func(w, lo, hi int) {
+			local := nextPer[w]
+			for i := lo; i < hi; i++ {
+				u := frontier[i]
+				for _, v := range g.Neighbors(u) {
+					if atomic.CompareAndSwapInt32(&parent[v], -1, u) {
+						dist[v] = level
+						local = append(local, v)
+					}
+				}
+			}
+			nextPer[w] = local
+		})
+		frontier = frontier[:0]
+		for _, part := range nextPer {
+			frontier = append(frontier, part...)
+		}
+	}
+	return &BFSResult{Parent: parent, Dist: dist}
+}
+
+// Inf is the distance assigned to unreachable vertices by SSSP routines.
+var Inf = math.Inf(1)
+
+// Dijkstra computes single-source shortest path distances with a binary
+// heap. Edge weights must be non-negative; unweighted graphs use weight 1.
+// The returned parent array mirrors BFS (-1 when unreachable).
+func Dijkstra(g *graph.Graph, root graph.NodeID) (dist []float64, parent []graph.NodeID) {
+	n := g.N()
+	dist = make([]float64, n)
+	parent = make([]graph.NodeID, n)
+	for i := range dist {
+		dist[i] = Inf
+		parent[i] = -1
+	}
+	dist[root] = 0
+	parent[root] = root
+	pq := &distHeap{items: []distItem{{v: root, d: 0}}}
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(distItem)
+		if it.d > dist[it.v] {
+			continue // stale entry
+		}
+		nbrs, eids := g.NeighborEdges(it.v)
+		for i, v := range nbrs {
+			nd := it.d + g.EdgeWeight(eids[i])
+			if nd < dist[v] {
+				dist[v] = nd
+				parent[v] = it.v
+				heap.Push(pq, distItem{v: v, d: nd})
+			}
+		}
+	}
+	return dist, parent
+}
+
+// DeltaStepping computes SSSP distances with bucketed relaxation (Meyer &
+// Sanders), the algorithm GAPBS uses. delta <= 0 picks a heuristic bucket
+// width (max weight / average degree). Relaxations within a bucket run in
+// parallel; distances are exact for non-negative weights.
+func DeltaStepping(g *graph.Graph, root graph.NodeID, delta float64, workers int) []float64 {
+	n := g.N()
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = Inf
+	}
+	dist[root] = 0
+	if delta <= 0 {
+		maxW := 1.0
+		for e := 0; e < g.M(); e++ {
+			if w := g.EdgeWeight(graph.EdgeID(e)); w > maxW {
+				maxW = w
+			}
+		}
+		avg := g.AvgDegree()
+		if avg < 1 {
+			avg = 1
+		}
+		delta = maxW / avg
+		if delta <= 0 {
+			delta = 1
+		}
+	}
+	distBits := make([]uint64, n)
+	distBits[root] = math.Float64bits(0)
+	for i := range distBits {
+		if i != int(root) {
+			distBits[i] = math.Float64bits(Inf)
+		}
+	}
+	load := func(v graph.NodeID) float64 {
+		return math.Float64frombits(atomic.LoadUint64(&distBits[v]))
+	}
+	// relax attempts to lower v's distance to nd; returns true if it won.
+	relax := func(v graph.NodeID, nd float64) bool {
+		for {
+			old := atomic.LoadUint64(&distBits[v])
+			if math.Float64frombits(old) <= nd {
+				return false
+			}
+			if atomic.CompareAndSwapUint64(&distBits[v], old, math.Float64bits(nd)) {
+				return true
+			}
+		}
+	}
+	bucketOf := func(d float64) int { return int(d / delta) }
+	buckets := map[int][]graph.NodeID{0: {root}}
+	for len(buckets) > 0 {
+		// Process the lowest-indexed non-empty bucket.
+		cur := -1
+		for b := range buckets {
+			if cur < 0 || b < cur {
+				cur = b
+			}
+		}
+		frontier := buckets[cur]
+		delete(buckets, cur)
+		for len(frontier) > 0 {
+			type relaxed struct {
+				v graph.NodeID
+				b int
+			}
+			per := make([][]relaxed, parallel.DefaultWorkers())
+			parallel.ForWorker(len(frontier), workers, func(w, lo, hi int) {
+				local := per[w]
+				for i := lo; i < hi; i++ {
+					u := frontier[i]
+					du := load(u)
+					if bucketOf(du) < cur {
+						continue // settled in an earlier bucket
+					}
+					nbrs, eids := g.NeighborEdges(u)
+					for j, v := range nbrs {
+						nd := du + g.EdgeWeight(eids[j])
+						if relax(v, nd) {
+							local = append(local, relaxed{v: v, b: bucketOf(nd)})
+						}
+					}
+				}
+				per[w] = local
+			})
+			frontier = frontier[:0]
+			for _, part := range per {
+				for _, r := range part {
+					if r.b == cur {
+						frontier = append(frontier, r.v)
+					} else {
+						buckets[r.b] = append(buckets[r.b], r.v)
+					}
+				}
+			}
+		}
+	}
+	for i := range dist {
+		dist[i] = math.Float64frombits(distBits[i])
+	}
+	return dist
+}
+
+// DoubleSweepDiameter returns a lower bound on the (unweighted) diameter:
+// run BFS from start, then BFS from the farthest vertex found. On trees the
+// bound is exact; on general graphs it is a standard tight heuristic.
+func DoubleSweepDiameter(g *graph.Graph, start graph.NodeID, workers int) int32 {
+	first := BFS(g, start, workers)
+	far := start
+	var best int32
+	for v, d := range first.Dist {
+		if d > best {
+			best = d
+			far = graph.NodeID(v)
+		}
+	}
+	second := BFS(g, far, workers)
+	return second.Ecc()
+}
+
+// AveragePathLength estimates the mean finite shortest-path length by
+// running BFS from the given sample roots and averaging finite distances.
+func AveragePathLength(g *graph.Graph, roots []graph.NodeID, workers int) float64 {
+	var sum float64
+	var count int64
+	for _, r := range roots {
+		res := BFS(g, r, workers)
+		for v, d := range res.Dist {
+			if d > 0 && graph.NodeID(v) != r {
+				sum += float64(d)
+				count++
+			}
+		}
+	}
+	if count == 0 {
+		return 0
+	}
+	return sum / float64(count)
+}
+
+type distItem struct {
+	v graph.NodeID
+	d float64
+}
+
+type distHeap struct{ items []distItem }
+
+func (h *distHeap) Len() int           { return len(h.items) }
+func (h *distHeap) Less(i, j int) bool { return h.items[i].d < h.items[j].d }
+func (h *distHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *distHeap) Push(x interface{}) { h.items = append(h.items, x.(distItem)) }
+func (h *distHeap) Pop() interface{} {
+	old := h.items
+	n := len(old)
+	it := old[n-1]
+	h.items = old[:n-1]
+	return it
+}

@@ -1,0 +1,187 @@
+package triangles
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"slimgraph/internal/gen"
+	"slimgraph/internal/graph"
+	"slimgraph/internal/rng"
+)
+
+func TestCountSmallKnown(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		want int64
+	}{
+		{"triangle", gen.Complete(3), 1},
+		{"K4", gen.Complete(4), 4},
+		{"K5", gen.Complete(5), 10},
+		{"K6", gen.Complete(6), 20},
+		{"path", gen.Path(10), 0},
+		{"cycle4", gen.Cycle(4), 0},
+		{"star", gen.Star(20), 0},
+		{"grid-diag", gen.Grid2D(3, 3, true), 8},
+	}
+	for _, c := range cases {
+		if got := Count(c.g, 1); got != c.want {
+			t.Errorf("%s: Count = %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+// Reference O(n^3) counter for cross-checking.
+func naiveCount(g *graph.Graph) int64 {
+	var count int64
+	n := graph.NodeID(g.N())
+	for u := graph.NodeID(0); u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if !g.HasEdge(u, v) {
+				continue
+			}
+			for w := v + 1; w < n; w++ {
+				if g.HasEdge(u, w) && g.HasEdge(v, w) {
+					count++
+				}
+			}
+		}
+	}
+	return count
+}
+
+func TestCountMatchesNaiveProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 20
+		edges := make([]graph.Edge, 60)
+		for i := range edges {
+			edges[i] = graph.Edge{U: graph.NodeID(r.Intn(n)), V: graph.NodeID(r.Intn(n)), W: 1}
+		}
+		g := graph.FromEdges(n, false, edges)
+		return Count(g, 1) == naiveCount(g)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	g := gen.RMAT(10, 8, 0.57, 0.19, 0.19, 3)
+	seq := Count(g, 1)
+	par := Count(g, 8)
+	if seq != par {
+		t.Fatalf("sequential %d != parallel %d", seq, par)
+	}
+}
+
+func TestTriangleEdgesAreConsistent(t *testing.T) {
+	g := gen.RMAT(8, 6, 0.57, 0.19, 0.19, 5)
+	for _, tr := range List(g) {
+		// E[0]: V0-V1, E[1]: V0-V2, E[2]: V1-V2
+		pairs := [3][2]graph.NodeID{
+			{tr.V[0], tr.V[1]}, {tr.V[0], tr.V[2]}, {tr.V[1], tr.V[2]},
+		}
+		for i, p := range pairs {
+			e, ok := g.FindEdge(p[0], p[1])
+			if !ok {
+				t.Fatalf("triangle %v: edge %v missing", tr.V, p)
+			}
+			if e != tr.E[i] {
+				t.Fatalf("triangle %v: edge id %d, want %d", tr.V, tr.E[i], e)
+			}
+		}
+	}
+}
+
+func TestEachTriangleOnce(t *testing.T) {
+	g := gen.PlantedPartition(120, 12, 0.6, 40, 7)
+	seen := map[[3]graph.NodeID]int{}
+	for _, tr := range List(g) {
+		v := tr.V
+		// Normalize vertex order.
+		if v[0] > v[1] {
+			v[0], v[1] = v[1], v[0]
+		}
+		if v[1] > v[2] {
+			v[1], v[2] = v[2], v[1]
+		}
+		if v[0] > v[1] {
+			v[0], v[1] = v[1], v[0]
+		}
+		seen[v]++
+	}
+	for v, c := range seen {
+		if c != 1 {
+			t.Fatalf("triangle %v emitted %d times", v, c)
+		}
+	}
+	if int64(len(seen)) != Count(g, 1) {
+		t.Fatalf("distinct %d != count %d", len(seen), Count(g, 1))
+	}
+}
+
+func TestPerVertexSumsToThreeT(t *testing.T) {
+	g := gen.RMAT(9, 8, 0.57, 0.19, 0.19, 11)
+	pv := PerVertex(g, 4)
+	var sum int64
+	for _, c := range pv {
+		sum += c
+	}
+	if want := 3 * Count(g, 1); sum != want {
+		t.Fatalf("per-vertex sum %d, want %d", sum, want)
+	}
+}
+
+func TestPerEdgeSumsToThreeT(t *testing.T) {
+	g := gen.RMAT(9, 8, 0.57, 0.19, 0.19, 13)
+	pe := PerEdge(g, 4)
+	var sum int64
+	for _, c := range pe {
+		sum += c
+	}
+	if want := 3 * Count(g, 1); sum != want {
+		t.Fatalf("per-edge sum %d, want %d", sum, want)
+	}
+}
+
+func TestAveragePerVertex(t *testing.T) {
+	// K4: 4 triangles, each vertex in 3 of them -> average 3.
+	if got := AveragePerVertex(gen.Complete(4), 1); got != 3 {
+		t.Fatalf("K4 average = %v, want 3", got)
+	}
+}
+
+func TestCountApproxNearExact(t *testing.T) {
+	g := gen.PlantedPartition(400, 20, 0.5, 200, 17)
+	exact := float64(Count(g, 4))
+	est := CountApprox(g, 0.7, 42, 4)
+	if exact == 0 {
+		t.Skip("degenerate graph")
+	}
+	if math.Abs(est-exact)/exact > 0.35 {
+		t.Fatalf("estimate %.0f too far from exact %.0f", est, exact)
+	}
+	// p = 1 must be exact.
+	if got := CountApprox(g, 1, 1, 4); got != exact {
+		t.Fatalf("p=1 estimate %v != exact %v", got, exact)
+	}
+}
+
+func TestDirectedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for directed graph")
+		}
+	}()
+	Count(gen.RMATDirected(5, 4, 0.57, 0.19, 0.19, 1), 1)
+}
+
+func BenchmarkCountRMAT12(b *testing.B) {
+	g := gen.RMAT(12, 16, 0.57, 0.19, 0.19, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Count(g, 0)
+	}
+}

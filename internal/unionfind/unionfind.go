@@ -1,0 +1,64 @@
+// Package unionfind implements a disjoint-set forest with path halving and
+// union by size. It underlies connected components, Kruskal's MST, and the
+// triangle-collapse compression scheme.
+package unionfind
+
+// UF is a disjoint-set forest over elements [0, n).
+type UF struct {
+	parent []int32
+	size   []int32
+	sets   int
+}
+
+// New returns a forest of n singleton sets.
+func New(n int) *UF {
+	u := &UF{parent: make([]int32, n), size: make([]int32, n), sets: n}
+	for i := range u.parent {
+		u.parent[i] = int32(i)
+		u.size[i] = 1
+	}
+	return u
+}
+
+// Find returns the representative of x's set, halving the path as it walks.
+func (u *UF) Find(x int32) int32 {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]]
+		x = u.parent[x]
+	}
+	return x
+}
+
+// Union merges the sets of x and y and reports whether they were distinct.
+func (u *UF) Union(x, y int32) bool {
+	rx, ry := u.Find(x), u.Find(y)
+	if rx == ry {
+		return false
+	}
+	if u.size[rx] < u.size[ry] {
+		rx, ry = ry, rx
+	}
+	u.parent[ry] = rx
+	u.size[rx] += u.size[ry]
+	u.sets--
+	return true
+}
+
+// Same reports whether x and y are in the same set.
+func (u *UF) Same(x, y int32) bool { return u.Find(x) == u.Find(y) }
+
+// Sets returns the current number of disjoint sets.
+func (u *UF) Sets() int { return u.sets }
+
+// SetSize returns the size of x's set.
+func (u *UF) SetSize(x int32) int32 { return u.size[u.Find(x)] }
+
+// Labels returns a slice mapping every element to its representative. The
+// result is a valid Contract mapping for graph.Graph.
+func (u *UF) Labels() []int32 {
+	out := make([]int32, len(u.parent))
+	for i := range out {
+		out[i] = u.Find(int32(i))
+	}
+	return out
+}

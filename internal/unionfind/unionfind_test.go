@@ -1,0 +1,95 @@
+package unionfind
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBasic(t *testing.T) {
+	u := New(5)
+	if u.Sets() != 5 {
+		t.Fatalf("Sets = %d", u.Sets())
+	}
+	if !u.Union(0, 1) {
+		t.Fatal("Union(0,1) reported already merged")
+	}
+	if u.Union(1, 0) {
+		t.Fatal("repeat Union reported a merge")
+	}
+	if !u.Same(0, 1) || u.Same(0, 2) {
+		t.Fatal("Same wrong")
+	}
+	if u.Sets() != 4 {
+		t.Fatalf("Sets = %d, want 4", u.Sets())
+	}
+	if u.SetSize(1) != 2 {
+		t.Fatalf("SetSize = %d", u.SetSize(1))
+	}
+}
+
+func TestChainMerge(t *testing.T) {
+	const n = 1000
+	u := New(n)
+	for i := int32(0); i+1 < n; i++ {
+		u.Union(i, i+1)
+	}
+	if u.Sets() != 1 {
+		t.Fatalf("Sets = %d", u.Sets())
+	}
+	if u.SetSize(0) != n {
+		t.Fatalf("SetSize = %d", u.SetSize(0))
+	}
+	if !u.Same(0, n-1) {
+		t.Fatal("endpoints not merged")
+	}
+}
+
+func TestLabelsConsistent(t *testing.T) {
+	u := New(10)
+	u.Union(0, 1)
+	u.Union(2, 3)
+	u.Union(1, 3)
+	labels := u.Labels()
+	if labels[0] != labels[1] || labels[1] != labels[2] || labels[2] != labels[3] {
+		t.Fatalf("labels %v: merged elements differ", labels)
+	}
+	if labels[0] == labels[4] {
+		t.Fatalf("labels %v: unmerged elements share a label", labels)
+	}
+}
+
+// Property: Same is an equivalence relation consistent with the union
+// history (transitivity via a reference implementation).
+func TestEquivalenceProperty(t *testing.T) {
+	f := func(pairs []uint16) bool {
+		const n = 64
+		u := New(n)
+		ref := make([]int, n) // naive labeling
+		for i := range ref {
+			ref[i] = i
+		}
+		for _, p := range pairs {
+			a, b := int32(p%n), int32((p/n)%n)
+			u.Union(a, b)
+			la, lb := ref[a], ref[b]
+			if la != lb {
+				for i := range ref {
+					if ref[i] == lb {
+						ref[i] = la
+					}
+				}
+			}
+		}
+		for i := int32(0); i < n; i++ {
+			for j := int32(0); j < n; j++ {
+				if u.Same(i, j) != (ref[i] == ref[j]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
