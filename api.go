@@ -114,14 +114,146 @@ func WithUniformWeights(g *Graph, lo, hi float64, seed uint64) *Graph {
 	return gen.WithUniformWeights(g, lo, hi, seed)
 }
 
-// Compression schemes (Table 2 of the paper). All return a Result with the
-// compressed graph and bookkeeping; all are deterministic per seed and
-// independent of the worker count (workers <= 0 means all CPUs).
+// Compression schemes (Table 2 of the paper). All are deterministic per
+// seed and independent of the worker count (workers <= 0 means all CPUs).
+//
+// The primary surface is the Scheme interface plus the registry: build
+// schemes with ParseScheme ("uniform:p=0.5", "tr-eo:p=0.8|spanner:k=8") or
+// the New* constructors with functional options, then Apply them to any
+// graph. The free functions further down are the original flat API, kept as
+// thin wrappers.
 
 // Result is the outcome of one compression run.
 type Result = schemes.Result
 
+// Scheme is a configured compression scheme; every registered scheme and
+// every Pipeline implements it.
+type Scheme = schemes.Scheme
+
+// Pipeline chains schemes; it is itself a Scheme.
+type Pipeline = schemes.Pipeline
+
+// SchemeOption is a functional option for scheme constructors.
+type SchemeOption = schemes.Option
+
+// SchemeInfo describes one registry entry.
+type SchemeInfo = schemes.Registration
+
+// Functional options shared by the scheme constructors; see each
+// internal/schemes option for semantics and which schemes accept it.
+
+// WithSeed sets the random seed (every scheme is deterministic per seed).
+func WithSeed(seed uint64) SchemeOption { return schemes.WithSeed(seed) }
+
+// WithWorkers sets the parallelism (<= 0 means all CPUs).
+func WithWorkers(workers int) SchemeOption { return schemes.WithWorkers(workers) }
+
+// WithProbability sets the scheme's probability parameter p.
+func WithProbability(p float64) SchemeOption { return schemes.WithProbability(p) }
+
+// WithKeepProbability is WithProbability under the sampling schemes' name.
+func WithKeepProbability(p float64) SchemeOption { return schemes.WithKeepProbability(p) }
+
+// WithEdgesPerTriangle sets x for Triangle p-x-Reduction (1 or 2).
+func WithEdgesPerTriangle(x int) SchemeOption { return schemes.WithEdgesPerTriangle(x) }
+
+// WithTRVariant selects the Triangle Reduction flavor.
+func WithTRVariant(v schemes.TRVariant) SchemeOption { return schemes.WithTRVariant(v) }
+
+// WithUpsilonVariant selects how the spectral sparsifier's Υ scales.
+func WithUpsilonVariant(v schemes.UpsilonVariant) SchemeOption {
+	return schemes.WithUpsilonVariant(v)
+}
+
+// WithReweight keeps the spectral output unbiased (w(e)/p_e).
+func WithReweight(on bool) SchemeOption { return schemes.WithReweight(on) }
+
+// WithStretch sets the spanner stretch parameter k >= 1.
+func WithStretch(k int) SchemeOption { return schemes.WithStretch(k) }
+
+// WithInterClusterMode selects the spanner's inter-cluster edge rule.
+func WithInterClusterMode(m schemes.InterClusterMode) SchemeOption {
+	return schemes.WithInterClusterMode(m)
+}
+
+// WithEpsilon sets the summarization error budget.
+func WithEpsilon(eps float64) SchemeOption { return schemes.WithEpsilon(eps) }
+
+// WithIterations sets the summarization round count.
+func WithIterations(n int) SchemeOption { return schemes.WithIterations(n) }
+
+// WithRho sets the cut sparsifier's sampling density (<= 0 means auto).
+func WithRho(rho float64) SchemeOption { return schemes.WithRho(rho) }
+
+// Scheme constructors (functional options; see each internal/schemes
+// constructor for defaults).
+
+// NewUniform builds the uniform edge-sampling scheme (§4.2.2).
+func NewUniform(opts ...SchemeOption) (Scheme, error) { return schemes.NewUniform(opts...) }
+
+// NewVertexSample builds the vertex-sampling scheme (§2's sampling class).
+func NewVertexSample(opts ...SchemeOption) (Scheme, error) { return schemes.NewVertexSample(opts...) }
+
+// NewSpectral builds the spectral sparsification scheme (§4.2.1).
+func NewSpectral(opts ...SchemeOption) (Scheme, error) { return schemes.NewSpectral(opts...) }
+
+// NewTR builds a Triangle Reduction scheme (§4.3).
+func NewTR(opts ...SchemeOption) (Scheme, error) { return schemes.NewTR(opts...) }
+
+// NewLowDegree builds the degree <= 1 removal scheme (§4.4).
+func NewLowDegree(opts ...SchemeOption) (Scheme, error) { return schemes.NewLowDegree(opts...) }
+
+// NewLowDegreeIterative builds the fixpoint leaf-peeling variant.
+func NewLowDegreeIterative(opts ...SchemeOption) (Scheme, error) {
+	return schemes.NewLowDegreeIterative(opts...)
+}
+
+// NewSpanner builds the O(k)-spanner scheme (§4.5.3).
+func NewSpanner(opts ...SchemeOption) (Scheme, error) { return schemes.NewSpanner(opts...) }
+
+// NewCutSparsify builds the Benczúr–Karger cut sparsifier scheme (§4.6).
+func NewCutSparsify(opts ...SchemeOption) (Scheme, error) { return schemes.NewCutSparsify(opts...) }
+
+// NewSummarize builds the lossy ε-summarization scheme (§4.5.4).
+func NewSummarize(opts ...SchemeOption) (Scheme, error) { return schemes.NewSummarize(opts...) }
+
+// NewPipeline chains schemes into one Scheme applied left to right.
+func NewPipeline(stages ...Scheme) (*Pipeline, error) { return schemes.NewPipeline(stages...) }
+
+// ParseScheme builds a Scheme (or Pipeline) from a registry spec:
+//
+//	spec   := stage ("|" stage)*
+//	stage  := name [":" params]
+//	params := key "=" value ("," key "=" value)*
+//
+// Defaults (typically WithSeed, WithWorkers) apply to every stage; explicit
+// spec parameters win. SchemeSpec(ParseScheme(s)) round-trips.
+func ParseScheme(spec string, defaults ...SchemeOption) (Scheme, error) {
+	return schemes.Parse(spec, defaults...)
+}
+
+// NewScheme builds a registered scheme by name.
+func NewScheme(name string, opts ...SchemeOption) (Scheme, error) {
+	return schemes.New(name, opts...)
+}
+
+// SchemeSpec returns the spec string Parse round-trips for s.
+func SchemeSpec(s Scheme) string { return schemes.Spec(s) }
+
+// RegisterScheme adds a scheme to the registry, making it addressable by
+// name from specs, pipelines, both CLIs, and the experiment harness.
+func RegisterScheme(r SchemeInfo) { schemes.Register(r) }
+
+// LookupScheme returns the registration for name.
+func LookupScheme(name string) (SchemeInfo, bool) { return schemes.Lookup(name) }
+
+// SchemeNames returns all registered scheme names, sorted.
+func SchemeNames() []string { return schemes.Names() }
+
 // Uniform keeps every edge independently with probability keep (§4.2.2).
+//
+// Deprecated: use NewUniform (or ParseScheme("uniform:p=...")); the flat
+// functions remain for compatibility.
 func Uniform(g *Graph, keep float64, seed uint64, workers int) *Result {
 	return schemes.Uniform(g, keep, seed, workers)
 }
@@ -137,6 +269,8 @@ const (
 
 // SpectralSparsify samples edge e with probability min(1, Υ/min(du, dv)),
 // preserving the graph spectrum (§4.2.1).
+//
+// Deprecated: use NewSpectral (or ParseScheme("spectral:p=...")).
 func SpectralSparsify(g *Graph, opts SpectralOptions) *Result { return schemes.Spectral(g, opts) }
 
 // TROptions configures TriangleReduction; see schemes.TROptions.
@@ -152,18 +286,24 @@ const (
 )
 
 // TriangleReduction applies Triangle p-x-Reduction in the selected variant.
+//
+// Deprecated: use NewTR (or ParseScheme("tr-eo:p=...")).
 func TriangleReduction(g *Graph, opts TROptions) *Result {
 	return schemes.TriangleReduction(g, opts)
 }
 
 // RemoveLowDegree deletes degree <= 1 vertices (their edges vanish, IDs are
 // kept), preserving betweenness centrality structure (§4.4).
+//
+// Deprecated: use NewLowDegree (or ParseScheme("lowdeg")).
 func RemoveLowDegree(g *Graph, workers int) *Result { return schemes.LowDegree(g, workers) }
 
 // CutSparsify builds a Benczúr–Karger cut sparsifier (the §4.6 extension
 // scheme): edges sampled inversely to their Nagamochi–Ibaraki strength and
 // reweighted, preserving all cut weights within 1±ε for rho = O(log n/ε²);
 // rho <= 0 picks 8·ln n.
+//
+// Deprecated: use NewCutSparsify (or ParseScheme("cut:rho=...")).
 func CutSparsify(g *Graph, rho float64, seed uint64, workers int) *Result {
 	return schemes.CutSparsify(g, rho, seed, workers)
 }
@@ -171,6 +311,8 @@ func CutSparsify(g *Graph, rho float64, seed uint64, workers int) *Result {
 // VertexSample keeps every vertex independently with probability keep;
 // edges incident to removed vertices vanish (the vertex-sampling class of
 // §2).
+//
+// Deprecated: use NewVertexSample (or ParseScheme("vertexsample:p=...")).
 func VertexSample(g *Graph, keep float64, seed uint64, workers int) *Result {
 	return schemes.VertexSample(g, keep, seed, workers)
 }
@@ -189,6 +331,8 @@ const (
 )
 
 // Spanner derives an O(k)-spanner via low-diameter decomposition (§4.5.3).
+//
+// Deprecated: use NewSpanner (or ParseScheme("spanner:k=...")).
 func Spanner(g *Graph, opts SpannerOptions) *Result { return schemes.Spanner(g, opts) }
 
 // SummarizeOptions configures Summarize; see summarize.Options.

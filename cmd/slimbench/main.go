@@ -9,6 +9,8 @@
 //	slimbench -scale 0             # quick smoke run
 //	slimbench -only table5,fig7   # a subset
 //	slimbench -guidelines          # just the §7.5 selection guide
+//	slimbench -compare "uniform:p=0.5;tr-eo:p=0.8|spanner:k=8"
+//	                               # arbitrary registry specs side by side
 package main
 
 import (
@@ -53,6 +55,9 @@ func main() {
 		only       = flag.String("only", "", "comma-separated subset, e.g. table5,fig7")
 		guidelines = flag.Bool("guidelines", false, "print only the §7.5 scheme-selection guide")
 		list       = flag.Bool("list", false, "list experiment keys and exit")
+		compare    = flag.String("compare", "",
+			"semicolon-separated registry specs (schemes or pipelines) to compare, e.g. "+
+				`"uniform:p=0.5;tr-eo:p=0.8|spanner:k=8"`)
 	)
 	flag.Parse()
 
@@ -67,6 +72,21 @@ func main() {
 		return
 	}
 	cfg := experiments.Config{Scale: *scale, Seed: *seed, Workers: *workers}
+	if *compare != "" {
+		var specs []string
+		for _, s := range strings.Split(*compare, ";") {
+			if s = strings.TrimSpace(s); s != "" {
+				specs = append(specs, s)
+			}
+		}
+		t, err := experiments.Compare(cfg, specs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "slimbench:", err)
+			os.Exit(1)
+		}
+		t.Fprint(os.Stdout)
+		return
+	}
 	selected := map[string]bool{}
 	if *only != "" {
 		for _, k := range strings.Split(*only, ",") {

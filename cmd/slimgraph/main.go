@@ -1,21 +1,51 @@
-// Command slimgraph compresses a graph with a chosen lossy scheme, runs
-// stage-2 algorithms on the original and the compressed graph, and reports
-// the accuracy metrics of the Slim Graph analytics subsystem.
+// Command slimgraph compresses a graph with any registered lossy scheme —
+// or a pipeline of them — runs stage-2 algorithms on the original and the
+// compressed graph, and reports the accuracy metrics of the Slim Graph
+// analytics subsystem.
 //
 // Usage examples:
 //
 //	slimgraph -gen rmat -scale 14 -ef 8 -scheme uniform -p 0.5
 //	slimgraph -input graph.el -scheme spanner -k 8 -out compressed.el
-//	slimgraph -gen communities -n 20000 -scheme tr-eo -p 0.8 -metrics
+//	slimgraph -gen communities -n 20000 -scheme "tr-eo:p=0.8" -metrics
+//	slimgraph -scheme "tr-eo:p=0.8|spanner:k=8"   # two-stage pipeline
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"slimgraph"
 )
+
+const specGrammar = `Scheme specs (the -scheme argument) follow the registry grammar:
+
+  spec   := stage ("|" stage)*          stages chain into a pipeline
+  stage  := name [":" params]
+  params := key "=" value ("," key "=" value)*
+
+Examples: "uniform:p=0.5", "spectral:p=1,variant=avgdeg,reweight=true",
+"tr-eo:p=0.8|spanner:k=8" (compress with Edge-Once TR, then spanner).
+Parameters are native to each scheme (p is the keep probability for
+uniform/vertexsample, the triangle sampling probability for the TR family,
+the Υ scale for spectral). The -p/-k/-eps flags are shorthand appended to a
+bare scheme name; they are ignored when the spec already carries parameters
+or a pipeline.
+
+Registered schemes:
+`
+
+func usage() {
+	fmt.Fprintf(flag.CommandLine.Output(), "usage: slimgraph [flags]\n\nFlags:\n")
+	flag.PrintDefaults()
+	fmt.Fprint(flag.CommandLine.Output(), "\n"+specGrammar)
+	for _, name := range slimgraph.SchemeNames() {
+		info, _ := slimgraph.LookupScheme(name)
+		fmt.Fprintf(flag.CommandLine.Output(), "  %-16s %s\n", name, info.About)
+	}
+}
 
 func main() {
 	var (
@@ -26,15 +56,17 @@ func main() {
 		n       = flag.Int("n", 10000, "vertex count for non-R-MAT generators")
 		seed    = flag.Uint64("seed", 1, "random seed (drives generation and compression)")
 		scheme  = flag.String("scheme", "uniform",
-			"scheme: uniform | spectral | tr | tr-eo | tr-ct | tr-maxweight | tr-collapse | lowdeg | spanner | summarize | cut | vertexsample")
-		p        = flag.Float64("p", 0.5, "scheme probability parameter")
-		k        = flag.Int("k", 8, "spanner stretch parameter")
-		eps      = flag.Float64("eps", 0.1, "summarization error budget")
+			"scheme spec, e.g. uniform:p=0.5 or a pipeline tr-eo:p=0.8|spanner:k=8 (see usage)")
 		workers  = flag.Int("workers", 0, "parallelism (0 = all CPUs)")
 		weighted = flag.Bool("weighted", false, "attach uniform [1,100) weights to generated graphs")
 		out      = flag.String("out", "", "write the compressed graph to this edge-list file")
 		metrics  = flag.Bool("metrics", true, "run stage-2 algorithms and print accuracy metrics")
 	)
+	// Shorthand flags, read back through flag.Visit in buildSpec.
+	flag.Float64("p", 0.5, "shorthand for the p= spec parameter")
+	flag.Int("k", 8, "shorthand for the k= spec parameter (spanner stretch)")
+	flag.Float64("eps", 0.1, "shorthand for the eps= spec parameter (summarization)")
+	flag.Usage = usage
 	flag.Parse()
 
 	g, err := load(*input, *genKind, *scale, *ef, *n, *seed)
@@ -47,10 +79,22 @@ func main() {
 	}
 	fmt.Println("input:", g)
 
-	res, err := compress(g, *scheme, *p, *k, *eps, *seed, *workers)
+	s, err := slimgraph.ParseScheme(buildSpec(*scheme),
+		slimgraph.WithSeed(*seed), slimgraph.WithWorkers(*workers))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "slimgraph:", err)
 		os.Exit(1)
+	}
+	res, err := s.Apply(g)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "slimgraph:", err)
+		os.Exit(1)
+	}
+	for _, stage := range res.Stages {
+		fmt.Println("  stage", stage)
+	}
+	if aux, ok := res.Aux.(fmt.Stringer); ok {
+		fmt.Println(aux)
 	}
 	fmt.Println(res)
 	fmt.Printf("storage: %d -> %d bytes (binary snapshot)\n",
@@ -72,6 +116,27 @@ func main() {
 		}
 		fmt.Println("wrote", *out)
 	}
+}
+
+// buildSpec merges the -p/-k/-eps shorthand flags into a bare scheme name.
+// Flags join the spec only when the user set them explicitly and the spec
+// carries no parameters or pipeline of its own — an explicit spec is always
+// authoritative.
+func buildSpec(spec string) string {
+	if strings.ContainsAny(spec, ":|") {
+		return spec
+	}
+	var params []string
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "p", "k", "eps":
+			params = append(params, f.Name+"="+f.Value.String())
+		}
+	})
+	if len(params) == 0 {
+		return spec
+	}
+	return spec + ":" + strings.Join(params, ",")
 }
 
 func load(input, genKind string, scale, ef, n int, seed uint64) (*slimgraph.Graph, error) {
@@ -102,52 +167,6 @@ func load(input, genKind string, scale, ef, n int, seed uint64) (*slimgraph.Grap
 		return slimgraph.GenerateSmallWorld(n, ef, 0.1, seed), nil
 	default:
 		return nil, fmt.Errorf("unknown generator %q", genKind)
-	}
-}
-
-func compress(g *slimgraph.Graph, scheme string, p float64, k int, eps float64,
-	seed uint64, workers int) (*slimgraph.Result, error) {
-	switch scheme {
-	case "uniform":
-		return slimgraph.Uniform(g, 1-p, seed, workers), nil // p = removal, as in the paper's tables
-	case "spectral":
-		return slimgraph.SpectralSparsify(g, slimgraph.SpectralOptions{
-			P: p, Variant: slimgraph.UpsilonLogN, Reweight: true, Seed: seed, Workers: workers}), nil
-	case "tr":
-		return slimgraph.TriangleReduction(g, slimgraph.TROptions{
-			P: p, Variant: slimgraph.TRBasic, Seed: seed, Workers: workers}), nil
-	case "tr-eo":
-		return slimgraph.TriangleReduction(g, slimgraph.TROptions{
-			P: p, Variant: slimgraph.TREO, Seed: seed, Workers: workers}), nil
-	case "tr-ct":
-		return slimgraph.TriangleReduction(g, slimgraph.TROptions{
-			P: p, Variant: slimgraph.TRCT, Seed: seed, Workers: workers}), nil
-	case "tr-maxweight":
-		return slimgraph.TriangleReduction(g, slimgraph.TROptions{
-			P: p, Variant: slimgraph.TRMaxWeight, Seed: seed, Workers: 1}), nil
-	case "tr-collapse":
-		return slimgraph.TriangleReduction(g, slimgraph.TROptions{
-			P: p, Variant: slimgraph.TRCollapse, Seed: seed, Workers: workers}), nil
-	case "lowdeg":
-		return slimgraph.RemoveLowDegree(g, workers), nil
-	case "cut":
-		return slimgraph.CutSparsify(g, 0, seed, workers), nil
-	case "vertexsample":
-		return slimgraph.VertexSample(g, 1-p, seed, workers), nil
-	case "spanner":
-		return slimgraph.Spanner(g, slimgraph.SpannerOptions{
-			K: k, Seed: seed, Workers: workers}), nil
-	case "summarize":
-		s := slimgraph.Summarize(g, slimgraph.SummarizeOptions{
-			Iterations: 10, Epsilon: eps, Seed: seed, Workers: workers})
-		fmt.Println(s)
-		// Wrap the decoded graph so downstream reporting works uniformly.
-		return &slimgraph.Result{
-			Scheme: "summarize", Params: fmt.Sprintf("eps=%g", eps),
-			Input: g, Output: s.Decode(), Elapsed: s.Elapsed,
-		}, nil
-	default:
-		return nil, fmt.Errorf("unknown scheme %q", scheme)
 	}
 }
 

@@ -4,15 +4,43 @@
 // Approximate Graph Processing, Storage, and Analytics" (Besta et al.,
 // SC 2019).
 //
-// The package exposes the three parts of the Slim Graph architecture:
+// # Schemes, the registry, and pipelines
+//
+// Every compression scheme is a Scheme: an immutable, configured value with
+// a Name, a canonical parameter string, and Apply. Schemes are built three
+// equivalent ways:
+//
+//   - By spec, through the registry: ParseScheme("uniform:p=0.5") or
+//     ParseScheme("tr-eo:p=0.8|spanner:k=8") — the "|" chains stages into a
+//     Pipeline, which is itself a Scheme.
+//   - By constructor with functional options: NewSpanner(WithStretch(8),
+//     WithSeed(1)), NewTR(WithTRVariant(TREO), WithProbability(0.8)), ...
+//   - By name: NewScheme("cut", WithRho(3)).
+//
+// The registry (RegisterScheme, LookupScheme, SchemeNames) is the single
+// dispatch point: both CLIs (cmd/slimgraph, cmd/slimbench) and the whole
+// experiment harness resolve schemes through it, so registering a new
+// scheme makes it addressable everywhere — specs, pipelines, sweeps, and
+// batch comparisons — with no call-site edits. SchemeSpec returns the spec
+// that ParseScheme round-trips.
+//
+// The built-in registry covers the paper's Table 2 and extensions: uniform
+// and vertex sampling, spectral sparsification (log n and average-degree Υ),
+// the Triangle Reduction family (basic, Edge-Once, Count-Triangles,
+// max-weight, collapse, EO-redirect), low-degree removal (single pass and
+// fixpoint), O(k)-spanners, Benczúr–Karger cut sparsification, and lossy
+// ε-summarization.
+//
+// # Architecture
+//
+// Underneath the Scheme surface sit the three parts of the Slim Graph
+// design:
 //
 //   - The programming model: compression kernels — small functions that
 //     observe one vertex, edge, triangle, or subgraph and delete or
 //     reweight elements — executed in parallel over the graph (NewSG and
-//     the Run*Kernel methods), plus every built-in scheme of the paper:
-//     uniform sampling, spectral sparsification, Triangle Reduction in six
-//     variants, low-degree vertex removal, O(k)-spanners, and lossy
-//     ε-summarization.
+//     the Run*Kernel methods). Custom kernels become first-class schemes by
+//     wrapping them in a Scheme and calling RegisterScheme.
 //
 //   - The execution engine: compression runs as stage 1 (kernels mark
 //     deletions atomically; Materialize rebuilds a compact CSR), and any
@@ -28,13 +56,16 @@
 // # Quick start
 //
 //	g := slimgraph.GenerateRMAT(14, 8, 1) // 16k vertices, ~130k edges
-//	res := slimgraph.Uniform(g, 0.5, 1, 0)
-//	fmt.Println(res)                       // edges before/after, timing
+//	s, _ := slimgraph.ParseScheme("tr-eo:p=0.8|spanner:k=8", slimgraph.WithSeed(1))
+//	res, _ := s.Apply(g)
+//	fmt.Println(res)                      // edges before/after, timing
 //	orig := slimgraph.PageRank(g, 0)
 //	comp := slimgraph.PageRank(res.Output, 0)
 //	fmt.Println(slimgraph.KLDivergence(orig, comp))
 //
 // All randomness is seed-deterministic and independent of the worker
-// count. See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-// paper-vs-measured record of every table and figure.
+// count; a Result records the compressed graph, timing, vertex remapping,
+// and (for pipelines) the per-stage Results. See DESIGN.md for the system
+// inventory and EXPERIMENTS.md for the paper-vs-measured record of every
+// table and figure.
 package slimgraph

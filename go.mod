@@ -1,0 +1,3 @@
+module slimgraph
+
+go 1.24

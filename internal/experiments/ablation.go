@@ -5,7 +5,6 @@ import (
 
 	"slimgraph/internal/components"
 	"slimgraph/internal/metrics"
-	"slimgraph/internal/schemes"
 )
 
 // AblationEO settles the Edge-Once semantics question raised by the paper's
@@ -29,14 +28,13 @@ func AblationEO(cfg Config) *Table {
 	for _, i := range []int{2, 3, 5, 9} {
 		ng := graphs[i]
 		origCC := components.Count(ng.G)
-		run := func(v schemes.TRVariant) (float64, int) {
-			res := schemes.TriangleReduction(ng.G, schemes.TROptions{
-				P: 0.5, Variant: v, Seed: cfg.seed(), Workers: cfg.Workers})
+		run := func(name string) (float64, int) {
+			res := compress(cfg, ng.G, name+":p=0.5")
 			return res.EdgeReduction(), components.Count(res.Output) - origCC
 		}
-		rb, db := run(schemes.TRBasic)
-		rp, dp := run(schemes.TREO)
-		rr, dr := run(schemes.TREORedirect)
+		rb, db := run("tr")
+		rp, dp := run("tr-eo")
+		rr, dr := run("tr-eo-redirect")
 		t.AddRow(ng.Key, f3(rb), f3(rp), f3(rr),
 			fmt.Sprintf("%+d", db), fmt.Sprintf("%+d", dp), fmt.Sprintf("%+d", dr))
 	}
@@ -58,12 +56,11 @@ func AblationSpanner(cfg Config) *Table {
 	origPR := pagerank(ng.G, cfg)
 	roots := sampleVertices(ng.G, 4)
 	for _, k := range []int{2, 8, 32} {
-		for _, mode := range []schemes.InterClusterMode{schemes.PerVertex, schemes.PerClusterPair} {
-			res := schemes.Spanner(ng.G, schemes.SpannerOptions{
-				K: k, Mode: mode, Seed: cfg.seed(), Workers: cfg.Workers})
+		for _, mode := range []string{"pervertex", "perpair"} {
+			res := compress(cfg, ng.G, fmt.Sprintf("spanner:k=%d,mode=%s", k, mode))
 			ret := metrics.BFSCriticalMulti(ng.G, res.Output, roots, cfg.Workers)
 			kl := metrics.KLDivergence(origPR, pagerank(res.Output, cfg))
-			t.AddRow(ng.Key, d2(k), mode.String(), f3(res.CompressionRatio()), f3(ret), f4(kl))
+			t.AddRow(ng.Key, d2(k), mode, f3(res.CompressionRatio()), f3(ret), f4(kl))
 		}
 	}
 	return t
@@ -82,8 +79,7 @@ func AblationUpsilon(cfg Config) *Table {
 	ng := fig5Graphs(cfg)[1]
 	origPR := pagerank(ng.G, cfg)
 	for _, p := range []float64{0.1, 0.25, 0.5, 1, 2, 4} {
-		res := schemes.Spectral(ng.G, schemes.SpectralOptions{
-			P: p, Variant: schemes.UpsilonLogN, Seed: cfg.seed(), Workers: cfg.Workers})
+		res := compress(cfg, ng.G, fmt.Sprintf("spectral:p=%g", p))
 		isolated := 0
 		for v := 0; v < res.Output.N(); v++ {
 			if res.Output.Degree(int32(v)) == 0 && ng.G.Degree(int32(v)) > 0 {

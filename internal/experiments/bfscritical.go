@@ -5,7 +5,6 @@ import (
 
 	"slimgraph/internal/graph"
 	"slimgraph/internal/metrics"
-	"slimgraph/internal/schemes"
 )
 
 // BFSCritical reproduces the §7.2 BFS accuracy study: for the s-pok analog
@@ -24,8 +23,7 @@ func BFSCritical(cfg Config) *Table {
 		roots := []graph.NodeID{0, graph.NodeID(ng.G.N() / 4),
 			graph.NodeID(ng.G.N() / 2), graph.NodeID(3 * ng.G.N() / 4)}
 		for _, k := range []int{2, 8, 32, 128} {
-			res := schemes.Spanner(ng.G, schemes.SpannerOptions{
-				K: k, Seed: cfg.seed(), Workers: cfg.Workers})
+			res := compress(cfg, ng.G, fmt.Sprintf("spanner:k=%d", k))
 			ret := metrics.BFSCriticalMulti(ng.G, res.Output, roots, cfg.Workers)
 			t.AddRow(ng.Key, fmt.Sprintf("%d", k),
 				fmt.Sprintf("%.0f%%", 100*res.EdgeReduction()),

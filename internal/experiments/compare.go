@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"fmt"
+
+	"slimgraph/internal/components"
+	"slimgraph/internal/graphio"
+	"slimgraph/internal/metrics"
+	"slimgraph/internal/schemes"
+	"slimgraph/internal/triangles"
+)
+
+// Compare runs arbitrary registry specs — single schemes or pipelines —
+// side by side on the Figure 5 graph trio and reports compression, storage,
+// and the core accuracy metrics. This is the registry's sweep harness:
+// anything Parse accepts can be lined up against anything else without a
+// dedicated driver.
+func Compare(cfg Config, specs []string) (*Table, error) {
+	t := &Table{
+		ID:     "Compare",
+		Title:  "registry spec comparison (schemes and pipelines)",
+		Note:   "one row per graph x spec; KL and dCC need an unchanged vertex set",
+		Header: []string{"graph", "spec", "ratio", "bytes", "KL(PR)", "dCC", "T'/T", "time"},
+	}
+	for _, ng := range fig5Graphs(cfg) {
+		origPR := pagerank(ng.G, cfg)
+		origCC := components.Count(ng.G)
+		origT := triangles.Count(ng.G, cfg.Workers)
+		for _, spec := range specs {
+			s, err := schemes.Parse(spec,
+				schemes.WithSeed(cfg.seed()), schemes.WithWorkers(cfg.Workers))
+			if err != nil {
+				return nil, err
+			}
+			res, err := s.Apply(ng.G)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %s on %s: %w", spec, ng.Key, err)
+			}
+			kl, dcc := "-", "-"
+			if res.VertexMap == nil {
+				kl = f4(metrics.KLDivergence(origPR, pagerank(res.Output, cfg)))
+				dcc = fmt.Sprintf("%+d", components.Count(res.Output)-origCC)
+			}
+			tRatio := "-"
+			if origT > 0 {
+				tRatio = f3(float64(triangles.Count(res.Output, cfg.Workers)) / float64(origT))
+			}
+			t.AddRow(ng.Key, schemes.Spec(s), f3(res.CompressionRatio()),
+				d2(int(graphio.BinarySize(res.Output))), kl, dcc, tRatio,
+				res.Elapsed.String())
+		}
+	}
+	return t, nil
+}

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"fmt"
+
 	"slimgraph/internal/graph"
 	"slimgraph/internal/mincut"
 	"slimgraph/internal/schemes"
@@ -45,13 +47,12 @@ func CutPreservation(cfg Config) *Table {
 		// sample at every scale (the default 8·ln n keeps everything on
 		// small verification graphs; a size-s clique has NI indices up to
 		// about s/2).
-		cut := schemes.CutSparsify(ng.G, 3, cfg.seed(), cfg.Workers)
+		cut := compress(cfg, ng.G, "cut:rho=3")
 		report("cut-sparsify", cut)
-		spec := schemes.Spectral(ng.G, schemes.SpectralOptions{
-			P: 1, Variant: schemes.UpsilonLogN, Reweight: true,
-			Seed: cfg.seed(), Workers: cfg.Workers})
+		spec := compress(cfg, ng.G, "spectral:p=1,reweight=true")
 		report("spectral", spec)
-		report("uniform", schemes.Uniform(ng.G, cut.CompressionRatio(), cfg.seed(), cfg.Workers))
+		report("uniform", compress(cfg, ng.G,
+			fmt.Sprintf("uniform:p=%g", cut.CompressionRatio())))
 	}
 	return t
 }

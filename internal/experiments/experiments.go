@@ -13,6 +13,7 @@ import (
 
 	"slimgraph/internal/gen"
 	"slimgraph/internal/graph"
+	"slimgraph/internal/schemes"
 )
 
 // Config controls experiment sizing and determinism.
@@ -202,6 +203,22 @@ func fig8Graphs(cfg Config) []NamedGraph {
 		{"h-deu", "R-MAT ef12", gen.RMAT(cfg.rmatScale(12), 12, 0.45, 0.22, 0.22, cfg.seed()+62)},
 		{"h-duk", "R-MAT ef8", gen.RMAT(cfg.rmatScale(11), 8, 0.5, 0.2, 0.2, cfg.seed()+63)},
 	}
+}
+
+// compress builds the scheme (or pipeline) for spec through the registry,
+// seeded and parallelized from cfg, and applies it to g. Every experiment
+// driver dispatches schemes through here, so a new scheme reaches the whole
+// evaluation harness by registration alone. Specs are compiled into the
+// drivers, so a failure is a programmer error and panics.
+func compress(cfg Config, g *graph.Graph, spec string) *schemes.Result {
+	s, err := schemes.Parse(spec, schemes.WithSeed(cfg.seed()), schemes.WithWorkers(cfg.Workers))
+	if err == nil {
+		var res *schemes.Result
+		if res, err = s.Apply(g); err == nil {
+			return res
+		}
+	}
+	panic(fmt.Sprintf("experiments: compress %q: %v", spec, err))
 }
 
 // measure returns the best-of-three wall time of f.

@@ -54,24 +54,21 @@ func Figure5(cfg Config) *Table {
 		// Uniform sampling: the paper's p is the removal probability.
 		for _, p := range []float64{0.1, 0.5, 0.9} {
 			add("uniform", fmt.Sprintf("p=%g", p),
-				schemes.Uniform(ng.G, 1-p, cfg.seed(), cfg.Workers))
+				compress(cfg, ng.G, fmt.Sprintf("uniform:p=%g", 1-p)))
 		}
 		// Spectral: the figure's p is a removal strength ("p log(n) edges
 		// are removed from each vertex"); our keep parameter is 1-p.
 		for _, p := range []float64{0.005, 0.05, 0.5} {
-			add("spectral", fmt.Sprintf("p=%g", p), schemes.Spectral(ng.G, schemes.SpectralOptions{
-				P: 1 - p, Variant: schemes.UpsilonLogN, Seed: cfg.seed(), Workers: cfg.Workers,
-			}))
+			add("spectral", fmt.Sprintf("p=%g", p),
+				compress(cfg, ng.G, fmt.Sprintf("spectral:p=%g", 1-p)))
 		}
 		for _, p := range []float64{0.1, 0.5, 0.9} {
-			add("p-1-TR", fmt.Sprintf("p=%g", p), schemes.TriangleReduction(ng.G, schemes.TROptions{
-				P: p, Variant: schemes.TRBasic, Seed: cfg.seed(), Workers: cfg.Workers,
-			}))
+			add("p-1-TR", fmt.Sprintf("p=%g", p),
+				compress(cfg, ng.G, fmt.Sprintf("tr:p=%g", p)))
 		}
 		for _, k := range []int{2, 8, 32, 128} {
-			add("spanner", fmt.Sprintf("k=%d", k), schemes.Spanner(ng.G, schemes.SpannerOptions{
-				K: k, Seed: cfg.seed(), Workers: cfg.Workers,
-			}))
+			add("spanner", fmt.Sprintf("k=%d", k),
+				compress(cfg, ng.G, fmt.Sprintf("spanner:k=%d", k)))
 		}
 	}
 	return t

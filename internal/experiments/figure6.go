@@ -1,9 +1,5 @@
 package experiments
 
-import (
-	"slimgraph/internal/schemes"
-)
-
 // Figure6Spectral reproduces Figure 6 (left): relative edge reduction of
 // the two spectral sparsification variants (Υ ∝ average degree vs
 // Υ ∝ log n) at fixed p = 0.5 across graphs of different classes.
@@ -15,12 +11,8 @@ func Figure6Spectral(cfg Config) *Table {
 		Header: []string{"graph", "analog", "n", "m", "red(avgdeg)", "red(logn)"},
 	}
 	for _, ng := range fig6Graphs(cfg) {
-		avg := schemes.Spectral(ng.G, schemes.SpectralOptions{
-			P: 0.5, Variant: schemes.UpsilonAvgDeg, Seed: cfg.seed(), Workers: cfg.Workers,
-		})
-		logn := schemes.Spectral(ng.G, schemes.SpectralOptions{
-			P: 0.5, Variant: schemes.UpsilonLogN, Seed: cfg.seed(), Workers: cfg.Workers,
-		})
+		avg := compress(cfg, ng.G, "spectral:p=0.5,variant=avgdeg")
+		logn := compress(cfg, ng.G, "spectral:p=0.5,variant=logn")
 		t.AddRow(ng.Key, ng.Note, d2(ng.G.N()), d2(ng.G.M()),
 			f3(avg.EdgeReduction()), f3(logn.EdgeReduction()))
 	}
@@ -46,15 +38,9 @@ func Figure6TR(cfg Config) *Table {
 	pick := []int{2, 3, 5, 9, 10} // the five most triangle-relevant analogs
 	for _, i := range pick {
 		ng := graphs[i]
-		basic := schemes.TriangleReduction(ng.G, schemes.TROptions{
-			P: 0.5, Variant: schemes.TRBasic, Seed: cfg.seed(), Workers: cfg.Workers,
-		})
-		ct := schemes.TriangleReduction(ng.G, schemes.TROptions{
-			P: 0.5, Variant: schemes.TRCT, Seed: cfg.seed(), Workers: cfg.Workers,
-		})
-		eo := schemes.TriangleReduction(ng.G, schemes.TROptions{
-			P: 0.5, Variant: schemes.TREO, Seed: cfg.seed(), Workers: cfg.Workers,
-		})
+		basic := compress(cfg, ng.G, "tr:p=0.5")
+		ct := compress(cfg, ng.G, "tr-ct:p=0.5")
+		eo := compress(cfg, ng.G, "tr-eo:p=0.5")
 		t.AddRow(ng.Key, ng.Note, d2(ng.G.M()),
 			f3(basic.EdgeReduction()), f3(ct.EdgeReduction()), f3(eo.EdgeReduction()))
 	}

@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"slimgraph/internal/metrics"
-	"slimgraph/internal/schemes"
 )
 
 // Figure7 reproduces the degree-distribution analysis under spanners: for
@@ -29,8 +28,7 @@ func Figure7(cfg Config) *Table {
 		}
 		report("none", ng.G, metrics.DegreeDistribution(ng.G))
 		for _, k := range []int{2, 32} {
-			res := schemes.Spanner(ng.G, schemes.SpannerOptions{
-				K: k, Seed: cfg.seed(), Workers: cfg.Workers})
+			res := compress(cfg, ng.G, fmt.Sprintf("spanner:k=%d", k))
 			report(fmt.Sprintf("spanner k=%d", k), res.Output,
 				metrics.DegreeDistribution(res.Output))
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"math"
 
 	"slimgraph/internal/centrality"
@@ -34,7 +35,7 @@ func ReorderedPairs(cfg Config) *Table {
 				f4(metrics.ReorderedNeighborPairs(g, origBC, compBC)),
 				f4(metrics.ReorderedNeighborPairs(g, origTC, compTC)))
 		}
-		uni := schemes.Uniform(g, 0.7, cfg.seed(), cfg.Workers)
+		uni := compress(cfg, g, "uniform:p=0.7")
 		evaluate("uniform", uni.Output, uni.CompressionRatio())
 		spec := tuneSpectral(g, 0.7, cfg)
 		evaluate("spectral", spec.Output, spec.CompressionRatio())
@@ -51,8 +52,7 @@ func tuneSpectral(g *graph.Graph, target float64, cfg Config) *schemes.Result {
 	var best *schemes.Result
 	for i := 0; i < 12; i++ {
 		mid := math.Sqrt(lo * hi)
-		res := schemes.Spectral(g, schemes.SpectralOptions{
-			P: mid, Variant: schemes.UpsilonLogN, Seed: cfg.seed(), Workers: cfg.Workers})
+		res := compress(cfg, g, fmt.Sprintf("spectral:p=%g", mid))
 		if best == nil || math.Abs(res.CompressionRatio()-target) <
 			math.Abs(best.CompressionRatio()-target) {
 			best = res
@@ -72,8 +72,7 @@ func tuneSpectral(g *graph.Graph, target float64, cfg Config) *schemes.Result {
 func tuneTR(g *graph.Graph, target float64, cfg Config) *schemes.Result {
 	var best *schemes.Result
 	for _, p := range []float64{0.2, 0.4, 0.6, 0.8, 1.0} {
-		res := schemes.TriangleReduction(g, schemes.TROptions{
-			P: p, Variant: schemes.TRBasic, Seed: cfg.seed(), Workers: cfg.Workers})
+		res := compress(cfg, g, fmt.Sprintf("tr:p=%g", p))
 		if best == nil || math.Abs(res.CompressionRatio()-target) <
 			math.Abs(best.CompressionRatio()-target) {
 			best = res

@@ -6,7 +6,6 @@ import (
 
 	"slimgraph/internal/gen"
 	"slimgraph/internal/graph"
-	"slimgraph/internal/schemes"
 	"slimgraph/internal/summarize"
 	"slimgraph/internal/triangles"
 )
@@ -29,7 +28,7 @@ func Table2(cfg Config) *Table {
 
 	{
 		removal := 0.5
-		res := schemes.Uniform(g, 1-removal, cfg.seed(), cfg.Workers)
+		res := compress(cfg, g, fmt.Sprintf("uniform:p=%g", 1-removal))
 		t.AddRow("uniform", "p=0.5", f1((1-removal)*m), d2(res.Output.M()),
 			res.Elapsed.String())
 	}
@@ -45,34 +44,32 @@ func Table2(cfg Config) *Table {
 			}
 			expected += math.Min(1, ups/minDeg)
 		}
-		res := schemes.Spectral(g, schemes.SpectralOptions{
-			P: p, Variant: schemes.UpsilonLogN, Seed: cfg.seed(), Workers: cfg.Workers})
+		res := compress(cfg, g, fmt.Sprintf("spectral:p=%g,variant=logn", p))
 		t.AddRow("spectral", "p=1,logn", f1(expected), d2(res.Output.M()), res.Elapsed.String())
 	}
 	{
 		p := 0.5
 		T := float64(triangles.Count(g, cfg.Workers))
 		bound := math.Max(0, m-p*T)
-		res := schemes.TriangleReduction(g, schemes.TROptions{
-			P: p, Variant: schemes.TRBasic, Seed: cfg.seed(), Workers: cfg.Workers})
+		res := compress(cfg, g, fmt.Sprintf("tr:p=%g", p))
 		t.AddRow("p-1-TR", "p=0.5", fmt.Sprintf(">= %s (max(0, m - pT))", f1(bound)),
 			d2(res.Output.M()), res.Elapsed.String())
 	}
 	{
 		k := 8
-		res := schemes.Spanner(g, schemes.SpannerOptions{K: k, Seed: cfg.seed(), Workers: cfg.Workers})
+		res := compress(cfg, g, fmt.Sprintf("spanner:k=%d", k))
 		order := math.Pow(n, 1+1.0/float64(k))
 		t.AddRow("spanner", "k=8", fmt.Sprintf("O(n^{1+1/k}) ~ %s", f1(order)),
 			d2(res.Output.M()), res.Elapsed.String())
 	}
 	{
 		eps := 0.1
-		s := summarize.Summarize(g, summarize.Options{
-			Iterations: 5, Epsilon: eps, Seed: cfg.seed(), Workers: cfg.Workers})
+		res := compress(cfg, g, fmt.Sprintf("summarize:eps=%g,iters=5", eps))
+		s := res.Aux.(*summarize.Summary)
 		t.AddRow("eps-summary", "eps=0.1",
 			fmt.Sprintf("m ± 2εm = [%s, %s]", f1(m*(1-2*eps)), f1(m*(1+2*eps))),
-			fmt.Sprintf("%d (decoded), %d stored", s.Decode().M(), s.StorageEdges()),
-			s.Elapsed.String())
+			fmt.Sprintf("%d (decoded), %d stored", res.Output.M(), s.StorageEdges()),
+			res.Elapsed.String())
 	}
 	return t
 }

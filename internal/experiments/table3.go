@@ -10,8 +10,6 @@ import (
 	"slimgraph/internal/graph"
 	"slimgraph/internal/matching"
 	"slimgraph/internal/mis"
-	"slimgraph/internal/schemes"
-	"slimgraph/internal/summarize"
 	"slimgraph/internal/traverse"
 	"slimgraph/internal/triangles"
 )
@@ -84,26 +82,17 @@ func Table3(cfg Config) *Table {
 
 	t.AddRow(measureProps(g, cfg).row("original")...)
 
-	summary := summarize.Summarize(g, summarize.Options{
-		Iterations: 6, Epsilon: 0.1, Seed: cfg.seed(), Workers: cfg.Workers})
-	t.AddRow(measureProps(summary.Decode(), cfg).row("eps-summary(0.1)")...)
-
-	uni := schemes.Uniform(g, 0.5, cfg.seed(), cfg.Workers) // remove half
-	t.AddRow(measureProps(uni.Output, cfg).row("uniform(p=0.5)")...)
-
-	spec := schemes.Spectral(g, schemes.SpectralOptions{
-		P: 1, Variant: schemes.UpsilonLogN, Seed: cfg.seed(), Workers: cfg.Workers})
-	t.AddRow(measureProps(spec.Output, cfg).row("spectral(logn)")...)
-
-	span := schemes.Spanner(g, schemes.SpannerOptions{K: 8, Seed: cfg.seed(), Workers: cfg.Workers})
-	t.AddRow(measureProps(span.Output, cfg).row("spanner(k=8)")...)
-
-	eo := schemes.TriangleReduction(g, schemes.TROptions{
-		P: 0.5, Variant: schemes.TREO, Seed: cfg.seed(), Workers: cfg.Workers})
-	t.AddRow(measureProps(eo.Output, cfg).row("EO-0.5-1-TR")...)
-
-	low := schemes.LowDegree(g, cfg.Workers)
-	t.AddRow(measureProps(low.Output, cfg).row("remove-deg<=1")...)
+	for _, run := range []struct{ spec, label string }{
+		{"summarize:eps=0.1,iters=6", "eps-summary(0.1)"},
+		{"uniform:p=0.5", "uniform(p=0.5)"}, // remove half
+		{"spectral:p=1,variant=logn", "spectral(logn)"},
+		{"spanner:k=8", "spanner(k=8)"},
+		{"tr-eo:p=0.5", "EO-0.5-1-TR"},
+		{"lowdeg", "remove-deg<=1"},
+	} {
+		res := compress(cfg, g, run.spec)
+		t.AddRow(measureProps(res.Output, cfg).row(run.label)...)
+	}
 
 	return t
 }

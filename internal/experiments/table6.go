@@ -1,8 +1,9 @@
 package experiments
 
 import (
+	"fmt"
+
 	"slimgraph/internal/graph"
-	"slimgraph/internal/schemes"
 	"slimgraph/internal/triangles"
 )
 
@@ -24,25 +25,15 @@ func Table6(cfg Config) *Table {
 		avg := func(g *graph.Graph) string {
 			return f3(triangles.AveragePerVertex(g, cfg.Workers))
 		}
-		tr := func(p float64) string {
-			return avg(schemes.TriangleReduction(ng.G, schemes.TROptions{
-				P: p, Variant: schemes.TRBasic, Seed: cfg.seed(), Workers: cfg.Workers}).Output)
-		}
-		unif := func(removal float64) string {
-			return avg(schemes.Uniform(ng.G, 1-removal, cfg.seed(), cfg.Workers).Output)
-		}
-		span := func(k int) string {
-			return avg(schemes.Spanner(ng.G, schemes.SpannerOptions{
-				K: k, Seed: cfg.seed(), Workers: cfg.Workers}).Output)
-		}
+		run := func(spec string) string { return avg(compress(cfg, ng.G, spec).Output) }
+		tr := func(p float64) string { return run(fmt.Sprintf("tr:p=%g", p)) }
+		unif := func(removal float64) string { return run(fmt.Sprintf("uniform:p=%g", 1-removal)) }
+		span := func(k int) string { return run(fmt.Sprintf("spanner:k=%d", k)) }
 		// The evaluation's spectral p is a removal strength (larger p =>
 		// fewer edges; Fig. 5 axis: "p log(n) edges are removed from each
 		// vertex"), while §4.2.1's Υ = p·log n is a keep budget. Map the
 		// table's p to the keep parameter 1-p.
-		spec := func(p float64) string {
-			return avg(schemes.Spectral(ng.G, schemes.SpectralOptions{
-				P: 1 - p, Variant: schemes.UpsilonLogN, Seed: cfg.seed(), Workers: cfg.Workers}).Output)
-		}
+		spec := func(p float64) string { return run(fmt.Sprintf("spectral:p=%g", 1-p)) }
 		t.AddRow(ng.Key, avg(ng.G),
 			tr(0.2), tr(0.9),
 			unif(0.8), unif(0.5), unif(0.2),

@@ -4,9 +4,7 @@ import (
 	"time"
 
 	"slimgraph/internal/gen"
-	"slimgraph/internal/schemes"
 	"slimgraph/internal/spectral"
-	"slimgraph/internal/summarize"
 )
 
 // Timing reproduces the §7.4 compression-time comparison. The paper's
@@ -30,38 +28,21 @@ func Timing(cfg Config) *Table {
 		d            time.Duration
 	}
 	var rows []entry
-	timeOf := func(f func() time.Duration) time.Duration {
-		best := f()
+	timeOf := func(spec string) time.Duration {
+		best := compress(cfg, g, spec).Elapsed
 		for i := 0; i < 2; i++ {
-			if d := f(); d < best {
+			if d := compress(cfg, g, spec).Elapsed; d < best {
 				best = d
 			}
 		}
 		return best
 	}
-	rows = append(rows, entry{"uniform", "p=0.5", timeOf(func() time.Duration {
-		return schemes.Uniform(g, 0.5, cfg.seed(), cfg.Workers).Elapsed
-	})})
-	rows = append(rows, entry{"spectral", "p=1,logn", timeOf(func() time.Duration {
-		return schemes.Spectral(g, schemes.SpectralOptions{
-			P: 1, Variant: schemes.UpsilonLogN, Seed: cfg.seed(), Workers: cfg.Workers}).Elapsed
-	})})
-	rows = append(rows, entry{"spanner", "k=8", timeOf(func() time.Duration {
-		return schemes.Spanner(g, schemes.SpannerOptions{
-			K: 8, Seed: cfg.seed(), Workers: cfg.Workers}).Elapsed
-	})})
-	rows = append(rows, entry{"p-1-TR", "p=0.5", timeOf(func() time.Duration {
-		return schemes.TriangleReduction(g, schemes.TROptions{
-			P: 0.5, Variant: schemes.TRBasic, Seed: cfg.seed(), Workers: cfg.Workers}).Elapsed
-	})})
-	rows = append(rows, entry{"CT-TR", "p=0.5", timeOf(func() time.Duration {
-		return schemes.TriangleReduction(g, schemes.TROptions{
-			P: 0.5, Variant: schemes.TRCT, Seed: cfg.seed(), Workers: cfg.Workers}).Elapsed
-	})})
-	rows = append(rows, entry{"summarize", "I=10,eps=0.1", timeOf(func() time.Duration {
-		return summarize.Summarize(g, summarize.Options{
-			Iterations: 10, Epsilon: 0.1, Seed: cfg.seed(), Workers: cfg.Workers}).Elapsed
-	})})
+	rows = append(rows, entry{"uniform", "p=0.5", timeOf("uniform:p=0.5")})
+	rows = append(rows, entry{"spectral", "p=1,logn", timeOf("spectral:p=1,variant=logn")})
+	rows = append(rows, entry{"spanner", "k=8", timeOf("spanner:k=8")})
+	rows = append(rows, entry{"p-1-TR", "p=0.5", timeOf("tr:p=0.5")})
+	rows = append(rows, entry{"CT-TR", "p=0.5", timeOf("tr-ct:p=0.5")})
+	rows = append(rows, entry{"summarize", "I=10,eps=0.1", timeOf("summarize:eps=0.1,iters=10")})
 	base := rows[0].d.Seconds()
 	for _, r := range rows {
 		ratio := "-"

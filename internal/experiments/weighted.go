@@ -3,7 +3,6 @@ package experiments
 import (
 	"slimgraph/internal/gen"
 	"slimgraph/internal/mst"
-	"slimgraph/internal/schemes"
 	"slimgraph/internal/traverse"
 )
 
@@ -33,8 +32,9 @@ func WeightedTR(cfg Config) *Table {
 	for _, ng := range graphs {
 		g := ng.G
 		before := mst.Kruskal(g)
-		res := schemes.TriangleReduction(g, schemes.TROptions{
-			P: 1, Variant: schemes.TRMaxWeight, Seed: cfg.seed(), Workers: 1})
+		// tr-maxweight defaults to one worker, where MST preservation is
+		// exact.
+		res := compress(cfg, g, "tr-maxweight:p=1")
 		after := mst.Kruskal(res.Output)
 		origSSSP := measure(func() { traverse.DeltaStepping(g, 0, 0, cfg.Workers) }).Seconds()
 		compSSSP := measure(func() { traverse.DeltaStepping(res.Output, 0, 0, cfg.Workers) }).Seconds()

@@ -19,6 +19,13 @@ import (
 // workers <= 0: the number of usable CPUs.
 func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
 
+// Resolve returns the worker count For/ForChunks/ForWorker actually use for
+// a loop of length n: workers <= 0 becomes DefaultWorkers, then the count is
+// clamped into [1, n]. Callers that allocate per-worker state indexed by the
+// worker ID passed to ForWorker must size it with Resolve, not
+// DefaultWorkers.
+func Resolve(workers, n int) int { return normalize(workers, n) }
+
 // normalize clamps the worker count into [1, n] with n the loop length, so
 // tiny loops do not spawn idle goroutines.
 func normalize(workers, n int) int {

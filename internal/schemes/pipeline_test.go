@@ -1,0 +1,143 @@
+package schemes
+
+import (
+	"testing"
+
+	"slimgraph/internal/gen"
+	"slimgraph/internal/graph"
+)
+
+func mustParse(t *testing.T, spec string, defaults ...Option) Scheme {
+	t.Helper()
+	s, err := Parse(spec, defaults...)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", spec, err)
+	}
+	return s
+}
+
+func mustApply(t *testing.T, s Scheme, g *graph.Graph) *Result {
+	t.Helper()
+	res, err := s.Apply(g)
+	if err != nil {
+		t.Fatalf("%s.Apply: %v", Spec(s), err)
+	}
+	return res
+}
+
+func TestPipelineChainsStages(t *testing.T) {
+	g := registryGraph()
+	p := mustParse(t, "tr-eo:p=0.8|spanner:k=8", WithSeed(5))
+	res := mustApply(t, p, g)
+	if len(res.Stages) != 2 {
+		t.Fatalf("expected 2 stage results, got %d", len(res.Stages))
+	}
+	if res.Input != g || res.Output != res.Stages[1].Output {
+		t.Fatal("composite Result endpoints wrong")
+	}
+	if res.Stages[0].Input != g || res.Stages[1].Input != res.Stages[0].Output {
+		t.Fatal("stage chaining broken")
+	}
+	if res.Elapsed != res.Stages[0].Elapsed+res.Stages[1].Elapsed {
+		t.Fatal("elapsed not composed")
+	}
+	// The chain must compress at least as much as its strongest stage.
+	if res.Output.M() > res.Stages[0].Output.M() {
+		t.Fatalf("second stage added edges: %d -> %d",
+			res.Stages[0].Output.M(), res.Output.M())
+	}
+}
+
+func TestPipelineDeterministicPerSeedAndWorkers(t *testing.T) {
+	g := registryGraph()
+	// Stages whose per-element decisions are schedule-independent. The
+	// EO/CT/maxweight TR variants share consider-state across kernel
+	// instances, so their output under real parallelism depends on
+	// processing order; they get the fixed-worker determinism check below.
+	spec := "uniform:p=0.7|spectral:p=2|spanner:k=4"
+	base := mustApply(t, mustParse(t, spec, WithSeed(9), WithWorkers(1)), g)
+	for _, workers := range []int{2, 8} {
+		again := mustApply(t, mustParse(t, spec, WithSeed(9), WithWorkers(workers)), g)
+		if !sameGraph(base.Output, again.Output) {
+			t.Fatalf("workers=%d changed the pipeline output", workers)
+		}
+	}
+	other := mustApply(t, mustParse(t, spec, WithSeed(10), WithWorkers(1)), g)
+	if sameGraph(base.Output, other.Output) {
+		t.Fatal("different seeds produced identical pipelines (suspicious)")
+	}
+}
+
+func TestPipelineRepeatablePerSeedSequential(t *testing.T) {
+	g := registryGraph()
+	spec := "tr-eo:p=0.8|spanner:k=4"
+	a := mustApply(t, mustParse(t, spec, WithSeed(9), WithWorkers(1)), g)
+	b := mustApply(t, mustParse(t, spec, WithSeed(9), WithWorkers(1)), g)
+	if !sameGraph(a.Output, b.Output) {
+		t.Fatal("same seed, sequential engine: outputs differ")
+	}
+}
+
+func sameGraph(a, b *graph.Graph) bool {
+	if a.N() != b.N() || a.M() != b.M() {
+		return false
+	}
+	for e := 0; e < a.M(); e++ {
+		au, av := a.EdgeEndpoints(graph.EdgeID(e))
+		bu, bv := b.EdgeEndpoints(graph.EdgeID(e))
+		if au != bu || av != bv {
+			return false
+		}
+	}
+	return true
+}
+
+func TestPipelineComposesVertexMaps(t *testing.T) {
+	g := gen.PlantedPartition(200, 10, 0.8, 100, 3)
+	res := mustApply(t, mustParse(t, "tr-collapse:p=1|tr-collapse:p=1", WithSeed(2)), g)
+	if res.VertexMap == nil {
+		t.Fatal("collapse pipeline lost its VertexMap")
+	}
+	if len(res.VertexMap) != g.N() {
+		t.Fatalf("VertexMap length %d, want %d", len(res.VertexMap), g.N())
+	}
+	for v, to := range res.VertexMap {
+		if int(to) >= res.Output.N() {
+			t.Fatalf("VertexMap[%d] = %d out of range (n=%d)", v, to, res.Output.N())
+		}
+	}
+	// A second collapse cannot grow the vertex set back.
+	if res.Output.N() > res.Stages[0].Output.N() {
+		t.Fatal("vertex count grew across stages")
+	}
+}
+
+func TestPipelineIsAScheme(t *testing.T) {
+	inner := mustParse(t, "uniform:p=0.9|uniform:p=0.9")
+	p, err := NewPipeline(inner, mustParse(t, "lowdeg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := registryGraph()
+	res := mustApply(t, p, g)
+	if res.Output == nil || len(res.Stages) != 2 {
+		t.Fatal("nested pipeline did not run")
+	}
+	if _, err := NewPipeline(); err == nil {
+		t.Fatal("empty pipeline accepted")
+	}
+	if _, err := NewPipeline(nil); err == nil {
+		t.Fatal("nil stage accepted")
+	}
+}
+
+func TestSpecOnPipeline(t *testing.T) {
+	spec := "tr-eo:p=0.8|spanner:k=8,mode=pervertex"
+	s := mustParse(t, spec)
+	if got := Spec(s); got != spec {
+		t.Fatalf("Spec = %q, want %q", got, spec)
+	}
+	if s.(*Pipeline).Name() != "pipeline" {
+		t.Fatal("pipeline Name")
+	}
+}

@@ -1,0 +1,197 @@
+package schemes
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Registration describes one named scheme in the registry.
+type Registration struct {
+	// Name is the spec name, e.g. "uniform" or "tr-eo".
+	Name string
+	// About is a one-line description for usage text.
+	About string
+	// New constructs the scheme. Spec parameters arrive as Options after
+	// any caller-supplied defaults, so explicit spec parameters win.
+	New func(opts ...Option) (Scheme, error)
+}
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Registration{}
+)
+
+// Register adds a scheme to the registry. It panics on an empty name, a nil
+// constructor, a name containing spec metacharacters, or a duplicate — all
+// programmer errors at init time.
+func Register(r Registration) {
+	if r.Name == "" || r.New == nil {
+		panic("schemes: Register needs a name and a constructor")
+	}
+	if strings.ContainsAny(r.Name, ":|,= \t\n") {
+		panic(fmt.Sprintf("schemes: invalid registry name %q", r.Name))
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[r.Name]; dup {
+		panic(fmt.Sprintf("schemes: duplicate registration of %q", r.Name))
+	}
+	registry[r.Name] = r
+}
+
+// Lookup returns the registration for name.
+func Lookup(name string) (Registration, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	r, ok := registry[name]
+	return r, ok
+}
+
+// Names returns all registered scheme names, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// New builds a registered scheme by name with the given options.
+func New(name string, opts ...Option) (Scheme, error) {
+	r, ok := Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("schemes: unknown scheme %q (known: %s)",
+			name, strings.Join(Names(), ", "))
+	}
+	return r.New(opts...)
+}
+
+// Parse builds a Scheme from a spec string. The grammar is
+//
+//	spec   := stage ("|" stage)*
+//	stage  := name [":" params]
+//	params := key "=" value ("," key "=" value)*
+//
+// e.g. "uniform:p=0.5" or "tr-eo:p=0.8|spanner:k=8". A multi-stage spec
+// yields a *Pipeline. The defaults (typically WithSeed and WithWorkers) are
+// applied to every stage before its spec parameters, so explicit parameters
+// win. Spec(Parse(s)) round-trips to an equivalent scheme.
+func Parse(spec string, defaults ...Option) (Scheme, error) {
+	stages := strings.Split(spec, "|")
+	if len(stages) == 1 {
+		return parseStage(stages[0], defaults)
+	}
+	built := make([]Scheme, len(stages))
+	for i, st := range stages {
+		s, err := parseStage(st, defaults)
+		if err != nil {
+			return nil, err
+		}
+		built[i] = s
+	}
+	return NewPipeline(built...)
+}
+
+func parseStage(stage string, defaults []Option) (Scheme, error) {
+	stage = strings.TrimSpace(stage)
+	if stage == "" {
+		return nil, fmt.Errorf("schemes: empty stage in spec")
+	}
+	name, params, _ := strings.Cut(stage, ":")
+	name = strings.TrimSpace(name)
+	opts := make([]Option, 0, len(defaults))
+	for _, d := range defaults {
+		opts = append(opts, asDefault(d))
+	}
+	if strings.TrimSpace(params) != "" {
+		for _, kv := range strings.Split(params, ",") {
+			key, val, ok := strings.Cut(kv, "=")
+			key, val = strings.TrimSpace(key), strings.TrimSpace(val)
+			if !ok || key == "" || val == "" {
+				return nil, fmt.Errorf("schemes: malformed parameter %q in %q (want key=value)", kv, stage)
+			}
+			opt, err := paramOption(key, val)
+			if err != nil {
+				return nil, fmt.Errorf("schemes: %q: %w", stage, err)
+			}
+			opts = append(opts, opt)
+		}
+	}
+	return New(name, opts...)
+}
+
+// paramOption maps one spec key=value to the corresponding Option. The
+// mapping is scheme-independent; inapplicable keys are rejected by the
+// scheme constructor.
+func paramOption(key, val string) (Option, error) {
+	switch key {
+	case "p":
+		f, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return Option{}, fmt.Errorf("parameter p: %w", err)
+		}
+		return WithProbability(f), nil
+	case "x":
+		n, err := strconv.Atoi(val)
+		if err != nil {
+			return Option{}, fmt.Errorf("parameter x: %w", err)
+		}
+		return WithEdgesPerTriangle(n), nil
+	case "k":
+		n, err := strconv.Atoi(val)
+		if err != nil {
+			return Option{}, fmt.Errorf("parameter k: %w", err)
+		}
+		return WithStretch(n), nil
+	case "eps":
+		f, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return Option{}, fmt.Errorf("parameter eps: %w", err)
+		}
+		return WithEpsilon(f), nil
+	case "iters":
+		n, err := strconv.Atoi(val)
+		if err != nil {
+			return Option{}, fmt.Errorf("parameter iters: %w", err)
+		}
+		return WithIterations(n), nil
+	case "rho":
+		if val == "auto" {
+			return WithRho(0), nil
+		}
+		f, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return Option{}, fmt.Errorf("parameter rho: %w", err)
+		}
+		return WithRho(f), nil
+	case "reweight":
+		b, err := strconv.ParseBool(val)
+		if err != nil {
+			return Option{}, fmt.Errorf("parameter reweight: %w", err)
+		}
+		return WithReweight(b), nil
+	case "variant":
+		return withVariantName(val), nil
+	case "mode":
+		return withModeName(val), nil
+	case "seed":
+		s, err := strconv.ParseUint(val, 10, 64)
+		if err != nil {
+			return Option{}, fmt.Errorf("parameter seed: %w", err)
+		}
+		return WithSeed(s), nil
+	case "workers":
+		n, err := strconv.Atoi(val)
+		if err != nil {
+			return Option{}, fmt.Errorf("parameter workers: %w", err)
+		}
+		return WithWorkers(n), nil
+	}
+	return Option{}, fmt.Errorf("unknown parameter %q", key)
+}

@@ -1,0 +1,200 @@
+package schemes
+
+import (
+	"strings"
+	"testing"
+
+	"slimgraph/internal/gen"
+	"slimgraph/internal/graph"
+)
+
+// registryGraph is triangle-rich so every scheme (TR family included) has
+// work to do.
+func registryGraph() *graph.Graph {
+	return gen.PlantedPartition(400, 20, 0.6, 400, 7)
+}
+
+func TestEveryRegisteredSchemeConstructsAndApplies(t *testing.T) {
+	g := registryGraph()
+	for _, name := range Names() {
+		s, err := New(name, WithSeed(11), WithWorkers(2))
+		if err != nil {
+			t.Fatalf("New(%q): %v", name, err)
+		}
+		if s.Name() == "" {
+			t.Fatalf("New(%q): empty Name", name)
+		}
+		res, err := s.Apply(g)
+		if err != nil {
+			t.Fatalf("%s.Apply: %v", name, err)
+		}
+		if res.Output == nil || res.Input != g {
+			t.Fatalf("%s: malformed Result", name)
+		}
+		if res.Scheme != s.Name() || res.Params != s.Params() {
+			t.Fatalf("%s: Result labels %s(%s) do not match scheme %s(%s)",
+				name, res.Scheme, res.Params, s.Name(), s.Params())
+		}
+	}
+}
+
+func TestNewRejectsInvalidParams(t *testing.T) {
+	cases := []struct {
+		name string
+		opts []Option
+	}{
+		{"uniform", []Option{WithKeepProbability(1.5)}},
+		{"uniform", []Option{WithKeepProbability(-0.1)}},
+		{"uniform", []Option{WithStretch(3)}},   // k is not a uniform option
+		{"uniform", []Option{WithEpsilon(0.1)}}, // neither is eps
+		{"spectral", []Option{WithProbability(0)}},
+		{"spectral", []Option{withVariantName("bogus")}},
+		{"tr", []Option{WithProbability(2)}},
+		{"tr", []Option{WithEdgesPerTriangle(3)}},
+		{"tr-eo", []Option{WithEdgesPerTriangle(2)}}, // x=2 is basic-only
+		{"tr", []Option{withVariantName("bogus")}},
+		{"tr-ct", []Option{withVariantName("eo")}}, // alias names fix their variant
+		{"lowdeg", []Option{WithProbability(0.5)}},
+		{"spanner", []Option{WithStretch(0)}},
+		{"spanner", []Option{withModeName("bogus")}},
+		{"summarize", []Option{WithEpsilon(-1)}},
+		{"summarize", []Option{WithIterations(0)}},
+		{"vertexsample", []Option{WithKeepProbability(2)}},
+	}
+	for _, c := range cases {
+		if _, err := New(c.name, c.opts...); err == nil {
+			t.Errorf("New(%q, %v): expected error", c.name, c.opts)
+		}
+	}
+}
+
+func TestNewUnknownScheme(t *testing.T) {
+	if _, err := New("no-such-scheme"); err == nil ||
+		!strings.Contains(err.Error(), "unknown scheme") {
+		t.Fatalf("expected unknown-scheme error, got %v", err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, spec := range []string{
+		"",
+		"uniform:p",           // malformed param
+		"uniform:p=x",         // non-numeric
+		"uniform:q=0.5",       // unknown key
+		"uniform:p=0.5|",      // empty pipeline stage
+		"bogus:p=0.5",         // unknown scheme
+		"spanner:k=8,mode=zz", // bad enum
+		"tr:p=0.5,x=2,variant=EO",
+	} {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q): expected error", spec)
+		}
+	}
+}
+
+func TestParseRoundTripsSpec(t *testing.T) {
+	specs := []string{
+		"uniform:p=0.25",
+		"vertexsample:p=0.75",
+		"spectral:p=2,variant=avgdeg,reweight=true",
+		"tr:p=0.5,x=2",
+		"tr-eo:p=0.8",
+		"tr-ct:p=0.3",
+		"tr-maxweight:p=1",
+		"tr-collapse:p=0.2",
+		"tr-eo-redirect:p=0.6",
+		"lowdeg",
+		"lowdeg-iter",
+		"spanner:k=16,mode=perpair",
+		"cut:rho=auto",
+		"cut:rho=3",
+		"summarize:eps=0.2,iters=4",
+		"tr-eo:p=0.8|spanner:k=8,mode=pervertex",
+	}
+	for _, spec := range specs {
+		s, err := Parse(spec)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", spec, err)
+		}
+		got := Spec(s)
+		// The round trip must re-parse to a scheme with the identical
+		// canonical spec — defaults may expand (e.g. mode=pervertex), but
+		// the expansion must be a fixpoint.
+		s2, err := Parse(got)
+		if err != nil {
+			t.Fatalf("Parse(Spec(%q)) = Parse(%q): %v", spec, got, err)
+		}
+		if Spec(s2) != got {
+			t.Errorf("spec not canonical: %q -> %q -> %q", spec, got, Spec(s2))
+		}
+	}
+}
+
+func TestParseAppliesDefaultsAndSpecWins(t *testing.T) {
+	s, err := Parse("uniform:p=0.5,seed=99", WithSeed(1), WithWorkers(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := s.(*uniformScheme)
+	if u.seed != 99 {
+		t.Fatalf("spec seed should override default, got %d", u.seed)
+	}
+	if u.workers != 3 {
+		t.Fatalf("default workers lost, got %d", u.workers)
+	}
+}
+
+func TestMaxWeightStaysSequentialUnderParseDefaults(t *testing.T) {
+	// Parse defaults (how the CLIs and experiment harness pass workers)
+	// must not defeat tr-maxweight's one-worker rule, which keeps its MST
+	// preservation exact.
+	s, err := Parse("tr-maxweight:p=1", WithWorkers(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w := s.(*trScheme).opts.Workers; w != 1 {
+		t.Fatalf("Parse default workers leaked into tr-maxweight: %d", w)
+	}
+	// An explicit constructor option is a deliberate override and wins.
+	s, err = New("tr-maxweight", WithWorkers(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w := s.(*trScheme).opts.Workers; w != 8 {
+		t.Fatalf("explicit workers override lost: %d", w)
+	}
+}
+
+func TestLookupAndNames(t *testing.T) {
+	names := Names()
+	if len(names) < 12 {
+		t.Fatalf("registry too small: %v", names)
+	}
+	for _, want := range []string{"uniform", "spectral", "tr", "tr-eo", "spanner",
+		"cut", "vertexsample", "lowdeg", "summarize"} {
+		if _, ok := Lookup(want); !ok {
+			t.Errorf("Lookup(%q) missing", want)
+		}
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Error("Lookup of unknown name succeeded")
+	}
+}
+
+func TestRegisterRejectsBadNames(t *testing.T) {
+	for _, bad := range []Registration{
+		{},
+		{Name: "x y", New: NewUniform},
+		{Name: "a|b", New: NewUniform},
+		{Name: "uniform", New: NewUniform}, // duplicate
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Register(%q) did not panic", bad.Name)
+				}
+			}()
+			Register(bad)
+		}()
+	}
+}

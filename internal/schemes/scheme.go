@@ -1,0 +1,190 @@
+package schemes
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"slimgraph/internal/graph"
+)
+
+// Scheme is a configured compression scheme: a reusable, immutable value
+// that can be applied to any graph. Every scheme in the registry (and every
+// Pipeline of them) implements it, which is what lets one harness run,
+// sweep, and chain arbitrary Table 2 schemes without per-scheme dispatch.
+type Scheme interface {
+	// Name is the registry name, e.g. "uniform" or "tr-eo".
+	Name() string
+	// Params is the canonical parameter string, e.g. "p=0.5". It is empty
+	// for parameterless schemes and always parses back: see Spec and Parse.
+	Params() string
+	// Apply compresses g; it never mutates g. Per-element random choices
+	// are deterministic per seed. Schemes whose kernels share state across
+	// instances (the EO/CT/maxweight TR variants' consider-state) are
+	// additionally order-sensitive under real parallelism; run them with
+	// WithWorkers(1) for bit-identical repeats.
+	Apply(g *graph.Graph) (*Result, error)
+}
+
+// Spec returns the spec string that Parse round-trips back into an
+// equivalent scheme: "name:params" for a single scheme, stage specs joined
+// with "|" for a Pipeline.
+func Spec(s Scheme) string {
+	if p, ok := s.(*Pipeline); ok {
+		return p.Params()
+	}
+	if ps := s.Params(); ps != "" {
+		return s.Name() + ":" + ps
+	}
+	return s.Name()
+}
+
+// Option configures a scheme constructor. Options are shared across
+// constructors; each constructor rejects options that do not apply to its
+// scheme (WithSeed and WithWorkers apply to every scheme). Options passed
+// as Parse defaults carry their value but do not count as explicitly set,
+// so schemes with conditional defaults (tr-maxweight's one-worker rule)
+// still apply them.
+type Option struct {
+	key       string
+	apply     func(*config)
+	isDefault bool
+}
+
+// asDefault marks an option as a caller-supplied default rather than an
+// explicit setting.
+func asDefault(o Option) Option {
+	o.isDefault = true
+	return o
+}
+
+type config struct {
+	set      map[string]bool
+	seed     uint64
+	workers  int
+	p        float64
+	x        int
+	k        int
+	eps      float64
+	iters    int
+	rho      float64
+	reweight bool
+	variant  string // raw variant name; the scheme interprets it
+	mode     string // raw inter-cluster mode name (spanner)
+}
+
+func buildConfig(opts []Option) *config {
+	c := &config{set: map[string]bool{}}
+	for _, o := range opts {
+		if !o.isDefault {
+			c.set[o.key] = true
+		}
+		o.apply(c)
+	}
+	return c
+}
+
+// allow returns an error naming the first set option outside the allowed
+// list. Seed and workers are always allowed.
+func (c *config) allow(scheme string, keys ...string) error {
+	allowed := map[string]bool{"seed": true, "workers": true}
+	for _, k := range keys {
+		allowed[k] = true
+	}
+	var bad []string
+	for k := range c.set {
+		if !allowed[k] {
+			bad = append(bad, k)
+		}
+	}
+	if len(bad) == 0 {
+		return nil
+	}
+	sort.Strings(bad)
+	sort.Strings(keys)
+	return fmt.Errorf("schemes: %s does not accept option %q (accepted: %s)",
+		scheme, strings.Join(bad, ","), strings.Join(append(keys, "seed", "workers"), ","))
+}
+
+func option(key string, apply func(*config)) Option { return Option{key: key, apply: apply} }
+
+// WithSeed sets the random seed. Every scheme is deterministic per seed.
+func WithSeed(seed uint64) Option {
+	return option("seed", func(c *config) { c.seed = seed })
+}
+
+// WithWorkers sets the parallelism (<= 0 means all CPUs). Outputs do not
+// depend on the worker count.
+func WithWorkers(workers int) Option {
+	return option("workers", func(c *config) { c.workers = workers })
+}
+
+// WithProbability sets the scheme's probability parameter p: the keep
+// probability for uniform and vertexsample, the Υ scale for spectral, and
+// the triangle sampling probability for the TR family.
+func WithProbability(p float64) Option {
+	return option("p", func(c *config) { c.p = p })
+}
+
+// WithKeepProbability is WithProbability under the name the edge- and
+// vertex-sampling schemes use: every element stays with probability p.
+func WithKeepProbability(p float64) Option { return WithProbability(p) }
+
+// WithEdgesPerTriangle sets x for Triangle p-x-Reduction (1 or 2; only the
+// basic variant supports 2).
+func WithEdgesPerTriangle(x int) Option {
+	return option("x", func(c *config) { c.x = x })
+}
+
+// WithTRVariant selects the Triangle Reduction flavor.
+func WithTRVariant(v TRVariant) Option {
+	return option("variant", func(c *config) { c.variant = v.String() })
+}
+
+// WithUpsilonVariant selects how the spectral sparsifier's Υ scales.
+func WithUpsilonVariant(v UpsilonVariant) Option {
+	return option("variant", func(c *config) { c.variant = v.String() })
+}
+
+// WithReweight keeps the spectral output unbiased: kept edges get weight
+// w(e)/p_e.
+func WithReweight(on bool) Option {
+	return option("reweight", func(c *config) { c.reweight = on })
+}
+
+// WithStretch sets the spanner stretch parameter k >= 1.
+func WithStretch(k int) Option {
+	return option("k", func(c *config) { c.k = k })
+}
+
+// WithInterClusterMode selects the spanner's inter-cluster edge rule.
+func WithInterClusterMode(m InterClusterMode) Option {
+	return option("mode", func(c *config) { c.mode = m.String() })
+}
+
+// WithEpsilon sets the summarization error budget.
+func WithEpsilon(eps float64) Option {
+	return option("eps", func(c *config) { c.eps = eps })
+}
+
+// WithIterations sets the summarization round count.
+func WithIterations(n int) Option {
+	return option("iters", func(c *config) { c.iters = n })
+}
+
+// WithRho sets the cut sparsifier's sampling density; rho <= 0 selects the
+// automatic 8·ln n.
+func WithRho(rho float64) Option {
+	return option("rho", func(c *config) { c.rho = rho })
+}
+
+// withVariantName is the parser's untyped variant option; the constructor
+// interprets the string per scheme.
+func withVariantName(name string) Option {
+	return option("variant", func(c *config) { c.variant = name })
+}
+
+// withModeName is the parser's untyped inter-cluster mode option.
+func withModeName(name string) Option {
+	return option("mode", func(c *config) { c.mode = name })
+}

@@ -32,9 +32,15 @@ type Result struct {
 	Input  *graph.Graph
 	Output *graph.Graph
 	// VertexMap is non-nil when the scheme changed the vertex set
-	// (triangle collapse): VertexMap[old] = new vertex ID.
+	// (triangle collapse): VertexMap[old] = new vertex ID, -1 if dropped.
 	VertexMap []graph.NodeID
 	Elapsed   time.Duration
+	// Stages holds the per-stage Results when this Result came from a
+	// Pipeline, in application order.
+	Stages []*Result
+	// Aux carries scheme-specific artifacts beyond the compressed graph —
+	// the summarize scheme stores its *summarize.Summary here.
+	Aux any
 }
 
 // CompressionRatio returns |E_compressed| / |E_original| — the coloring of

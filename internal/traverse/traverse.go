@@ -68,8 +68,9 @@ func BFS(g *graph.Graph, root graph.NodeID, workers int) *BFSResult {
 	level := int32(0)
 	for len(frontier) > 0 {
 		level++
-		nextPer := make([][]graph.NodeID, parallel.DefaultWorkers())
-		parallel.ForWorker(len(frontier), workers, func(w, lo, hi int) {
+		nw := parallel.Resolve(workers, len(frontier))
+		nextPer := make([][]graph.NodeID, nw)
+		parallel.ForWorker(len(frontier), nw, func(w, lo, hi int) {
 			local := nextPer[w]
 			for i := lo; i < hi; i++ {
 				u := frontier[i]
@@ -191,8 +192,9 @@ func DeltaStepping(g *graph.Graph, root graph.NodeID, delta float64, workers int
 				v graph.NodeID
 				b int
 			}
-			per := make([][]relaxed, parallel.DefaultWorkers())
-			parallel.ForWorker(len(frontier), workers, func(w, lo, hi int) {
+			nw := parallel.Resolve(workers, len(frontier))
+			per := make([][]relaxed, nw)
+			parallel.ForWorker(len(frontier), nw, func(w, lo, hi int) {
 				local := per[w]
 				for i := lo; i < hi; i++ {
 					u := frontier[i]
