@@ -54,14 +54,36 @@ func FromWeightedEdges(n int, directed bool, edges []Edge) *Graph {
 	return graph.FromWeightedEdges(n, directed, edges)
 }
 
+// FromCanonicalEdges builds a Graph from an already-canonical edge list
+// (no self-loops, deduplicated, (U, V)-sorted, U <= V when undirected)
+// through the sort-free construction path. It returns an error when the
+// input is not canonical; use FromEdges for arbitrary input.
+func FromCanonicalEdges(n int, directed, weighted bool, edges []Edge) (*Graph, error) {
+	return graph.FromCanonicalEdges(n, directed, weighted, edges)
+}
+
+// EdgeSet is a dense set of canonical EdgeIDs — the stage-1 mark container
+// of the compression engine. Kernels may Add concurrently; FilterEdgeSet
+// materializes the members through the direct CSR→CSR transform.
+type EdgeSet = graph.EdgeSet
+
+// NewEdgeSet returns an empty EdgeSet over the universe [0, m).
+func NewEdgeSet(m int) *EdgeSet { return graph.NewEdgeSet(m) }
+
 // E constructs an unweighted edge; WE a weighted one.
 func E(u, v NodeID) Edge             { return graph.E(u, v) }
 func WE(u, v NodeID, w float64) Edge { return graph.WE(u, v, w) }
 
 // ReadEdgeList parses a text edge list ("u v" or "u v w" per line, # and %
-// comments).
+// comments; a "# Nodes: N" header raises the vertex count).
 func ReadEdgeList(r io.Reader, directed bool) (*Graph, error) {
 	return graphio.ReadEdgeList(r, directed)
+}
+
+// ReadEdgeListN is ReadEdgeList with an explicit vertex count: the graph
+// has exactly n vertices and endpoints >= n are an error (n <= 0 infers).
+func ReadEdgeListN(r io.Reader, directed bool, n int) (*Graph, error) {
+	return graphio.ReadEdgeListN(r, directed, n)
 }
 
 // WriteEdgeList writes the canonical edge list as text.

@@ -7,10 +7,14 @@ package slimgraph_test
 
 import (
 	"io"
+	"sync"
 	"testing"
 
 	"slimgraph"
 	"slimgraph/internal/experiments"
+	"slimgraph/internal/gen"
+	"slimgraph/internal/graph"
+	"slimgraph/internal/rng"
 )
 
 func benchConfig() experiments.Config {
@@ -45,6 +49,89 @@ func BenchmarkCutPreservation(b *testing.B)       { runTable(b, experiments.CutP
 func BenchmarkAblationEO(b *testing.B)            { runTable(b, experiments.AblationEO) }
 func BenchmarkAblationSpanner(b *testing.B)       { runTable(b, experiments.AblationSpanner) }
 func BenchmarkAblationUpsilon(b *testing.B)       { runTable(b, experiments.AblationUpsilon) }
+
+// Construction-core benchmarks: the rebuild-free CSR paths against the
+// serial sort-based reference they replaced, on a Graph500-parameter R-MAT
+// graph (n = 2^17 = 131072, m ≈ 1.9M). The parallel paths scale with
+// GOMAXPROCS — run with -cpu=1,2,4,... to see worker scaling; -cpu=1 gives
+// the single-threaded comparison of BENCH_pr2.json. ReferenceBuild is
+// pinned to the seed's serial implementation, so these benchmarks keep
+// measuring the same baseline as the code evolves.
+
+var (
+	coreGraphOnce sync.Once
+	coreGraph     *graph.Graph
+	coreKeep      *graph.EdgeSet
+)
+
+func coreBenchGraph(b *testing.B) (*graph.Graph, *graph.EdgeSet) {
+	b.Helper()
+	coreGraphOnce.Do(func() {
+		coreGraph = gen.RMAT(17, 16, 0.57, 0.19, 0.19, 77)
+		coreKeep = graph.NewEdgeSet(coreGraph.M())
+		// Deterministic 75%-keep mark set standing in for a stage-1 kernel.
+		coreKeep.AddBatch(1, func(e graph.EdgeID) bool { return e%4 != 0 })
+	})
+	return coreGraph, coreKeep
+}
+
+func BenchmarkBuild(b *testing.B) {
+	g, _ := coreBenchGraph(b)
+	// Arbitrary-order input (generator/ingest workload): a deterministic
+	// shuffle of the canonical list.
+	shuffled := g.Edges()
+	r := rng.New(99)
+	r.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+	sorted := g.Edges()
+	b.Run("reference-sort", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			graph.ReferenceBuild(g.N(), false, false, shuffled)
+		}
+	})
+	b.Run("counting", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			slimgraph.FromEdges(g.N(), false, shuffled)
+		}
+	})
+	b.Run("counting-presorted", func(b *testing.B) {
+		// Already-sorted input skips the sort step entirely.
+		for i := 0; i < b.N; i++ {
+			slimgraph.FromEdges(g.N(), false, sorted)
+		}
+	})
+}
+
+func BenchmarkFilterEdges(b *testing.B) {
+	g, keep := coreBenchGraph(b)
+	b.Run("rebuild", func(b *testing.B) {
+		// The old path: materialize the surviving []Edge, then the full
+		// sort-based reconstruction.
+		for i := 0; i < b.N; i++ {
+			kept := make([]graph.Edge, 0, g.M())
+			for e := 0; e < g.M(); e++ {
+				if keep.Contains(graph.EdgeID(e)) {
+					u, v := g.EdgeEndpoints(graph.EdgeID(e))
+					kept = append(kept, graph.Edge{U: u, V: v, W: 1})
+				}
+			}
+			graph.ReferenceBuild(g.N(), false, false, kept)
+		}
+	})
+	b.Run("direct", func(b *testing.B) {
+		// The rebuild-free path the engine's Materialize takes: stream the
+		// CSR through the kept-edge bitset.
+		for i := 0; i < b.N; i++ {
+			g.FilterEdgeSet(keep, nil)
+		}
+	})
+	b.Run("direct-pred", func(b *testing.B) {
+		// Same, but materializing the mark set from a predicate first
+		// (the FilterEdges closure API).
+		for i := 0; i < b.N; i++ {
+			g.FilterEdges(func(e graph.EdgeID) bool { return e%4 != 0 }, nil)
+		}
+	})
+}
 
 // Micro-benchmarks of the public API on a fixed mid-size graph, for
 // regression tracking of the kernels themselves.

@@ -100,9 +100,76 @@ func (b *Atomic) TestAndSet(i int) (wasSet bool) {
 	}
 }
 
+// Clear clears bit i. Concurrent calls for any bits are safe.
+func (b *Atomic) Clear(i int) {
+	w := &b.words[i/wordBits]
+	mask := uint64(1) << (uint(i) % wordBits)
+	for {
+		old := atomic.LoadUint64(w)
+		if old&mask == 0 || atomic.CompareAndSwapUint64(w, old, old&^mask) {
+			return
+		}
+	}
+}
+
 // Get reports whether bit i is set.
 func (b *Atomic) Get(i int) bool {
 	return atomic.LoadUint64(&b.words[i/wordBits])&(1<<(uint(i)%wordBits)) != 0
+}
+
+// Bulk word-wise operations. They use plain loads and stores, so they are
+// only safe while no concurrent per-bit writers are active — the situation
+// between kernel stages, where the engine flips whole deletion sets at once.
+
+// Fill sets every bit.
+func (b *Atomic) Fill() {
+	if b.n == 0 {
+		return
+	}
+	for i := range b.words {
+		b.words[i] = ^uint64(0)
+	}
+	b.trimLastWord()
+}
+
+// Subtract clears every bit of b that is set in o (b &^= o). Panics if the
+// sets have different lengths.
+func (b *Atomic) Subtract(o *Atomic) {
+	b.sameLen(o)
+	for i := range b.words {
+		b.words[i] &^= o.words[i]
+	}
+}
+
+// UnionComplement sets every bit of b that is clear in o (b |= ^o) — the
+// "delete everything unmarked" step of keep-set kernels. Panics if the sets
+// have different lengths.
+func (b *Atomic) UnionComplement(o *Atomic) {
+	b.sameLen(o)
+	for i := range b.words {
+		b.words[i] |= ^o.words[i]
+	}
+	b.trimLastWord()
+}
+
+// Words exposes the backing words (64 bits each, little-endian bit order)
+// for word-at-a-time fast paths: rank/pack loops, batch construction.
+// Callers own the concurrency discipline — reads require quiescent
+// writers, and plain word stores require exclusive ownership of the set.
+func (b *Atomic) Words() []uint64 { return b.words }
+
+// trimLastWord zeroes the bits beyond n in the final word so Count stays
+// exact after bulk complement-style operations.
+func (b *Atomic) trimLastWord() {
+	if rem := uint(b.n) % wordBits; rem != 0 && len(b.words) > 0 {
+		b.words[len(b.words)-1] &= (uint64(1) << rem) - 1
+	}
+}
+
+func (b *Atomic) sameLen(o *Atomic) {
+	if b.n != o.n {
+		panic("bitset: bulk operation over sets of different lengths")
+	}
 }
 
 // Count returns the number of set bits. It is only exact when no concurrent

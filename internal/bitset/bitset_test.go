@@ -150,6 +150,75 @@ func TestAtomicConcurrentDisjointWords(t *testing.T) {
 	}
 }
 
+func TestAtomicClear(t *testing.T) {
+	b := NewAtomic(130)
+	b.Set(0)
+	b.Set(64)
+	b.Set(129)
+	b.Clear(64)
+	b.Clear(1) // clearing a clear bit is a no-op
+	if b.Get(64) || !b.Get(0) || !b.Get(129) {
+		t.Fatal("Clear affected the wrong bits")
+	}
+	if b.Count() != 2 {
+		t.Fatalf("Count = %d, want 2", b.Count())
+	}
+}
+
+func TestAtomicBulkOps(t *testing.T) {
+	const n = 133 // non-multiple of 64 exercises last-word trimming
+	full := NewAtomic(n)
+	full.Fill()
+	if full.Count() != n {
+		t.Fatalf("Fill Count = %d, want %d", full.Count(), n)
+	}
+
+	del := NewAtomic(n)
+	for i := 0; i < n; i += 3 {
+		del.Set(i)
+	}
+	kept := NewAtomic(n)
+	kept.Fill()
+	kept.Subtract(del)
+	for i := 0; i < n; i++ {
+		if kept.Get(i) == (i%3 == 0) {
+			t.Fatalf("Subtract wrong at bit %d", i)
+		}
+	}
+
+	keep := NewAtomic(n)
+	for i := 0; i < n; i += 5 {
+		keep.Set(i)
+	}
+	deleted := NewAtomic(n)
+	deleted.Set(10)
+	deleted.UnionComplement(keep)
+	for i := 0; i < n; i++ {
+		want := i == 10 || i%5 != 0
+		if deleted.Get(i) != want {
+			t.Fatalf("UnionComplement wrong at bit %d", i)
+		}
+	}
+	wantCount := 0
+	for i := 0; i < n; i++ {
+		if i == 10 || i%5 != 0 {
+			wantCount++
+		}
+	}
+	if deleted.Count() != wantCount {
+		t.Fatalf("UnionComplement Count = %d, want %d", deleted.Count(), wantCount)
+	}
+}
+
+func TestAtomicBulkLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for mismatched lengths")
+		}
+	}()
+	NewAtomic(10).Subtract(NewAtomic(11))
+}
+
 func BenchmarkAtomicSet(b *testing.B) {
 	s := NewAtomic(1 << 20)
 	b.ResetTimer()

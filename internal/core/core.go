@@ -33,9 +33,9 @@ type SG struct {
 	seed    uint64
 	workers int
 
-	deletedEdges    *bitset.Atomic
+	deletedEdges    *graph.EdgeSet // stage-1 deletion marks
 	deletedVertices *bitset.Atomic
-	considered      *bitset.Atomic // Edge-Once flags (§4.3)
+	considered      *graph.EdgeSet // Edge-Once flags (§4.3)
 
 	weightBits []uint64 // new edge weights as float64 bits; 0 = unset
 	reweighted int32    // atomic flag: any SetWeight call happened
@@ -50,9 +50,9 @@ func New(g *graph.Graph, seed uint64, workers int) *SG {
 		g:               g,
 		seed:            seed,
 		workers:         workers,
-		deletedEdges:    bitset.NewAtomic(g.M()),
+		deletedEdges:    graph.NewEdgeSet(g.M()),
 		deletedVertices: bitset.NewAtomic(g.N()),
-		considered:      bitset.NewAtomic(g.M()),
+		considered:      graph.NewEdgeSet(g.M()),
 		weightBits:      make([]uint64, g.M()),
 		params:          make(map[string]float64),
 	}
@@ -75,10 +75,18 @@ func (sg *SG) Param(name string) float64 { return sg.params[name] }
 
 // Del atomically deletes canonical edge e — both CSR directions disappear
 // at materialization.
-func (sg *SG) Del(e graph.EdgeID) { sg.deletedEdges.Set(int(e)) }
+func (sg *SG) Del(e graph.EdgeID) { sg.deletedEdges.Add(e) }
 
 // Deleted reports whether edge e has been deleted.
-func (sg *SG) Deleted(e graph.EdgeID) bool { return sg.deletedEdges.Get(int(e)) }
+func (sg *SG) Deleted(e graph.EdgeID) bool { return sg.deletedEdges.Contains(e) }
+
+// DeleteUnmarked deletes every edge absent from keep — the stage-2 "delete
+// everything unmarked" step of keep-set kernels (spanners): one word-wise
+// pass instead of an edge kernel. Call it only between kernel runs (no
+// concurrent Del/SetWeight callers).
+func (sg *SG) DeleteUnmarked(keep *graph.EdgeSet) {
+	sg.deletedEdges.UnionComplement(keep)
+}
 
 // DelVertex atomically deletes vertex v: all incident edges disappear at
 // materialization. The vertex set is preserved (the vertex becomes
@@ -93,15 +101,15 @@ func (sg *SG) VertexDeleted(v graph.NodeID) bool { return sg.deletedVertices.Get
 // considered and reports whether e had already been considered by an
 // earlier kernel instance.
 func (sg *SG) ConsiderOnce(e graph.EdgeID) (alreadyConsidered bool) {
-	return sg.considered.TestAndSet(int(e))
+	return sg.considered.TestAndAdd(e)
 }
 
 // MarkConsidered marks e considered without reporting the previous state —
 // used to protect the surviving edges of a reduced triangle.
-func (sg *SG) MarkConsidered(e graph.EdgeID) { sg.considered.Set(int(e)) }
+func (sg *SG) MarkConsidered(e graph.EdgeID) { sg.considered.Add(e) }
 
 // WasConsidered reports the Edge-Once flag of e.
-func (sg *SG) WasConsidered(e graph.EdgeID) bool { return sg.considered.Get(int(e)) }
+func (sg *SG) WasConsidered(e graph.EdgeID) bool { return sg.considered.Contains(e) }
 
 // SetWeight assigns edge e a new weight in the compressed graph (the
 // spectral kernel's "e.weight = 1/edge_stays"). Safe when each edge is
@@ -241,17 +249,37 @@ func (sg *SG) RunSubgraphKernel(mapping []int32, count int, k SubgraphKernel) {
 	})
 }
 
-// Materialize rebuilds the compressed graph from the deletion marks: edges
+// Materialize produces the compressed graph from the deletion marks: edges
 // survive unless deleted directly or incident to a deleted vertex; new
 // weights from SetWeight apply. This is the stage-1 output of the engine.
+//
+// The kept-edge set is assembled with word-wise bitset passes (complement
+// of the deletion marks, minus the adjacency of deleted vertices) and the
+// graph is materialized through the direct CSR→CSR path — no edge list, no
+// sorting, no per-edge closure calls.
 func (sg *SG) Materialize() *graph.Graph {
 	g := sg.g
-	keep := func(e graph.EdgeID) bool {
-		if sg.deletedEdges.Get(int(e)) {
-			return false
-		}
-		u, v := g.EdgeEndpoints(e)
-		return !sg.deletedVertices.Get(int(u)) && !sg.deletedVertices.Get(int(v))
+	kept := graph.NewEdgeSet(g.M())
+	kept.Fill()
+	kept.Subtract(sg.deletedEdges)
+	if sg.deletedVertices.Count() > 0 {
+		parallel.ForChunks(g.N(), sg.workers, func(lo, hi int) {
+			for v := lo; v < hi; v++ {
+				if !sg.deletedVertices.Get(v) {
+					continue
+				}
+				_, eids := g.NeighborEdges(graph.NodeID(v))
+				for _, e := range eids {
+					kept.Remove(e)
+				}
+				if g.Directed() {
+					_, inEids := g.InNeighborEdges(graph.NodeID(v))
+					for _, e := range inEids {
+						kept.Remove(e)
+					}
+				}
+			}
+		})
 	}
 	var reweight func(e graph.EdgeID) float64
 	if atomic.LoadInt32(&sg.reweighted) != 0 {
@@ -262,5 +290,5 @@ func (sg *SG) Materialize() *graph.Graph {
 			return g.EdgeWeight(e)
 		}
 	}
-	return g.FilterEdges(keep, reweight)
+	return g.FilterEdgeSet(kept, reweight)
 }

@@ -8,6 +8,37 @@
 // edge e" is a single bit set shared by both directions, and edge weights
 // are stored exactly once. Directed graphs use the directed edge list as the
 // canonical list and additionally keep an in-neighbor CSR.
+//
+// # Rebuild-free construction
+//
+// The package maintains one global invariant: the canonical edge list is
+// always sorted by (U, V). That invariant buys two construction paths that
+// never run a comparison sort over all edges:
+//
+//   - Arbitrary edge input (Builder, FromEdges) goes through a two-pass
+//     parallel counting sort: a stable scatter groups edges by U
+//     (parallel.CountingScatter), only the per-vertex buckets are sorted (in
+//     parallel, each bucket is at most one adjacency long), and duplicates
+//     are removed with a stable parallel compaction. The CSR adjacency is
+//     then produced by a second stable scatter of the arcs in edge-ID
+//     order, which — because the edge list is (U, V)-sorted — emits every
+//     adjacency list already sorted, so no per-vertex sort pass exists at
+//     all.
+//
+//   - Input that is already a sorted canonical edge list (a compressed
+//     graph's surviving edges, a binary CSR snapshot) skips normalization,
+//     sorting, and deduplication entirely via FromCanonicalEdges and the
+//     internal fromSortedCanonical path. The CSR→CSR transforms in
+//     transform.go (FilterEdgeSet, FilterEdges, Compact, ...) exploit this:
+//     deleting edges, isolating vertices, and monotone renumberings stream
+//     the old CSR through a kept-edge bitset and an EdgeID remap without
+//     ever materializing or sorting an []Edge.
+//
+// All construction paths are deterministic: for a fixed input the CSR
+// arrays are bit-identical regardless of the worker count, which the
+// engine's reproducibility contract (seed ⇒ identical compressed graph)
+// depends on. ReferenceBuild keeps the original serial sort-based
+// construction as the differential-testing oracle and benchmark baseline.
 package graph
 
 import (
@@ -341,8 +372,309 @@ func FromWeightedEdges(n int, directed bool, edges []Edge) *Graph {
 	return g
 }
 
+// build constructs a Graph from arbitrary edge input: a two-pass parallel
+// counting-sort construction. No comparison sort ever sees the full edge
+// list — edges are bucketed by U with a stable scatter, each bucket (one
+// adjacency) is sorted by (V, W) in parallel, and duplicates are removed
+// with a stable parallel compaction keeping the minimum-weight copy.
 func build(n int, directed, weighted bool, input []Edge) *Graph {
-	// Normalize: drop self-loops; canonicalize undirected endpoints.
+	edges := normalizeEdges(directed, input)
+	if !edgesSorted(edges) {
+		sortEdgesByEndpoint(n, &edges)
+	}
+	eu, ev, ew := dedupSorted(edges, weighted)
+	return fromSortedCanonical(n, directed, weighted, eu, ev, ew)
+}
+
+// edgesSorted reports whether edges are (U, V, W)-lexicographically
+// non-decreasing — the order the sort step would produce. Compressed
+// graphs, snapshot loads, and edge lists written by this package arrive
+// sorted, so this O(m) parallel check routinely saves the whole sort.
+func edgesSorted(edges []Edge) bool {
+	violations := parallel.SumInt64(len(edges)-1, 0, func(i int) int64 {
+		a, b := edges[i], edges[i+1]
+		if a.U != b.U {
+			if a.U > b.U {
+				return 1
+			}
+			return 0
+		}
+		if a.V != b.V {
+			if a.V > b.V {
+				return 1
+			}
+			return 0
+		}
+		if a.W > b.W {
+			return 1
+		}
+		return 0
+	})
+	return violations == 0
+}
+
+// normalizeEdges drops self-loops and canonicalizes undirected endpoints
+// (U <= V), compacting into a fresh slice with a stable parallel pack.
+func normalizeEdges(directed bool, input []Edge) []Edge {
+	notLoop := func(i int) bool { return input[i].U != input[i].V }
+	kept := make([]Edge, parallel.Pack(len(input), 0, notLoop, nil))
+	parallel.Pack(len(input), 0, notLoop, func(i int, pos int64) {
+		e := input[i]
+		if !directed && e.U > e.V {
+			e.U, e.V = e.V, e.U
+		}
+		kept[pos] = e
+	})
+	return kept
+}
+
+// sortEdgesByEndpoint sorts edges by (U, V, W) without a global comparison
+// sort: a stable counting scatter groups by U, then each U-bucket — at most
+// one adjacency long — is sorted by (V, W) in parallel.
+func sortEdgesByEndpoint(n int, edges *[]Edge) {
+	in := *edges
+	byU := make([]Edge, len(in))
+	offsets := parallel.CountingScatter(len(in), n, 0,
+		func(i int) int { return int(in[i].U) },
+		func(i int, pos int64) { byU[pos] = in[i] })
+	parallel.For(n, 0, func(u int) {
+		bucket := byU[offsets[u]:offsets[u+1]]
+		if len(bucket) <= 1 {
+			return
+		}
+		// Buckets are adjacency-sized: insertion sort beats sort.Slice's
+		// closure dispatch for the short ones that dominate.
+		if len(bucket) <= 24 {
+			for i := 1; i < len(bucket); i++ {
+				e := bucket[i]
+				j := i - 1
+				for j >= 0 && (bucket[j].V > e.V || (bucket[j].V == e.V && bucket[j].W > e.W)) {
+					bucket[j+1] = bucket[j]
+					j--
+				}
+				bucket[j+1] = e
+			}
+			return
+		}
+		sort.Slice(bucket, func(i, j int) bool {
+			if bucket[i].V != bucket[j].V {
+				return bucket[i].V < bucket[j].V
+			}
+			return bucket[i].W < bucket[j].W
+		})
+	})
+	*edges = byU
+}
+
+// dedupSorted removes duplicate (U, V) pairs from a sorted edge list —
+// keeping the first (minimum-weight) copy — and splits the survivors into
+// the canonical column arrays. ew is nil when weighted is false.
+func dedupSorted(edges []Edge, weighted bool) (eu, ev []NodeID, ew []float64) {
+	first := func(i int) bool {
+		return i == 0 || edges[i].U != edges[i-1].U || edges[i].V != edges[i-1].V
+	}
+	m := parallel.Pack(len(edges), 0, first, nil)
+	eu = make([]NodeID, m)
+	ev = make([]NodeID, m)
+	if weighted {
+		ew = make([]float64, m)
+	}
+	parallel.Pack(len(edges), 0, first, func(i int, pos int64) {
+		eu[pos] = edges[i].U
+		ev[pos] = edges[i].V
+		if weighted {
+			ew[pos] = edges[i].W
+		}
+	})
+	return eu, ev, ew
+}
+
+// fromSortedCanonical builds the CSR directly from a canonical edge list:
+// self-loop-free, deduplicated, sorted by (U, V), U <= V for undirected
+// graphs. It takes ownership of the column slices.
+//
+// No sorting happens here. The adjacency of every vertex comes out sorted
+// by construction: arcs are scattered stably in edge-ID order, and for a
+// (U, V)-sorted canonical list the arcs with a fixed source x appear as
+// "in-edges (neighbor < x) in increasing order, then out-edges
+// (neighbor > x) in increasing order" — a sorted sequence.
+func fromSortedCanonical(n int, directed, weighted bool, eu, ev []NodeID, ew []float64) *Graph {
+	g := &Graph{n: n, directed: directed, weighted: weighted, edgeU: eu, edgeV: ev, edgeW: ew}
+	m := len(eu)
+	if directed {
+		// Out-CSR: the canonical list is sorted by U, so the adjacency is
+		// the ev column itself (shared — Graphs are immutable) and EdgeIDs
+		// are the identity.
+		g.offsets = countsToOffsets(parallel.Histogram(m, n, 0,
+			func(e int) int { return int(eu[e]) }))
+		g.nbrs = ev
+		g.eids = make([]EdgeID, m)
+		parallel.ForChunks(m, 0, func(lo, hi int) {
+			for e := lo; e < hi; e++ {
+				g.eids[e] = EdgeID(e)
+			}
+		})
+		// In-CSR: stable scatter by destination; sortedness by U within
+		// each destination bucket follows from the edge-ID order.
+		g.inNbrs = make([]NodeID, m)
+		g.inEids = make([]EdgeID, m)
+		g.inOffsets = parallel.CountingScatter(m, n, 0,
+			func(e int) int { return int(ev[e]) },
+			func(e int, pos int64) {
+				g.inNbrs[pos] = eu[e]
+				g.inEids[pos] = EdgeID(e)
+			})
+		return g
+	}
+	// Undirected: scatter both arcs of every edge, in edge-ID order (arc 2e
+	// is U→V, arc 2e+1 is V→U), stably by source.
+	g.nbrs = make([]NodeID, 2*m)
+	g.eids = make([]EdgeID, 2*m)
+	g.offsets = parallel.CountingScatter(2*m, n, 0,
+		func(a int) int {
+			if a&1 == 0 {
+				return int(eu[a>>1])
+			}
+			return int(ev[a>>1])
+		},
+		func(a int, pos int64) {
+			e := a >> 1
+			if a&1 == 0 {
+				g.nbrs[pos] = ev[e]
+			} else {
+				g.nbrs[pos] = eu[e]
+			}
+			g.eids[pos] = EdgeID(e)
+		})
+	return g
+}
+
+// countsToOffsets converts per-vertex counts (length n) into CSR offsets
+// (length n+1) in place of a fresh slice.
+func countsToOffsets(counts []int64) []int64 {
+	offsets := make([]int64, len(counts)+1)
+	copy(offsets, counts)
+	total := parallel.ExclusiveScan(offsets[:len(counts)], 0)
+	offsets[len(counts)] = total
+	return offsets
+}
+
+// FromCanonicalEdges builds a Graph from an edge list that is already
+// canonical: no self-loops, no duplicate (U, V) pairs, sorted by (U, V),
+// and U <= V for undirected graphs. It validates those invariants in O(m)
+// (parallel) and then constructs the CSR with zero sorting — the fast path
+// for loading binary CSR snapshots and for any producer that emits edges in
+// canonical order. It returns an error if the input is not canonical; use
+// Builder/FromEdges for arbitrary input.
+func FromCanonicalEdges(n int, directed, weighted bool, edges []Edge) (*Graph, error) {
+	bad := parallel.SumInt64(len(edges), 0, func(i int) int64 {
+		e := edges[i]
+		if e.U < 0 || int(e.U) >= n || e.V < 0 || int(e.V) >= n || e.U == e.V {
+			return 1
+		}
+		if !directed && e.U > e.V {
+			return 1
+		}
+		if i > 0 {
+			p := edges[i-1]
+			if e.U < p.U || (e.U == p.U && e.V <= p.V) {
+				return 1
+			}
+		}
+		return 0
+	})
+	if bad != 0 {
+		for i, e := range edges {
+			switch {
+			case e.U < 0 || int(e.U) >= n || e.V < 0 || int(e.V) >= n:
+				return nil, fmt.Errorf("graph: edge %d (%d, %d) out of range [0, %d)", i, e.U, e.V, n)
+			case e.U == e.V:
+				return nil, fmt.Errorf("graph: edge %d is a self-loop at vertex %d", i, e.U)
+			case !directed && e.U > e.V:
+				return nil, fmt.Errorf("graph: edge %d (%d, %d) not normalized (U > V)", i, e.U, e.V)
+			case i > 0 && (e.U < edges[i-1].U || (e.U == edges[i-1].U && e.V <= edges[i-1].V)):
+				return nil, fmt.Errorf("graph: edge list not strictly (U, V)-sorted at index %d", i)
+			}
+		}
+		return nil, fmt.Errorf("graph: edge list not canonical")
+	}
+	eu := make([]NodeID, len(edges))
+	ev := make([]NodeID, len(edges))
+	var ew []float64
+	if weighted {
+		ew = make([]float64, len(edges))
+	}
+	parallel.ForChunks(len(edges), 0, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			eu[i] = edges[i].U
+			ev[i] = edges[i].V
+			if weighted {
+				ew[i] = edges[i].W
+			}
+		}
+	})
+	return fromSortedCanonical(n, directed, weighted, eu, ev, ew), nil
+}
+
+// Equal reports whether g and h are structurally identical: same vertex
+// count, flags, canonical edge list (IDs, endpoints, weights), and CSR
+// arrays. This is bit-level equality, the relation the differential tests
+// check between construction paths.
+func (g *Graph) Equal(h *Graph) bool {
+	if g.n != h.n || g.directed != h.directed || g.weighted != h.weighted || g.M() != h.M() {
+		return false
+	}
+	if !int64sEqual(g.offsets, h.offsets) || !int64sEqual(g.inOffsets, h.inOffsets) {
+		return false
+	}
+	if !nodesEqual(g.nbrs, h.nbrs) || !nodesEqual(g.inNbrs, h.inNbrs) {
+		return false
+	}
+	if !nodesEqual(g.eids, h.eids) || !nodesEqual(g.inEids, h.inEids) {
+		return false
+	}
+	if !nodesEqual(g.edgeU, h.edgeU) || !nodesEqual(g.edgeV, h.edgeV) {
+		return false
+	}
+	for e := 0; e < g.M(); e++ {
+		if g.EdgeWeight(EdgeID(e)) != h.EdgeWeight(EdgeID(e)) {
+			return false
+		}
+	}
+	return true
+}
+
+func int64sEqual(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func nodesEqual(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ReferenceBuild is the original serial sort-based construction: global
+// sort.Slice over the normalized edge list, serial dedup, cursor scatter,
+// and a sort of every adjacency list. It produces a Graph bit-identical to
+// the parallel counting-sort path and exists as the oracle for differential
+// property tests and as the baseline the construction benchmarks compare
+// against. New code should use Builder, FromEdges, or FromCanonicalEdges.
+func ReferenceBuild(n int, directed, weighted bool, input []Edge) *Graph {
 	edges := make([]Edge, 0, len(input))
 	for _, e := range input {
 		if e.U == e.V {
@@ -362,7 +694,6 @@ func build(n int, directed, weighted bool, input []Edge) *Graph {
 		}
 		return edges[i].W < edges[j].W
 	})
-	// Dedup, keeping the minimum-weight copy (first after the sort above).
 	dst := 0
 	for i := range edges {
 		if i > 0 && edges[i].U == edges[dst-1].U && edges[i].V == edges[dst-1].V {
@@ -388,7 +719,6 @@ func build(n int, directed, weighted bool, input []Edge) *Graph {
 		}
 	}
 
-	// Out-CSR (for undirected graphs: both directions).
 	deg := make([]int64, n+1)
 	for _, e := range edges {
 		deg[e.U+1]++
@@ -396,58 +726,58 @@ func build(n int, directed, weighted bool, input []Edge) *Graph {
 			deg[e.V+1]++
 		}
 	}
-	g.offsets = prefixSum(deg)
+	g.offsets = serialPrefixSum(deg)
 	arcs := g.offsets[n]
 	g.nbrs = make([]NodeID, arcs)
 	g.eids = make([]EdgeID, arcs)
 	cursor := make([]int64, n)
 	copy(cursor, g.offsets[:n])
 	for e, ed := range edges {
-		place(g.nbrs, g.eids, cursor, ed.U, ed.V, EdgeID(e))
+		referencePlace(g.nbrs, g.eids, cursor, ed.U, ed.V, EdgeID(e))
 		if !directed {
-			place(g.nbrs, g.eids, cursor, ed.V, ed.U, EdgeID(e))
+			referencePlace(g.nbrs, g.eids, cursor, ed.V, ed.U, EdgeID(e))
 		}
 	}
-	sortAdjacency(n, g.offsets, g.nbrs, g.eids)
+	referenceSortAdjacency(n, g.offsets, g.nbrs, g.eids)
 
 	if directed {
 		indeg := make([]int64, n+1)
 		for _, e := range edges {
 			indeg[e.V+1]++
 		}
-		g.inOffsets = prefixSum(indeg)
+		g.inOffsets = serialPrefixSum(indeg)
 		g.inNbrs = make([]NodeID, m)
 		g.inEids = make([]EdgeID, m)
 		incur := make([]int64, n)
 		copy(incur, g.inOffsets[:n])
 		for e, ed := range edges {
-			place(g.inNbrs, g.inEids, incur, ed.V, ed.U, EdgeID(e))
+			referencePlace(g.inNbrs, g.inEids, incur, ed.V, ed.U, EdgeID(e))
 		}
-		sortAdjacency(n, g.inOffsets, g.inNbrs, g.inEids)
+		referenceSortAdjacency(n, g.inOffsets, g.inNbrs, g.inEids)
 	}
 	return g
 }
 
-func place(nbrs []NodeID, eids []EdgeID, cursor []int64, from, to NodeID, e EdgeID) {
+func referencePlace(nbrs []NodeID, eids []EdgeID, cursor []int64, from, to NodeID, e EdgeID) {
 	i := cursor[from]
 	nbrs[i] = to
 	eids[i] = e
 	cursor[from] = i + 1
 }
 
-func prefixSum(counts []int64) []int64 {
+func serialPrefixSum(counts []int64) []int64 {
 	for i := 1; i < len(counts); i++ {
 		counts[i] += counts[i-1]
 	}
 	return counts
 }
 
-func sortAdjacency(n int, offsets []int64, nbrs []NodeID, eids []EdgeID) {
-	parallel.For(n, 0, func(v int) {
+func referenceSortAdjacency(n int, offsets []int64, nbrs []NodeID, eids []EdgeID) {
+	for v := 0; v < n; v++ {
 		lo, hi := offsets[v], offsets[v+1]
 		nb, ei := nbrs[lo:hi], eids[lo:hi]
 		sort.Sort(&adjSorter{nb, ei})
-	})
+	}
 }
 
 type adjSorter struct {

@@ -16,9 +16,13 @@ import (
 )
 
 // WriteEdgeList writes one "u v" (or "u v w" when weighted) line per
-// canonical edge.
+// canonical edge, preceded by a "# Nodes: N Edges: M" header comment so
+// that trailing isolated vertices survive a ReadEdgeList round trip.
 func WriteEdgeList(w io.Writer, g *graph.Graph) error {
 	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# Nodes: %d Edges: %d\n", g.N(), g.M()); err != nil {
+		return err
+	}
 	for e := 0; e < g.M(); e++ {
 		u, v := g.EdgeEndpoints(graph.EdgeID(e))
 		var err error
@@ -36,18 +40,40 @@ func WriteEdgeList(w io.Writer, g *graph.Graph) error {
 
 // ReadEdgeList parses an edge list: two or three whitespace-separated fields
 // per line ("u v" or "u v w"); lines starting with '#' or '%' are comments.
-// The vertex count is 1 + the maximum ID seen.
+// The vertex count is 1 + the maximum ID seen, unless a SNAP-style
+// "# Nodes: N" header comment raises it — so trailing isolated vertices
+// survive the round trip. Use ReadEdgeListN to force the count explicitly.
 func ReadEdgeList(r io.Reader, directed bool) (*graph.Graph, error) {
+	return readEdgeList(r, directed, 0)
+}
+
+// ReadEdgeListN is ReadEdgeList with an explicit vertex-count override: the
+// graph has exactly n vertices, and any edge endpoint >= n is an error.
+// n <= 0 falls back to the inferred count. The override wins over a
+// "# Nodes:" header.
+func ReadEdgeListN(r io.Reader, directed bool, n int) (*graph.Graph, error) {
+	if n <= 0 {
+		return readEdgeList(r, directed, 0)
+	}
+	return readEdgeList(r, directed, n)
+}
+
+func readEdgeList(r io.Reader, directed bool, forceN int) (*graph.Graph, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	var edges []graph.Edge
 	maxID := graph.NodeID(-1)
+	headerN := 0
 	weighted := false
 	line := 0
 	for sc.Scan() {
 		line++
 		text := strings.TrimSpace(sc.Text())
 		if text == "" || text[0] == '#' || text[0] == '%' {
+			// First header wins; later comments cannot override it.
+			if n, ok := parseNodesHeader(text); ok && headerN == 0 {
+				headerN = n
+			}
 			continue
 		}
 		fields := strings.Fields(text)
@@ -85,12 +111,44 @@ func ReadEdgeList(r io.Reader, directed bool) (*graph.Graph, error) {
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
-	b := graph.NewBuilder(int(maxID)+1, directed)
+	n := int(maxID) + 1
+	if headerN > n {
+		n = headerN
+	}
+	if forceN > 0 {
+		if int64(maxID) >= int64(forceN) {
+			return nil, fmt.Errorf("graphio: vertex ID %d exceeds the explicit vertex count %d", maxID, forceN)
+		}
+		n = forceN
+	}
+	b := graph.NewBuilder(n, directed)
 	b.AddEdges(edges)
 	if weighted {
 		b.SetWeighted()
 	}
 	return b.Build()
+}
+
+// parseNodesHeader recognizes SNAP-style node-count header comments such as
+// "# Nodes: 75879 Edges: 508837" (also "% Nodes: N" and "#Nodes: N"). Only
+// a "Nodes:" token leading the comment counts — prose comments that merely
+// mention the word ("# removed nodes: 5") are not headers. It returns the
+// declared count and whether the line carried one.
+func parseNodesHeader(comment string) (int, bool) {
+	fields := strings.Fields(comment)
+	// Strip the comment marker, whether attached ("#Nodes:") or detached.
+	if len(fields) > 0 && (fields[0] == "#" || fields[0] == "%") {
+		fields = fields[1:]
+	} else if len(fields) > 0 {
+		fields[0] = strings.TrimLeft(fields[0], "#%")
+	}
+	if len(fields) < 2 || !strings.EqualFold(fields[0], "nodes:") {
+		return 0, false
+	}
+	if n, err := strconv.Atoi(strings.TrimRight(fields[1], ",;")); err == nil && n >= 0 {
+		return n, true
+	}
+	return 0, false
 }
 
 // Binary snapshot format: a fixed header followed by the canonical edge
@@ -175,6 +233,13 @@ func ReadBinary(r io.Reader) (*graph.Graph, error) {
 			}
 		}
 		edges[i] = graph.Edge{U: graph.NodeID(u), V: graph.NodeID(v), W: w}
+	}
+	// WriteBinary emits the canonical edge list, which is sorted and
+	// deduplicated by construction — load it through the sort-free CSR
+	// path. Foreign snapshots that violate canonical order fall back to
+	// the full builder.
+	if g, err := graph.FromCanonicalEdges(int(n), directed, weighted, edges); err == nil {
+		return g, nil
 	}
 	b := graph.NewBuilder(int(n), directed)
 	b.AddEdges(edges)

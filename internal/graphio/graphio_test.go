@@ -68,6 +68,123 @@ func TestReadEdgeListErrors(t *testing.T) {
 	}
 }
 
+func TestEdgeListRoundTripKeepsIsolatedVertices(t *testing.T) {
+	// Vertices 3 and 4 are isolated; the "# Nodes:" header must preserve
+	// them across the text round trip.
+	g := graph.FromEdges(5, false, []graph.Edge{{U: 0, V: 1, W: 1}, {U: 1, V: 2, W: 1}})
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "# Nodes: 5 Edges: 2") {
+		t.Fatalf("missing header in %q", buf.String())
+	}
+	h, err := ReadEdgeList(&buf, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.N() != 5 {
+		t.Fatalf("n = %d, want 5 (isolated vertices dropped)", h.N())
+	}
+}
+
+func TestReadEdgeListNodesHeaderVariants(t *testing.T) {
+	for _, in := range []string{
+		"# Nodes: 7 Edges: 1\n0 1\n",
+		"#Nodes: 7\n0 1\n",
+		"% nodes: 7\n0 1\n",
+	} {
+		g, err := ReadEdgeList(strings.NewReader(in), false)
+		if err != nil {
+			t.Fatalf("input %q: %v", in, err)
+		}
+		if g.N() != 7 {
+			t.Fatalf("input %q: n = %d, want 7", in, g.N())
+		}
+	}
+	// A header smaller than the max ID must not truncate the graph.
+	g, err := ReadEdgeList(strings.NewReader("# Nodes: 2\n0 5\n"), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 6 {
+		t.Fatalf("n = %d, want 6 (maxID+1 wins over a smaller header)", g.N())
+	}
+	// Prose comments that merely mention "nodes:" are not headers, and the
+	// first real header wins over later ones.
+	for _, in := range []string{
+		"# removed nodes: 500\n0 1\n",
+		"# total nodes: 500 after cleanup\n0 1\n",
+	} {
+		g, err := ReadEdgeList(strings.NewReader(in), false)
+		if err != nil {
+			t.Fatalf("input %q: %v", in, err)
+		}
+		if g.N() != 2 {
+			t.Fatalf("input %q: n = %d, want 2 (prose comment treated as header)", in, g.N())
+		}
+	}
+	g, err = ReadEdgeList(strings.NewReader("# Nodes: 4\n# Nodes: 9\n0 1\n"), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 4 {
+		t.Fatalf("n = %d, want 4 (first header wins)", g.N())
+	}
+}
+
+func TestReadEdgeListN(t *testing.T) {
+	g, err := ReadEdgeListN(strings.NewReader("0 1\n1 2\n"), false, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 10 || g.M() != 2 {
+		t.Fatalf("n=%d m=%d, want n=10 m=2", g.N(), g.M())
+	}
+	// Override wins over a larger header too.
+	g, err = ReadEdgeListN(strings.NewReader("# Nodes: 50\n0 1\n"), false, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 10 {
+		t.Fatalf("n = %d, want 10", g.N())
+	}
+	// Endpoints beyond the explicit count are an error, not a resize.
+	if _, err := ReadEdgeListN(strings.NewReader("0 12\n"), false, 10); err == nil {
+		t.Fatal("expected error for endpoint >= explicit vertex count")
+	}
+	// n <= 0 falls back to inference.
+	g, err = ReadEdgeListN(strings.NewReader("0 3\n"), false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 4 {
+		t.Fatalf("n = %d, want 4", g.N())
+	}
+}
+
+// The binary reader's sort-free canonical path must produce a graph
+// bit-identical to the full builder path.
+func TestBinaryCanonicalFastPathMatchesBuilder(t *testing.T) {
+	for _, g := range []*graph.Graph{
+		gen.ErdosRenyi(80, 300, 7),
+		gen.WithUniformWeights(gen.ErdosRenyi(60, 240, 8), 1, 3, 9),
+		gen.RMATDirected(6, 4, 0.57, 0.19, 0.19, 10),
+	} {
+		var buf bytes.Buffer
+		if _, err := WriteBinary(&buf, g); err != nil {
+			t.Fatal(err)
+		}
+		h, err := ReadBinary(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !h.Equal(g) {
+			t.Fatalf("binary round trip not structurally identical for %v", g)
+		}
+	}
+}
+
 func TestBinaryRoundTrip(t *testing.T) {
 	for _, g := range []*graph.Graph{
 		gen.ErdosRenyi(50, 200, 2),

@@ -132,6 +132,214 @@ func ForWorker(n, workers int, body func(worker, lo, hi int)) {
 	wg.Wait()
 }
 
+// Blocks returns the block count used by the block-deterministic primitives
+// (Histogram, ExclusiveScan, CountingScatter, Pack) for a loop of length n:
+// Resolve(workers, n) capped so per-block bookkeeping of width bins stays
+// small. The cap keeps CountingScatter's blocks×bins cursor matrix bounded
+// even for vertex-count-sized bins.
+func Blocks(n, bins, workers int) int {
+	b := normalize(workers, n)
+	if bins > 0 {
+		const maxCursorCells = 1 << 24
+		if limit := maxCursorCells / bins; b > limit {
+			b = limit
+		}
+	}
+	if b < 1 {
+		b = 1
+	}
+	return b
+}
+
+// BlockRange returns the half-open range of block b when [0, n) is split
+// into blocks nearly-equal contiguous blocks.
+func BlockRange(n, blocks, b int) (lo, hi int) {
+	return b * n / blocks, (b + 1) * n / blocks
+}
+
+// ForBlocks runs body(b, lo, hi) for every block of an exact blocks-way
+// contiguous partition of [0, n), in parallel. Unlike ForChunks the
+// partition is fixed by (n, blocks) alone, so per-block state indexed by b
+// is deterministic across runs and worker counts.
+func ForBlocks(n, blocks, workers int, body func(b, lo, hi int)) {
+	if n <= 0 || blocks <= 0 {
+		return
+	}
+	ForChunks(blocks, normalize(workers, blocks), func(blo, bhi int) {
+		for b := blo; b < bhi; b++ {
+			lo, hi := BlockRange(n, blocks, b)
+			if lo < hi {
+				body(b, lo, hi)
+			}
+		}
+	})
+}
+
+// Histogram counts items of [0, n) into bins buckets: item i lands in bucket
+// key(i), which must be in [0, bins). Per-block partial histograms are merged
+// bucket-parallel, so no atomics run on the hot path.
+func Histogram(n, bins, workers int, key func(i int) int) []int64 {
+	counts := make([]int64, bins)
+	if n <= 0 || bins <= 0 {
+		return counts
+	}
+	blocks := Blocks(n, bins, workers)
+	if blocks == 1 {
+		for i := 0; i < n; i++ {
+			counts[key(i)]++
+		}
+		return counts
+	}
+	partial := make([]int64, blocks*bins)
+	ForBlocks(n, blocks, workers, func(b, lo, hi int) {
+		local := partial[b*bins : (b+1)*bins]
+		for i := lo; i < hi; i++ {
+			local[key(i)]++
+		}
+	})
+	ForChunks(bins, workers, func(klo, khi int) {
+		for k := klo; k < khi; k++ {
+			var s int64
+			for b := 0; b < blocks; b++ {
+				s += partial[b*bins+k]
+			}
+			counts[k] = s
+		}
+	})
+	return counts
+}
+
+// ExclusiveScan replaces counts[i] with the sum of counts[:i] in place and
+// returns the total — the offsets step of every counting-sort construction.
+// Three passes for large inputs (block sums, serial scan of block sums,
+// block-local rescan); serial below a grain where the passes cost more than
+// they save.
+func ExclusiveScan(counts []int64, workers int) int64 {
+	n := len(counts)
+	if n == 0 {
+		return 0
+	}
+	workers = normalize(workers, n)
+	const serialGrain = 1 << 14
+	if workers == 1 || n < serialGrain {
+		var run int64
+		for i := range counts {
+			run, counts[i] = run+counts[i], run
+		}
+		return run
+	}
+	blocks := Blocks(n, 0, workers)
+	sums := make([]int64, blocks)
+	ForBlocks(n, blocks, workers, func(b, lo, hi int) {
+		var s int64
+		for i := lo; i < hi; i++ {
+			s += counts[i]
+		}
+		sums[b] = s
+	})
+	var run int64
+	for b := range sums {
+		run, sums[b] = run+sums[b], run
+	}
+	ForBlocks(n, blocks, workers, func(b, lo, hi int) {
+		local := sums[b]
+		for i := lo; i < hi; i++ {
+			local, counts[i] = local+counts[i], local
+		}
+	})
+	return run
+}
+
+// CountingScatter stably scatters n items into bins buckets. key(i) gives
+// item i's bucket (in [0, bins)); place(i, pos) receives each item's final
+// position. Items of one bucket keep their input order and positions depend
+// only on (n, bins, key) — never on workers — so scatters are bit-identical
+// across worker counts, which the engine's reproducibility contract
+// requires. It returns the bucket offsets: exclusive prefix sums of bucket
+// sizes, length bins+1.
+//
+// This is the per-worker-cursor scheme of parallel counting sort: each block
+// histograms its range, a bucket-parallel column scan turns per-block counts
+// into per-block starting cursors, and each block rescans its range placing
+// items at its own cursors — two passes over the input, no atomics, no
+// comparison sort.
+func CountingScatter(n, bins, workers int, key func(i int) int, place func(i int, pos int64)) []int64 {
+	offsets := make([]int64, bins+1)
+	if n <= 0 || bins <= 0 {
+		return offsets
+	}
+	blocks := Blocks(n, bins, workers)
+	cursor := make([]int64, blocks*bins)
+	ForBlocks(n, blocks, workers, func(b, lo, hi int) {
+		local := cursor[b*bins : (b+1)*bins]
+		for i := lo; i < hi; i++ {
+			local[key(i)]++
+		}
+	})
+	// Column-wise scan: cursor[b][k] becomes the number of bucket-k items in
+	// blocks before b; offsets[k+1] temporarily holds bucket k's size.
+	ForChunks(bins, workers, func(klo, khi int) {
+		for k := klo; k < khi; k++ {
+			var run int64
+			for b := 0; b < blocks; b++ {
+				c := &cursor[b*bins+k]
+				run, *c = run+*c, run
+			}
+			offsets[k+1] = run
+		}
+	})
+	ExclusiveScan(offsets[1:], workers)
+	ForBlocks(n, blocks, workers, func(b, lo, hi int) {
+		local := cursor[b*bins : (b+1)*bins]
+		for i := lo; i < hi; i++ {
+			k := key(i)
+			place(i, offsets[k+1]+local[k])
+			local[k]++
+		}
+	})
+	// offsets[1:] currently holds bucket starts; shift into canonical
+	// offsets form (offsets[k] = start of bucket k, offsets[bins] = n).
+	copy(offsets, offsets[1:])
+	offsets[bins] = int64(n)
+	return offsets
+}
+
+// Pack stably compacts [0, n): move(i, pos) is called for every i with
+// keep(i) true, pos counting kept items in input order. Like CountingScatter
+// the positions are worker-count independent. Returns the number of kept
+// items. A nil move counts without placing — the sizing pass before
+// allocating the packed output.
+func Pack(n, workers int, keep func(i int) bool, move func(i int, pos int64)) int64 {
+	if n <= 0 {
+		return 0
+	}
+	blocks := Blocks(n, 0, workers)
+	base := make([]int64, blocks)
+	ForBlocks(n, blocks, workers, func(b, lo, hi int) {
+		var c int64
+		for i := lo; i < hi; i++ {
+			if keep(i) {
+				c++
+			}
+		}
+		base[b] = c
+	})
+	total := ExclusiveScan(base, workers)
+	if move == nil {
+		return total
+	}
+	ForBlocks(n, blocks, workers, func(b, lo, hi int) {
+		pos := base[b]
+		for i := lo; i < hi; i++ {
+			if keep(i) {
+				move(i, pos)
+				pos++
+			}
+		}
+	})
+	return total
+}
+
 // SumInt64 reduces body over [0, n) by summation. Each chunk accumulates
 // locally; only per-chunk partial sums touch the shared accumulator.
 func SumInt64(n, workers int, body func(i int) int64) int64 {

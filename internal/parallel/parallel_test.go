@@ -114,6 +114,144 @@ func TestForZeroAndNegativeN(t *testing.T) {
 	}
 }
 
+func TestForBlocksExactPartition(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 64, 1000, 12345} {
+		for _, blocks := range []int{1, 2, 3, 8, 16} {
+			hits := make([]int32, n)
+			seen := make([]int32, blocks)
+			ForBlocks(n, blocks, 4, func(b, lo, hi int) {
+				atomic.AddInt32(&seen[b], 1)
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&hits[i], 1)
+				}
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("n=%d blocks=%d index %d hit %d times", n, blocks, i, h)
+				}
+			}
+			for b, s := range seen {
+				if s > 1 {
+					t.Fatalf("n=%d blocks=%d block %d ran %d times", n, blocks, b, s)
+				}
+			}
+		}
+	}
+}
+
+func TestHistogramMatchesSerial(t *testing.T) {
+	const n, bins = 25000, 37
+	key := func(i int) int { return (i * 7919) % bins }
+	want := make([]int64, bins)
+	for i := 0; i < n; i++ {
+		want[key(i)]++
+	}
+	for _, workers := range []int{1, 2, 8, 0} {
+		got := Histogram(n, bins, workers, key)
+		for k := range want {
+			if got[k] != want[k] {
+				t.Fatalf("workers=%d bin %d: got %d want %d", workers, k, got[k], want[k])
+			}
+		}
+	}
+}
+
+func TestExclusiveScan(t *testing.T) {
+	for _, n := range []int{0, 1, 5, 1000, 1 << 15, 100000} {
+		for _, workers := range []int{1, 3, 8, 0} {
+			counts := make([]int64, n)
+			want := make([]int64, n)
+			var run int64
+			for i := range counts {
+				counts[i] = int64((i*31 + 7) % 11)
+				want[i] = run
+				run += counts[i]
+			}
+			total := ExclusiveScan(counts, workers)
+			if total != run {
+				t.Fatalf("n=%d workers=%d total %d want %d", n, workers, total, run)
+			}
+			for i := range want {
+				if counts[i] != want[i] {
+					t.Fatalf("n=%d workers=%d scan[%d] = %d, want %d", n, workers, i, counts[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// CountingScatter must equal a serial stable counting sort bit-for-bit, for
+// every worker count.
+func TestCountingScatterStableDeterministic(t *testing.T) {
+	const n, bins = 30000, 101
+	key := func(i int) int { return (i * 6151) % bins }
+	// Serial reference.
+	want := make([]int64, n)
+	{
+		starts := make([]int64, bins+1)
+		for i := 0; i < n; i++ {
+			starts[key(i)+1]++
+		}
+		for k := 0; k < bins; k++ {
+			starts[k+1] += starts[k]
+		}
+		for i := 0; i < n; i++ {
+			k := key(i)
+			want[i] = starts[k]
+			starts[k]++
+		}
+	}
+	for _, workers := range []int{1, 2, 5, 16, 0} {
+		got := make([]int64, n)
+		offsets := CountingScatter(n, bins, workers, key, func(i int, pos int64) { got[i] = pos })
+		if offsets[0] != 0 || offsets[bins] != n {
+			t.Fatalf("workers=%d offsets endpoints [%d, %d]", workers, offsets[0], offsets[bins])
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d item %d placed at %d, want %d", workers, i, got[i], want[i])
+			}
+		}
+		for k := 0; k < bins; k++ {
+			if offsets[k] > offsets[k+1] {
+				t.Fatalf("workers=%d decreasing offsets at bucket %d", workers, k)
+			}
+		}
+	}
+}
+
+func TestCountingScatterEmpty(t *testing.T) {
+	offsets := CountingScatter(0, 5, 4, nil, nil)
+	if len(offsets) != 6 || offsets[5] != 0 {
+		t.Fatalf("empty scatter offsets %v", offsets)
+	}
+}
+
+func TestPackStable(t *testing.T) {
+	const n = 12347
+	keep := func(i int) bool { return i%3 != 1 }
+	var wantPos []int
+	for i := 0; i < n; i++ {
+		if keep(i) {
+			wantPos = append(wantPos, i)
+		}
+	}
+	for _, workers := range []int{1, 2, 8, 0} {
+		got := make([]int, 0, len(wantPos))
+		packed := make([]int, len(wantPos))
+		total := Pack(n, workers, keep, func(i int, pos int64) { packed[pos] = i })
+		if int(total) != len(wantPos) {
+			t.Fatalf("workers=%d total %d want %d", workers, total, len(wantPos))
+		}
+		got = append(got, packed...)
+		for j := range wantPos {
+			if got[j] != wantPos[j] {
+				t.Fatalf("workers=%d slot %d = %d, want %d", workers, j, got[j], wantPos[j])
+			}
+		}
+	}
+}
+
 func BenchmarkForOverhead(b *testing.B) {
 	var sink int64
 	for i := 0; i < b.N; i++ {

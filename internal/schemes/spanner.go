@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"time"
 
-	"slimgraph/internal/bitset"
 	"slimgraph/internal/core"
 	"slimgraph/internal/graph"
 	"slimgraph/internal/ldd"
@@ -56,9 +55,9 @@ func Spanner(g *graph.Graph, opts SpannerOptions) *Result {
 	start := time.Now()
 	d := ldd.Decompose(g, ldd.BetaForSpanner(g.N(), opts.K), opts.Seed)
 	idx := d.ClusterIndex()
-	keep := bitset.NewAtomic(g.M())
+	keep := graph.NewEdgeSet(g.M())
 	for _, e := range d.TreeEdges(g) {
-		keep.Set(int(e))
+		keep.Add(e)
 	}
 	sg := core.New(g, opts.Seed, opts.Workers)
 	mode := opts.Mode
@@ -87,23 +86,20 @@ func Spanner(g *graph.Graph, opts SpannerOptions) *Result {
 					}
 					if !seenPair[j] {
 						seenPair[j] = true
-						keep.Set(int(eids[i]))
+						keep.Add(eids[i])
 					}
 				case PerVertex:
 					if !seenVertex[j] {
 						seenVertex[j] = true
-						keep.Set(int(eids[i]))
+						keep.Add(eids[i])
 					}
 				}
 			}
 		}
 	})
-	// Stage 2 of the kernel: delete everything not marked kept.
-	sg.RunEdgeKernel(func(sg *core.SG, r *rng.Rand, e core.EdgeView) {
-		if !keep.Get(int(e.ID)) {
-			sg.Del(e.ID)
-		}
-	})
+	// Stage 2 of the kernel: delete everything not marked kept, in one
+	// word-wise bitset pass.
+	sg.DeleteUnmarked(keep)
 	params := fmt.Sprintf("k=%d,mode=%s", opts.K, opts.Mode)
 	return finish("spanner", params, g, sg.Materialize(), start)
 }
