@@ -18,6 +18,7 @@ import (
 	"slimgraph/internal/mst"
 	"slimgraph/internal/rng"
 	"slimgraph/internal/schemes"
+	"slimgraph/internal/succinct"
 	"slimgraph/internal/summarize"
 	"slimgraph/internal/traverse"
 	"slimgraph/internal/triangles"
@@ -89,15 +90,56 @@ func ReadEdgeListN(r io.Reader, directed bool, n int) (*Graph, error) {
 // WriteEdgeList writes the canonical edge list as text.
 func WriteEdgeList(w io.Writer, g *Graph) error { return graphio.WriteEdgeList(w, g) }
 
-// WriteBinary writes the compact binary snapshot and returns its size in
-// bytes — the on-disk footprint used by the storage-reduction analyses.
+// WriteBinary writes the v1 binary snapshot (fixed-width canonical edge
+// list) and returns its size in bytes — the uncompressed on-disk footprint
+// the storage analyses compare against.
 func WriteBinary(w io.Writer, g *Graph) (int64, error) { return graphio.WriteBinary(w, g) }
 
-// ReadBinary reads a snapshot written by WriteBinary.
+// ReadBinary reads a v1 snapshot written by WriteBinary.
 func ReadBinary(r io.Reader) (*Graph, error) { return graphio.ReadBinary(r) }
 
-// BinarySize returns the snapshot size without writing.
+// BinarySize returns the v1 snapshot size without retaining output (the
+// write path runs against a discarding writer, so it can never drift).
 func BinarySize(g *Graph) int64 { return graphio.BinarySize(g) }
+
+// WritePacked writes the v2 packed snapshot — gap-encoded canonical lists
+// with a block directory (internal/succinct), typically 3-4x smaller than
+// WriteBinary — and returns its size in bytes.
+func WritePacked(w io.Writer, g *Graph) (int64, error) { return graphio.WritePacked(w, g) }
+
+// ReadPacked reads a v2 snapshot written by WritePacked (lossless:
+// graph.Equal to what was written).
+func ReadPacked(r io.Reader) (*Graph, error) { return graphio.ReadPacked(r) }
+
+// PackedSize returns the v2 snapshot size without retaining output.
+func PackedSize(g *Graph) int64 { return graphio.PackedSize(g) }
+
+// ReadSnapshot reads a binary snapshot of either version, dispatching on
+// the header tag.
+func ReadSnapshot(r io.Reader) (*Graph, error) { return graphio.Read(r) }
+
+// IsSnapshot reports whether a file beginning with prefix (>= 4 bytes) is a
+// binary snapshot of either version.
+func IsSnapshot(prefix []byte) bool { return graphio.SniffSnapshot(prefix) }
+
+// Succinct in-memory storage: the blocked, bit-packed CSR of
+// internal/succinct, traversed in place by BFSOn/PageRankOn.
+
+// PackedGraph is the succinct in-memory form: gap-encoded adjacency behind
+// a two-level offset directory, decoded on the fly by its accessors.
+type PackedGraph = succinct.PackedGraph
+
+// PackedStats breaks down a PackedGraph's footprint.
+type PackedStats = succinct.Stats
+
+// PackGraph encodes g into its succinct form. Deterministic: identical
+// bytes for every worker count (workers <= 0 means all CPUs). Unpack
+// restores a graph.Equal copy.
+func PackGraph(g *Graph, workers int) *PackedGraph { return succinct.Pack(g, workers) }
+
+// Adjacency is the neighborhood view shared by *Graph and *PackedGraph;
+// algorithms written against it traverse either representation.
+type Adjacency = graph.Adjacency
 
 // Generators (deterministic per seed). See internal/gen for the analog
 // mapping to the paper's datasets.
@@ -147,6 +189,10 @@ func WithUniformWeights(g *Graph, lo, hi float64, seed uint64) *Graph {
 
 // Result is the outcome of one compression run.
 type Result = schemes.Result
+
+// StorageStats is the snapshot-footprint accounting of a run, filled by
+// Result.ComputeStorage.
+type StorageStats = schemes.StorageStats
 
 // Scheme is a configured compression scheme; every registered scheme and
 // every Pipeline implements it.
@@ -401,6 +447,18 @@ type BFSResult = traverse.BFSResult
 
 // BFS runs a parallel breadth-first search from root.
 func BFS(g *Graph, root NodeID, workers int) *BFSResult { return traverse.BFS(g, root, workers) }
+
+// BFSOn is BFS over any Adjacency — in particular a PackedGraph, which it
+// traverses in place, decoding lists on the fly.
+func BFSOn(g Adjacency, root NodeID, workers int) *BFSResult {
+	return traverse.BFSOn(g, root, workers)
+}
+
+// PageRankOn is PageRank over any Adjacency (standard parameters), with
+// numerics identical to PageRank on the equivalent Graph.
+func PageRankOn(g Adjacency, workers int) []float64 {
+	return centrality.PageRankOn(g, centrality.PageRankOptions{Workers: workers})
+}
 
 // Dijkstra returns exact shortest-path distances and the SSSP parent array.
 func Dijkstra(g *Graph, root NodeID) ([]float64, []NodeID) { return traverse.Dijkstra(g, root) }

@@ -6,6 +6,7 @@
 package slimgraph_test
 
 import (
+	"bytes"
 	"io"
 	"sync"
 	"testing"
@@ -14,7 +15,10 @@ import (
 	"slimgraph/internal/experiments"
 	"slimgraph/internal/gen"
 	"slimgraph/internal/graph"
+	"slimgraph/internal/graphio"
 	"slimgraph/internal/rng"
+	"slimgraph/internal/succinct"
+	"slimgraph/internal/traverse"
 )
 
 func benchConfig() experiments.Config {
@@ -129,6 +133,61 @@ func BenchmarkFilterEdges(b *testing.B) {
 		// (the FilterEdges closure API).
 		for i := 0; i < b.N; i++ {
 			g.FilterEdges(func(e graph.EdgeID) bool { return e%4 != 0 }, nil)
+		}
+	})
+}
+
+// Storage-subsystem benchmarks on the same R-MAT graph: succinct encode
+// paths and BFS traversing the packed form in place against the raw CSR.
+// The PR 3 acceptance bar (BENCH_pr3.json) is packed BFS within 4x of raw.
+
+func BenchmarkEncode(b *testing.B) {
+	g, _ := coreBenchGraph(b)
+	b.Run("pack", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			succinct.Pack(g, 0)
+		}
+	})
+	b.Run("write-packed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := graphio.WritePacked(io.Discard, g); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	var snapshot bytes.Buffer
+	if _, err := graphio.WritePacked(&snapshot, g); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("read-packed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := graphio.ReadPacked(bytes.NewReader(snapshot.Bytes())); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("write-binary", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := graphio.WriteBinary(io.Discard, g); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkPackedBFS(b *testing.B) {
+	g, _ := coreBenchGraph(b)
+	pg := succinct.Pack(g, 0)
+	b.Run("raw-csr", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			traverse.BFS(g, 0, 0)
+		}
+	})
+	b.Run("packed", func(b *testing.B) {
+		// Decode-on-the-fly traversal of the packed form; the acceptance
+		// bar is within 4x of raw-csr above.
+		for i := 0; i < b.N; i++ {
+			traverse.BFSOn(pg, 0, 0)
 		}
 	})
 }

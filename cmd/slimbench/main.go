@@ -43,6 +43,7 @@ var drivers = []struct {
 	{"lowrank", experiments.LowRank, "§7.4: low-rank baseline"},
 	{"cuts", experiments.CutPreservation, "§6.3: min-cut preservation (+ §4.6 cut sparsifier)"},
 	{"core", experiments.CoreBench, "Engine core: rebuild-free CSR construction vs sort-based reference"},
+	{"storage", experiments.Storage, "§5 storage: packed (v2) snapshots + in-place packed-BFS slowdown"},
 	{"abl-eo", experiments.AblationEO, "Ablation: Edge-Once semantics"},
 	{"abl-spanner", experiments.AblationSpanner, "Ablation: spanner inter-cluster rule"},
 	{"abl-upsilon", experiments.AblationUpsilon, "Ablation: spectral Υ sweep"},

@@ -53,6 +53,20 @@
 //     ranking-valued outputs (centralities), BFS critical-edge retention
 //     for Graph500-style outputs, and degree-distribution comparisons.
 //
+// # Storage
+//
+// The storage pillar composes the lossy schemes with a succinct lossless
+// representation (internal/succinct). Three on-disk formats exist: text
+// edge lists (WriteEdgeList), the v1 fixed-width binary snapshot
+// (WriteBinary), and the v2 packed snapshot (WritePacked) — gap-encoded
+// canonical adjacency behind a block directory, typically 3-5x smaller
+// than v1. ReadSnapshot dispatches on the version tag. In memory,
+// PackGraph produces a PackedGraph, a blocked bit-packed CSR that BFSOn
+// and PageRankOn traverse in place, decoding neighbors on the fly at a
+// small constant-factor slowdown; Unpack restores a bit-identical Graph.
+// Result.ComputeStorage reports both footprints and the combined
+// lossy-times-lossless reduction after any compression run.
+//
 // # Quick start
 //
 //	g := slimgraph.GenerateRMAT(14, 8, 1) // 16k vertices, ~130k edges

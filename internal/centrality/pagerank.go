@@ -41,6 +41,14 @@ func (o PageRankOptions) withDefaults() PageRankOptions {
 // their mass uniformly, so the distribution stays normalized even on
 // heavily compressed graphs with isolated vertices.
 func PageRank(g *graph.Graph, opts PageRankOptions) []float64 {
+	return PageRankOn(g, opts)
+}
+
+// PageRankOn is PageRank over any graph.Adjacency — the raw CSR or a
+// succinct PackedGraph decoded on the fly — with identical numerics: the
+// in-neighbor visit order matches InNeighbors, so the two paths produce
+// bit-identical vectors for the same graph.
+func PageRankOn(g graph.Adjacency, opts PageRankOptions) []float64 {
 	o := opts.withDefaults()
 	n := g.N()
 	if n == 0 {
@@ -63,13 +71,29 @@ func PageRank(g *graph.Graph, opts PageRankOptions) []float64 {
 		})
 		danglingShare := o.Damping * dangling * inv
 		// Pull formulation: next[v] = base + d * sum_{u->v} rank[u]/deg(u).
-		parallel.For(n, o.Workers, func(v int) {
-			sum := 0.0
-			for _, u := range g.InNeighbors(graph.NodeID(v)) {
-				sum += rank[u] / float64(g.Degree(u))
-			}
-			next[v] = base + danglingShare + o.Damping*sum
-		})
+		// The raw CSR keeps its direct slice loop (no per-edge interface
+		// dispatch); every other representation goes through Adjacency.
+		if cg, ok := g.(*graph.Graph); ok {
+			parallel.For(n, o.Workers, func(v int) {
+				sum := 0.0
+				for _, u := range cg.InNeighbors(graph.NodeID(v)) {
+					sum += rank[u] / float64(cg.Degree(u))
+				}
+				next[v] = base + danglingShare + o.Damping*sum
+			})
+		} else {
+			parallel.ForChunks(n, o.Workers, func(lo, hi int) {
+				// One closure per chunk so the per-vertex visit allocates
+				// nothing.
+				var sum float64
+				add := func(u graph.NodeID) { sum += rank[u] / float64(g.Degree(u)) }
+				for v := lo; v < hi; v++ {
+					sum = 0
+					g.ForInNeighbors(graph.NodeID(v), add)
+					next[v] = base + danglingShare + o.Damping*sum
+				}
+			})
+		}
 		delta := parallel.SumFloat64(n, o.Workers, func(v int) float64 {
 			return math.Abs(next[v] - rank[v])
 		})

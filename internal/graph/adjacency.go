@@ -1,0 +1,40 @@
+package graph
+
+// Adjacency is the read-only neighborhood view shared by *Graph and any
+// alternative representation — notably internal/succinct's PackedGraph,
+// whose lists are decoded on the fly. Traversals written against Adjacency
+// (traverse.BFSOn, centrality.PageRankOn) run directly on the packed form
+// without inflating it back to a Graph.
+//
+// ForNeighbors and ForInNeighbors visit neighbors in increasing vertex
+// order; for undirected graphs the two are identical.
+type Adjacency interface {
+	// N returns the number of vertices.
+	N() int
+	// Degree returns the out-degree of v.
+	Degree(v NodeID) int
+	// ForNeighbors invokes fn for every out-neighbor of v, in increasing
+	// order.
+	ForNeighbors(v NodeID, fn func(w NodeID))
+	// ForInNeighbors invokes fn for every in-neighbor of v, in increasing
+	// order (the same set as ForNeighbors for undirected graphs).
+	ForInNeighbors(v NodeID, fn func(w NodeID))
+}
+
+var _ Adjacency = (*Graph)(nil)
+
+// ForNeighbors invokes fn for every out-neighbor of v in increasing order,
+// satisfying Adjacency.
+func (g *Graph) ForNeighbors(v NodeID, fn func(w NodeID)) {
+	for _, w := range g.Neighbors(v) {
+		fn(w)
+	}
+}
+
+// ForInNeighbors invokes fn for every in-neighbor of v in increasing order,
+// satisfying Adjacency.
+func (g *Graph) ForInNeighbors(v NodeID, fn func(w NodeID)) {
+	for _, w := range g.InNeighbors(v) {
+		fn(w)
+	}
+}

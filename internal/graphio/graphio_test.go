@@ -224,6 +224,112 @@ func TestBinaryRejectsGarbage(t *testing.T) {
 	}
 }
 
+func TestPackedRoundTrip(t *testing.T) {
+	for _, g := range []*graph.Graph{
+		gen.ErdosRenyi(50, 200, 2),
+		gen.ErdosRenyi(1, 0, 3),
+		graph.FromEdges(7, false, nil), // isolated vertices only
+		gen.WithUniformWeights(gen.Grid2D(5, 5, true), 1, 9, 4),
+		gen.RMATDirected(6, 4, 0.57, 0.19, 0.19, 5),
+		gen.WithUniformWeights(gen.RMATDirected(6, 4, 0.57, 0.19, 0.19, 6), 1, 3, 7),
+	} {
+		var buf bytes.Buffer
+		n, err := WritePacked(&buf, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != int64(buf.Len()) {
+			t.Fatalf("reported %d bytes, wrote %d", n, buf.Len())
+		}
+		if n != PackedSize(g) {
+			t.Fatalf("PackedSize %d != written %d", PackedSize(g), n)
+		}
+		h, err := ReadPacked(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !h.Equal(g) {
+			t.Fatalf("packed round trip not bit-identical for %v", g)
+		}
+	}
+}
+
+// Read dispatches on the version tag; each versioned reader rejects the
+// other version with a pointer to the right one.
+func TestVersionDispatch(t *testing.T) {
+	g := gen.ErdosRenyi(40, 160, 9)
+	var v1, v2 bytes.Buffer
+	if _, err := WriteBinary(&v1, g); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := WritePacked(&v2, g); err != nil {
+		t.Fatal(err)
+	}
+	if !SniffSnapshot(v1.Bytes()) || !SniffSnapshot(v2.Bytes()) {
+		t.Fatal("snapshots not recognized by SniffSnapshot")
+	}
+	if SniffSnapshot([]byte("0 1\n1 2\n")) {
+		t.Fatal("edge list misidentified as a snapshot")
+	}
+	for _, raw := range [][]byte{v1.Bytes(), v2.Bytes()} {
+		h, err := Read(bytes.NewReader(raw))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !h.Equal(g) {
+			t.Fatal("Read dispatch round trip differs")
+		}
+	}
+	if _, err := ReadBinary(bytes.NewReader(v2.Bytes())); err == nil ||
+		!strings.Contains(err.Error(), "ReadPacked") {
+		t.Fatalf("ReadBinary on a v2 snapshot: %v", err)
+	}
+	if _, err := ReadPacked(bytes.NewReader(v1.Bytes())); err == nil ||
+		!strings.Contains(err.Error(), "ReadBinary") {
+		t.Fatalf("ReadPacked on a v1 snapshot: %v", err)
+	}
+}
+
+func TestPackedRejectsCorruption(t *testing.T) {
+	g := gen.ErdosRenyi(60, 300, 11)
+	var buf bytes.Buffer
+	if _, err := WritePacked(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	if _, err := ReadPacked(bytes.NewReader(raw[:len(raw)/2])); err == nil {
+		t.Fatal("truncated packed snapshot accepted")
+	}
+	// An implausible block size in the directory header must be rejected
+	// before any large allocation happens.
+	bad := append([]byte(nil), raw...)
+	bad[16] = 0xff // blockVertices low byte
+	bad[17] = 0xff
+	bad[18] = 0xff
+	if _, err := ReadPacked(bytes.NewReader(bad)); err == nil {
+		t.Fatal("implausible block directory accepted")
+	}
+	// A corrupt payload length must be rejected before the allocation, not
+	// by a makeslice panic or OOM.
+	bad = append([]byte(nil), raw...)
+	for i := 24; i < 32; i++ { // payloadLen u64
+		bad[i] = 0xff
+	}
+	if _, err := ReadPacked(bytes.NewReader(bad)); err == nil {
+		t.Fatal("implausible payload length accepted")
+	}
+}
+
+// The packed snapshot is the storage pillar: it must beat the fixed-width
+// binary format substantially on any sparse graph.
+func TestPackedSmallerThanBinary(t *testing.T) {
+	g := gen.ErdosRenyi(2000, 16000, 13)
+	bin, packed := BinarySize(g), PackedSize(g)
+	if packed*2 >= bin {
+		t.Fatalf("packed %d not < half of binary %d", packed, bin)
+	}
+}
+
 func TestStorageReductionVisible(t *testing.T) {
 	// A compressed graph must have a proportionally smaller snapshot; this
 	// is the storage story of the paper.

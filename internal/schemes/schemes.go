@@ -41,6 +41,9 @@ type Result struct {
 	// Aux carries scheme-specific artifacts beyond the compressed graph —
 	// the summarize scheme stores its *summarize.Summary here.
 	Aux any
+	// Storage holds the snapshot-footprint accounting once ComputeStorage
+	// has run; nil until then (computing it costs an encode pass).
+	Storage *StorageStats
 }
 
 // CompressionRatio returns |E_compressed| / |E_original| — the coloring of

@@ -1,0 +1,52 @@
+package schemes
+
+import (
+	"fmt"
+
+	"slimgraph/internal/graphio"
+	"slimgraph/internal/succinct"
+)
+
+// StorageStats reports the on-disk footprint of a compression run in both
+// snapshot formats — the §5 storage experiment's accounting. The lossy
+// scheme shrinks the edge set; the packed (v2) lossless encoding shrinks
+// the bytes per remaining edge; CombinedRatio is the composition the paper
+// reports.
+type StorageStats struct {
+	InputBinaryBytes  int64   // v1 snapshot of the input graph
+	OutputBinaryBytes int64   // v1 snapshot of the compressed output
+	OutputPackedBytes int64   // v2 packed snapshot of the compressed output
+	PackedBitsPerEdge float64 // packed snapshot bits per remaining edge
+	PackedRatio       float64 // OutputBinaryBytes / OutputPackedBytes
+	CombinedRatio     float64 // InputBinaryBytes / OutputPackedBytes
+	MemoryBitsPerEdge float64 // in-memory PackedGraph bits per remaining edge
+}
+
+// String renders the stats for CLI output.
+func (s *StorageStats) String() string {
+	return fmt.Sprintf("storage: binary %d -> %d B; packed %d B (%.1fx vs binary, %.1f bits/edge; %.1fx vs input)",
+		s.InputBinaryBytes, s.OutputBinaryBytes, s.OutputPackedBytes,
+		s.PackedRatio, s.PackedBitsPerEdge, s.CombinedRatio)
+}
+
+// ComputeStorage measures both snapshot footprints of the run, stores them
+// in r.Storage, and returns them. It costs an encode of the output graph
+// (and a Pack for the in-memory number), so it runs on demand — the CLIs
+// call it after a run — rather than inside Apply.
+func (r *Result) ComputeStorage() *StorageStats {
+	s := &StorageStats{
+		InputBinaryBytes:  graphio.BinarySize(r.Input),
+		OutputBinaryBytes: graphio.BinarySize(r.Output),
+		OutputPackedBytes: graphio.PackedSize(r.Output),
+	}
+	if m := r.Output.M(); m > 0 {
+		s.PackedBitsPerEdge = float64(s.OutputPackedBytes) * 8 / float64(m)
+	}
+	if s.OutputPackedBytes > 0 {
+		s.PackedRatio = float64(s.OutputBinaryBytes) / float64(s.OutputPackedBytes)
+		s.CombinedRatio = float64(s.InputBinaryBytes) / float64(s.OutputPackedBytes)
+	}
+	s.MemoryBitsPerEdge = succinct.Pack(r.Output, 0).BitsPerEdge()
+	r.Storage = s
+	return s
+}

@@ -1,0 +1,49 @@
+package succinct_test
+
+// Acceptance pins of the storage subsystem at evaluation scale, run by CI
+// (skipped under -short): the packed v2 snapshot is >= 3x smaller than the
+// fixed-width binary snapshot on the Graph500-parameter R-MAT graph
+// (n = 2^17, m ~ 1.86M) and on a preferential-attachment graph, with the
+// round trip verified bit-for-bit.
+
+import (
+	"bytes"
+	"testing"
+
+	"slimgraph/internal/gen"
+	"slimgraph/internal/graph"
+	"slimgraph/internal/graphio"
+	"slimgraph/internal/succinct"
+)
+
+func checkRatio(t *testing.T, name string, g *graph.Graph, want float64) {
+	t.Helper()
+	var buf bytes.Buffer
+	packed, err := graphio.WritePacked(&buf, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin := graphio.BinarySize(g)
+	ratio := float64(bin) / float64(packed)
+	t.Logf("%s: n=%d m=%d binary=%d packed=%d ratio=%.2fx (%.1f bits/edge on disk, %.1f in memory)",
+		name, g.N(), g.M(), bin, packed, ratio,
+		float64(packed)*8/float64(g.M()), succinct.Pack(g, 0).BitsPerEdge())
+	if ratio < want {
+		t.Fatalf("%s: packed:binary ratio %.2fx below the %.1fx acceptance bar", name, ratio, want)
+	}
+	h, err := graphio.ReadPacked(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.Equal(g) {
+		t.Fatalf("%s: packed round trip not bit-identical", name)
+	}
+}
+
+func TestPackedRatioAcceptance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("evaluation-scale graphs; skipped with -short")
+	}
+	checkRatio(t, "rmat-17-16", gen.RMAT(17, 16, 0.57, 0.19, 0.19, 77), 3)
+	checkRatio(t, "barabasi-albert", gen.BarabasiAlbert(131072, 8, 77), 3)
+}

@@ -1,0 +1,61 @@
+package succinct
+
+import "math/bits"
+
+// bitArray stores fixed-width unsigned values packed back to back in uint64
+// words — the compact per-vertex half of the offset directory. Width 0 is a
+// valid degenerate array whose every entry is 0.
+type bitArray struct {
+	words []uint64
+	width uint
+	mask  uint64
+	n     int
+}
+
+func widthFor(max uint64) uint { return uint(bits.Len64(max)) }
+
+func newBitArray(n int, width uint) bitArray {
+	a := bitArray{width: width, n: n}
+	if width > 0 {
+		a.mask = (uint64(1) << width) - 1
+		if width == 64 {
+			a.mask = ^uint64(0)
+		}
+		// One padding word so get can read a second word unconditionally
+		// guarded only by the offset test.
+		a.words = make([]uint64, (uint64(n)*uint64(width)+63)/64+1)
+	}
+	return a
+}
+
+// set writes v (< 2^width) at index i. Entries straddle word boundaries, so
+// concurrent sets to adjacent indices race; fills are serial or use
+// disjoint word ranges.
+func (a *bitArray) set(i int, v uint64) {
+	if a.width == 0 {
+		return
+	}
+	bit := uint64(i) * uint64(a.width)
+	w, off := bit>>6, bit&63
+	a.words[w] |= v << off
+	if off+uint64(a.width) > 64 {
+		a.words[w+1] |= v >> (64 - off)
+	}
+}
+
+// get returns the value at index i.
+func (a *bitArray) get(i int) uint64 {
+	if a.width == 0 {
+		return 0
+	}
+	bit := uint64(i) * uint64(a.width)
+	w, off := bit>>6, bit&63
+	v := a.words[w] >> off
+	if off+uint64(a.width) > 64 {
+		v |= a.words[w+1] << (64 - off)
+	}
+	return v & a.mask
+}
+
+// sizeBits returns the storage footprint of the array.
+func (a *bitArray) sizeBits() int64 { return int64(len(a.words)) * 64 }

@@ -1,0 +1,143 @@
+package succinct
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"slimgraph/internal/graph"
+	"slimgraph/internal/parallel"
+)
+
+// Sections is the body of a packed (graphio v2) snapshot: the canonical
+// direction of the graph, gap encoded, plus the per-block directory that
+// makes decode block-parallel. Only the canonical lists are stored — a
+// directed graph's out-lists, or the forward (w > v) half of each
+// undirected adjacency — so every edge costs one gap on disk; the reverse
+// direction is rebuilt at load time.
+type Sections struct {
+	BlockVertices int      // vertices per block (power of two)
+	BlockOff      []uint64 // payload byte offset per block (numBlocks+1)
+	EdgeStart     []uint64 // canonical edges before each block (numBlocks+1)
+	Payload       []byte   // gap-encoded canonical lists, block order
+}
+
+// NumBlocks returns the number of vertex blocks.
+func (s *Sections) NumBlocks() int { return len(s.BlockOff) - 1 }
+
+// EncodeStored encodes g's canonical lists into snapshot sections. The
+// bytes are deterministic for every worker count (workers <= 0 means all
+// CPUs): blocks are encoded independently and concatenated in block order.
+func EncodeStored(g *graph.Graph, workers int) *Sections {
+	shift := shiftFor(DefaultBlockVertices)
+	canonical := func(v int) []graph.NodeID {
+		nb := g.Neighbors(graph.NodeID(v))
+		if g.Directed() {
+			return nb
+		}
+		i := sort.Search(len(nb), func(i int) bool { return nb[i] > graph.NodeID(v) })
+		return nb[i:]
+	}
+	payload, blockOff, starts, _ := encodeLists(g.N(), shift, workers, false, canonical)
+	edgeStart := make([]uint64, len(starts))
+	for i, s := range starts {
+		edgeStart[i] = uint64(s)
+	}
+	return &Sections{
+		BlockVertices: 1 << shift,
+		BlockOff:      blockOff,
+		EdgeStart:     edgeStart,
+		Payload:       payload,
+	}
+}
+
+// DecodeStored rebuilds the graph from snapshot sections, block-parallel.
+// weights must hold the canonical edge weights when weighted is true (nil
+// otherwise). Corrupt sections return an error rather than panicking; the
+// final canonical-order validation is delegated to graph.FromCanonicalEdges.
+func DecodeStored(n, m int, directed, weighted bool, s *Sections, weights []float64, workers int) (*graph.Graph, error) {
+	numBlocks := s.NumBlocks()
+	if numBlocks < 0 || len(s.EdgeStart) != numBlocks+1 {
+		return nil, fmt.Errorf("succinct: directory tables disagree: %d offsets, %d edge starts",
+			len(s.BlockOff), len(s.EdgeStart))
+	}
+	shift := shiftFor(s.BlockVertices)
+	if 1<<shift != s.BlockVertices || numBlocks != numBlocksFor(n, shift) {
+		return nil, fmt.Errorf("succinct: block directory does not cover %d vertices: %d blocks of %d",
+			n, numBlocks, s.BlockVertices)
+	}
+	if numBlocks > 0 {
+		if s.BlockOff[0] != 0 || s.BlockOff[numBlocks] != uint64(len(s.Payload)) ||
+			s.EdgeStart[0] != 0 || s.EdgeStart[numBlocks] != uint64(m) {
+			return nil, fmt.Errorf("succinct: directory endpoints do not span payload/edges")
+		}
+	} else if m != 0 {
+		return nil, fmt.Errorf("succinct: %d edges but no blocks", m)
+	}
+	if weighted && len(weights) != m {
+		return nil, fmt.Errorf("succinct: %d weights for %d edges", len(weights), m)
+	}
+	edges := make([]graph.Edge, m)
+	var mu sync.Mutex
+	var firstErr error
+	fail := func(b int, msg string) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = fmt.Errorf("succinct: block %d: %s", b, msg)
+		}
+		mu.Unlock()
+	}
+	parallel.ForBlocks(numBlocks, numBlocks, workers, func(b, _, _ int) {
+		lo := b << shift
+		hi := lo + 1<<shift
+		if hi > n {
+			hi = n
+		}
+		if s.BlockOff[b] > s.BlockOff[b+1] || s.BlockOff[b+1] > uint64(len(s.Payload)) ||
+			s.EdgeStart[b] > s.EdgeStart[b+1] || s.EdgeStart[b+1] > uint64(m) {
+			fail(b, "directory entries out of order")
+			return
+		}
+		pos, end := int(s.BlockOff[b]), int(s.BlockOff[b+1])
+		ei, eiEnd := int(s.EdgeStart[b]), int(s.EdgeStart[b+1])
+		for v := lo; v < hi; v++ {
+			d, p := Uvarint(s.Payload, pos)
+			if p == pos {
+				fail(b, "truncated degree varint")
+				return
+			}
+			if uint64(eiEnd-ei) < d {
+				fail(b, "more edges than the directory declares")
+				return
+			}
+			cur := int64(v)
+			for i := uint64(0); i < d; i++ {
+				raw, q := Uvarint(s.Payload, p)
+				if q == p {
+					fail(b, "truncated gap varint")
+					return
+				}
+				if i == 0 {
+					cur += UnZigZag(raw)
+				} else {
+					cur += int64(raw) + 1
+				}
+				p = q
+				w := 1.0
+				if weighted {
+					w = weights[ei]
+				}
+				edges[ei] = graph.Edge{U: graph.NodeID(v), V: graph.NodeID(cur), W: w}
+				ei++
+			}
+			pos = p
+		}
+		if pos != end || ei != eiEnd {
+			fail(b, "payload or edge count does not match the directory")
+		}
+	})
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return graph.FromCanonicalEdges(n, directed, weighted, edges)
+}

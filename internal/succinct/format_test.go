@@ -1,0 +1,97 @@
+package succinct
+
+import (
+	"testing"
+
+	"slimgraph/internal/graph"
+	"slimgraph/internal/rng"
+)
+
+func storedRoundTrip(t *testing.T, g *graph.Graph, workers int) *graph.Graph {
+	t.Helper()
+	s := EncodeStored(g, workers)
+	var weights []float64
+	if g.Weighted() {
+		weights = make([]float64, g.M())
+		for e := range weights {
+			weights[e] = g.EdgeWeight(graph.EdgeID(e))
+		}
+	}
+	got, err := DecodeStored(g.N(), g.M(), g.Directed(), g.Weighted(), s, weights, workers)
+	if err != nil {
+		t.Fatalf("DecodeStored: %v", err)
+	}
+	return got
+}
+
+func TestStoredRoundTrip(t *testing.T) {
+	for _, c := range packCases() {
+		r := rng.New(53)
+		for trial := 0; trial < 10; trial++ {
+			n := r.Intn(300) + 1
+			g := randomGraph(r, c, n, r.Intn(1500))
+			for _, workers := range []int{1, 4} {
+				if got := storedRoundTrip(t, g, workers); !got.Equal(g) {
+					t.Fatalf("%v trial %d workers %d: stored round trip differs", c, trial, workers)
+				}
+			}
+		}
+	}
+}
+
+// An undirected stored stream holds each edge once: its payload must be
+// roughly half the in-memory packed payload, which stores both directions.
+func TestStoredHoldsEachEdgeOnce(t *testing.T) {
+	r := rng.New(59)
+	g := randomGraph(r, packCase{false, false}, 500, 8000)
+	s := EncodeStored(g, 0)
+	pg := Pack(g, 0)
+	if len(s.Payload) >= len(pg.payload) {
+		t.Fatalf("stored payload %d not smaller than full adjacency payload %d",
+			len(s.Payload), len(pg.payload))
+	}
+}
+
+func TestDecodeStoredRejectsCorruption(t *testing.T) {
+	r := rng.New(61)
+	g := randomGraph(r, packCase{false, false}, 100, 600)
+	s := EncodeStored(g, 0)
+	m := g.M()
+
+	corrupt := func(name string, mutate func(c *Sections) (n, m int)) {
+		cp := &Sections{
+			BlockVertices: s.BlockVertices,
+			BlockOff:      append([]uint64(nil), s.BlockOff...),
+			EdgeStart:     append([]uint64(nil), s.EdgeStart...),
+			Payload:       append([]byte(nil), s.Payload...),
+		}
+		cn, cm := mutate(cp)
+		if _, err := DecodeStored(cn, cm, false, false, cp, nil, 0); err == nil {
+			t.Fatalf("%s: corruption accepted", name)
+		}
+	}
+	corrupt("truncated payload", func(c *Sections) (int, int) {
+		c.Payload = c.Payload[:len(c.Payload)/2]
+		return g.N(), m
+	})
+	corrupt("wrong edge count", func(c *Sections) (int, int) {
+		return g.N(), m + 1
+	})
+	corrupt("wrong vertex count", func(c *Sections) (int, int) {
+		return g.N() + 1, m
+	})
+	corrupt("swapped directory entries", func(c *Sections) (int, int) {
+		if len(c.BlockOff) > 2 {
+			c.BlockOff[1] = c.BlockOff[len(c.BlockOff)-1] + 1
+		}
+		return g.N(), m
+	})
+	corrupt("mismatched tables", func(c *Sections) (int, int) {
+		c.EdgeStart = c.EdgeStart[:len(c.EdgeStart)-1]
+		return g.N(), m
+	})
+	corrupt("non-power-of-two block", func(c *Sections) (int, int) {
+		c.BlockVertices = 63
+		return g.N(), m
+	})
+}

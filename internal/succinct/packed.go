@@ -1,0 +1,431 @@
+package succinct
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"slimgraph/internal/graph"
+	"slimgraph/internal/parallel"
+)
+
+// DefaultBlockVertices is the vertex-block granularity of the offset
+// directory. 64 keeps the per-block absolute offsets at one bit per vertex
+// amortized while bounding the relative-offset width.
+const DefaultBlockVertices = 64
+
+// PackedGraph is a blocked, bit-packed CSR: every adjacency list is gap
+// encoded with the package codec into one payload byte stream, addressed by
+// a two-level offset directory (an absolute byte offset per vertex block
+// plus bit-packed per-vertex offsets relative to the block start). All
+// accessors decode on the fly — a PackedGraph is traversed in place, never
+// inflated.
+//
+// Undirected graphs encode the full adjacency (each edge appears in both
+// endpoint lists, like the raw CSR); directed graphs encode both the out-
+// and in-adjacency so that pull-style algorithms (PageRank) work. Canonical
+// edge weights, when present, are kept as one float64 per edge in canonical
+// order — weight packing is out of scope.
+//
+// A PackedGraph is immutable and safe for concurrent readers.
+type PackedGraph struct {
+	n        int
+	m        int
+	directed bool
+	weighted bool
+	shift    uint  // log2 of vertices per block
+	arcs     int64 // adjacency entries in payload
+
+	payload  []byte   // gap-encoded out-adjacency lists, block order
+	blockOff []uint64 // absolute payload offset per block (numBlocks+1)
+	rel      bitArray // per-vertex offset relative to its block start
+
+	inPayload  []byte // directed only: in-adjacency mirror
+	inBlockOff []uint64
+	inRel      bitArray
+
+	edgeStart []int64   // canonical edges owned by vertices before each block
+	weights   []float64 // canonical edge weights; nil when unweighted
+}
+
+// PackedGraph implements graph.Adjacency, so BFSOn/PageRankOn traverse it
+// in place.
+var _ graph.Adjacency = (*PackedGraph)(nil)
+
+// Pack encodes g with the default block size. The output is deterministic:
+// identical bytes for every worker count (workers <= 0 means all CPUs).
+func Pack(g *graph.Graph, workers int) *PackedGraph {
+	return PackWithBlock(g, DefaultBlockVertices, workers)
+}
+
+// PackWithBlock is Pack with an explicit vertex-block size, rounded up to a
+// power of two (<= 0 selects the default).
+func PackWithBlock(g *graph.Graph, blockVertices, workers int) *PackedGraph {
+	shift := shiftFor(blockVertices)
+	pg := &PackedGraph{
+		n: g.N(), m: g.M(),
+		directed: g.Directed(), weighted: g.Weighted(),
+		shift: shift,
+	}
+	var itemStart []int64
+	pg.payload, pg.blockOff, itemStart, pg.rel = encodeLists(pg.n, shift, workers, true,
+		func(v int) []graph.NodeID { return g.Neighbors(graph.NodeID(v)) })
+	pg.arcs = itemStart[len(itemStart)-1]
+	if pg.directed {
+		pg.inPayload, pg.inBlockOff, _, pg.inRel = encodeLists(pg.n, shift, workers, true,
+			func(v int) []graph.NodeID { return g.InNeighbors(graph.NodeID(v)) })
+		// Directed out-lists are the canonical edge list itself.
+		pg.edgeStart = itemStart
+	} else {
+		pg.edgeStart = forwardStarts(g, shift, workers)
+	}
+	if pg.weighted {
+		pg.weights = make([]float64, pg.m)
+		parallel.ForChunks(pg.m, workers, func(lo, hi int) {
+			for e := lo; e < hi; e++ {
+				pg.weights[e] = g.EdgeWeight(graph.EdgeID(e))
+			}
+		})
+	}
+	return pg
+}
+
+// shiftFor rounds blockVertices up to a power of two and returns its log2.
+func shiftFor(blockVertices int) uint {
+	if blockVertices <= 0 {
+		blockVertices = DefaultBlockVertices
+	}
+	return uint(bits.Len64(uint64(blockVertices - 1)))
+}
+
+func numBlocksFor(n int, shift uint) int {
+	if n == 0 {
+		return 0
+	}
+	return ((n - 1) >> shift) + 1
+}
+
+// encodeLists gap-encodes list(v) for every v in [0, n) into one payload.
+// Vertex blocks (fixed size 1<<shift) are encoded independently under
+// parallel.ForBlocks and concatenated in block order, so the bytes are
+// identical for every worker count. It returns the payload, the absolute
+// per-block byte offsets (numBlocks+1), the exclusive prefix sums of list
+// lengths per block (numBlocks+1), and — when withRel — the bit-packed
+// per-vertex offsets relative to the block starts.
+func encodeLists(n int, shift uint, workers int, withRel bool, list func(v int) []graph.NodeID) ([]byte, []uint64, []int64, bitArray) {
+	numBlocks := numBlocksFor(n, shift)
+	bufs := make([][]byte, numBlocks)
+	var relOf [][]uint32
+	if withRel {
+		relOf = make([][]uint32, numBlocks)
+	}
+	itemStart := make([]int64, numBlocks+1)
+	parallel.ForBlocks(numBlocks, numBlocks, workers, func(b, _, _ int) {
+		lo := b << shift
+		hi := lo + 1<<shift
+		if hi > n {
+			hi = n
+		}
+		var buf []byte
+		var rels []uint32
+		var items int64
+		for v := lo; v < hi; v++ {
+			if withRel {
+				rels = append(rels, uint32(len(buf)))
+			}
+			nb := list(v)
+			items += int64(len(nb))
+			buf = AppendList(buf, graph.NodeID(v), nb)
+		}
+		bufs[b] = buf
+		if withRel {
+			relOf[b] = rels
+		}
+		itemStart[b+1] = items
+	})
+	blockOff := make([]uint64, numBlocks+1)
+	var maxRel uint64
+	for b := 0; b < numBlocks; b++ {
+		blockOff[b+1] = blockOff[b] + uint64(len(bufs[b]))
+		itemStart[b+1] += itemStart[b]
+		if withRel {
+			if rels := relOf[b]; len(rels) > 0 {
+				if last := uint64(rels[len(rels)-1]); last > maxRel {
+					maxRel = last
+				}
+			}
+		}
+	}
+	payload := make([]byte, blockOff[numBlocks])
+	parallel.ForChunks(numBlocks, workers, func(blo, bhi int) {
+		for b := blo; b < bhi; b++ {
+			copy(payload[blockOff[b]:], bufs[b])
+		}
+	})
+	var rel bitArray
+	if withRel {
+		rel = newBitArray(n, widthFor(maxRel))
+		// Entries straddle word boundaries, so the fill is serial.
+		for b := 0; b < numBlocks; b++ {
+			base := b << shift
+			for i, r := range relOf[b] {
+				rel.set(base+i, uint64(r))
+			}
+		}
+	}
+	return payload, blockOff, itemStart, rel
+}
+
+// forwardStarts returns, per vertex block, the number of canonical edges
+// owned by earlier blocks. An undirected vertex owns its forward arcs
+// (neighbors greater than itself) — exactly the canonical (U <= V) list.
+func forwardStarts(g *graph.Graph, shift uint, workers int) []int64 {
+	n := g.N()
+	numBlocks := numBlocksFor(n, shift)
+	starts := make([]int64, numBlocks+1)
+	parallel.ForBlocks(numBlocks, numBlocks, workers, func(b, _, _ int) {
+		lo := b << shift
+		hi := lo + 1<<shift
+		if hi > n {
+			hi = n
+		}
+		var c int64
+		for v := lo; v < hi; v++ {
+			nb := g.Neighbors(graph.NodeID(v))
+			i := sort.Search(len(nb), func(i int) bool { return nb[i] > graph.NodeID(v) })
+			c += int64(len(nb) - i)
+		}
+		starts[b+1] = c
+	})
+	for b := 0; b < numBlocks; b++ {
+		starts[b+1] += starts[b]
+	}
+	return starts
+}
+
+// N returns the number of vertices.
+func (pg *PackedGraph) N() int { return pg.n }
+
+// M returns the number of canonical edges.
+func (pg *PackedGraph) M() int { return pg.m }
+
+// NumArcs returns the number of encoded out-adjacency entries (2M for
+// undirected graphs, M for directed ones).
+func (pg *PackedGraph) NumArcs() int64 { return pg.arcs }
+
+// Directed reports whether the graph is directed.
+func (pg *PackedGraph) Directed() bool { return pg.directed }
+
+// Weighted reports whether canonical edge weights are stored.
+func (pg *PackedGraph) Weighted() bool { return pg.weighted }
+
+// BlockVertices returns the vertex-block size of the offset directory.
+func (pg *PackedGraph) BlockVertices() int { return 1 << pg.shift }
+
+// start returns the payload position of v's encoded list.
+func (pg *PackedGraph) start(v graph.NodeID) int {
+	return int(pg.blockOff[int(v)>>pg.shift]) + int(pg.rel.get(int(v)))
+}
+
+func (pg *PackedGraph) inStart(v graph.NodeID) int {
+	return int(pg.inBlockOff[int(v)>>pg.shift]) + int(pg.inRel.get(int(v)))
+}
+
+// Degree returns the out-degree of v: one varint decode.
+func (pg *PackedGraph) Degree(v graph.NodeID) int {
+	d, _ := Uvarint(pg.payload, pg.start(v))
+	return int(d)
+}
+
+// InDegree returns the in-degree of v (equal to Degree for undirected
+// graphs).
+func (pg *PackedGraph) InDegree(v graph.NodeID) int {
+	if !pg.directed {
+		return pg.Degree(v)
+	}
+	d, _ := Uvarint(pg.inPayload, pg.inStart(v))
+	return int(d)
+}
+
+// forList decodes the list at pos, invoking fn for every neighbor in
+// increasing order.
+func forList(buf []byte, pos int, base graph.NodeID, fn func(w graph.NodeID)) {
+	d, p := Uvarint(buf, pos)
+	if d == 0 {
+		return
+	}
+	raw, p := Uvarint(buf, p)
+	cur := int64(base) + UnZigZag(raw)
+	fn(graph.NodeID(cur))
+	for i := uint64(1); i < d; i++ {
+		gap, q := Uvarint(buf, p)
+		cur += int64(gap) + 1
+		fn(graph.NodeID(cur))
+		p = q
+	}
+}
+
+// ForNeighbors decodes v's out-neighbors on the fly, in increasing order,
+// without allocating.
+func (pg *PackedGraph) ForNeighbors(v graph.NodeID, fn func(w graph.NodeID)) {
+	forList(pg.payload, pg.start(v), v, fn)
+}
+
+// ForInNeighbors is ForNeighbors for the in-direction.
+func (pg *PackedGraph) ForInNeighbors(v graph.NodeID, fn func(w graph.NodeID)) {
+	if !pg.directed {
+		forList(pg.payload, pg.start(v), v, fn)
+		return
+	}
+	forList(pg.inPayload, pg.inStart(v), v, fn)
+}
+
+// Neighbors appends v's decoded out-neighbors to dst and returns the grown
+// slice — the buffer-reusing bulk decode.
+func (pg *PackedGraph) Neighbors(dst []graph.NodeID, v graph.NodeID) []graph.NodeID {
+	dst, _ = DecodeList(dst, pg.payload, pg.start(v), v)
+	return dst
+}
+
+// NeighborIter streams one adjacency list without allocation or callbacks.
+// The zero value is an exhausted iterator.
+type NeighborIter struct {
+	buf     []byte
+	pos     int
+	left    uint64
+	cur     int64
+	started bool
+}
+
+// Iter returns a streaming iterator over v's out-neighbors.
+func (pg *PackedGraph) Iter(v graph.NodeID) NeighborIter {
+	pos := pg.start(v)
+	d, p := Uvarint(pg.payload, pos)
+	return NeighborIter{buf: pg.payload, pos: p, left: d, cur: int64(v)}
+}
+
+// Next returns the next neighbor, or ok == false when the list is
+// exhausted.
+func (it *NeighborIter) Next() (w graph.NodeID, ok bool) {
+	if it.left == 0 {
+		return 0, false
+	}
+	it.left--
+	raw, p := Uvarint(it.buf, it.pos)
+	it.pos = p
+	if !it.started {
+		it.started = true
+		it.cur += UnZigZag(raw)
+	} else {
+		it.cur += int64(raw) + 1
+	}
+	return graph.NodeID(it.cur), true
+}
+
+// EdgeWeight returns the weight of canonical edge e (1 when unweighted).
+func (pg *PackedGraph) EdgeWeight(e graph.EdgeID) float64 {
+	if pg.weights == nil {
+		return 1
+	}
+	return pg.weights[e]
+}
+
+// Unpack restores the full CSR graph. Pack followed by Unpack is lossless:
+// the result is graph.Equal to the packed input. workers <= 0 means all
+// CPUs; the output never depends on the worker count.
+func (pg *PackedGraph) Unpack(workers int) *graph.Graph {
+	numBlocks := numBlocksFor(pg.n, pg.shift)
+	edges := make([]graph.Edge, pg.m)
+	parallel.ForBlocks(numBlocks, numBlocks, workers, func(b, _, _ int) {
+		lo := b << pg.shift
+		hi := lo + 1<<pg.shift
+		if hi > pg.n {
+			hi = pg.n
+		}
+		ei := pg.edgeStart[b]
+		pos := int(pg.blockOff[b])
+		for v := lo; v < hi; v++ {
+			d, p := Uvarint(pg.payload, pos)
+			cur := int64(v)
+			for i := uint64(0); i < d; i++ {
+				raw, q := Uvarint(pg.payload, p)
+				if i == 0 {
+					cur += UnZigZag(raw)
+				} else {
+					cur += int64(raw) + 1
+				}
+				p = q
+				if pg.directed || cur > int64(v) {
+					edges[ei] = graph.Edge{U: graph.NodeID(v), V: graph.NodeID(cur), W: pg.EdgeWeight(graph.EdgeID(ei))}
+					ei++
+				}
+			}
+			pos = p
+		}
+	})
+	g, err := graph.FromCanonicalEdges(pg.n, pg.directed, pg.weighted, edges)
+	if err != nil {
+		panic(fmt.Sprintf("succinct: corrupt packed graph: %v", err))
+	}
+	return g
+}
+
+// Stats breaks down a PackedGraph's footprint.
+type Stats struct {
+	PayloadBytes  int64 // gap-encoded adjacency stream(s)
+	DirectoryBits int64 // block offsets + bit-packed relative offsets + edge starts
+	WeightBytes   int64
+	SizeBits      int64   // total
+	BitsPerEdge   float64 // SizeBits / M
+	RawCSRBits    int64   // footprint of the graph.Graph arrays it replaces
+}
+
+// SizeBits returns the total in-memory footprint in bits.
+func (pg *PackedGraph) SizeBits() int64 {
+	payload := int64(len(pg.payload)+len(pg.inPayload)) * 8
+	dir := int64(len(pg.blockOff)+len(pg.inBlockOff)+len(pg.edgeStart)) * 64
+	dir += pg.rel.sizeBits() + pg.inRel.sizeBits()
+	return payload + dir + int64(len(pg.weights))*64
+}
+
+// BitsPerEdge returns SizeBits normalized by the canonical edge count.
+func (pg *PackedGraph) BitsPerEdge() float64 {
+	if pg.m == 0 {
+		return 0
+	}
+	return float64(pg.SizeBits()) / float64(pg.m)
+}
+
+// Stats returns the footprint breakdown.
+func (pg *PackedGraph) Stats() Stats {
+	s := Stats{
+		PayloadBytes: int64(len(pg.payload) + len(pg.inPayload)),
+		WeightBytes:  int64(len(pg.weights)) * 8,
+		SizeBits:     pg.SizeBits(),
+		BitsPerEdge:  pg.BitsPerEdge(),
+	}
+	s.DirectoryBits = s.SizeBits - s.PayloadBytes*8 - s.WeightBytes*8
+	// The raw CSR: offsets (n+1)*64, nbrs+eids 64 per arc, edge columns 64
+	// per edge, doubled offsets/arcs for the directed in-CSR, weights 64
+	// per edge.
+	arcs := pg.arcs
+	offsets := int64(pg.n+1) * 64
+	if pg.directed {
+		arcs *= 2
+		offsets *= 2
+	}
+	s.RawCSRBits = offsets + arcs*64 + int64(pg.m)*64
+	if pg.weighted {
+		s.RawCSRBits += int64(pg.m) * 64
+	}
+	return s
+}
+
+// String summarizes the packed graph.
+func (pg *PackedGraph) String() string {
+	kind := "undirected"
+	if pg.directed {
+		kind = "directed"
+	}
+	return fmt.Sprintf("packed %s graph: n=%d m=%d %.1f bits/edge", kind, pg.n, pg.m, pg.BitsPerEdge())
+}

@@ -1,0 +1,219 @@
+package succinct
+
+// Property tests pinning the PackedGraph contract: Unpack(Pack(g)) is
+// graph.Equal to g across directed/undirected × weighted/unweighted random
+// graphs, block sizes, and worker counts; the encoded bytes never depend on
+// the worker count; and every accessor agrees with the raw CSR. The
+// generators mirror internal/graph's differential_test.go.
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"slimgraph/internal/centrality"
+	"slimgraph/internal/graph"
+	"slimgraph/internal/rng"
+	"slimgraph/internal/traverse"
+)
+
+type packCase struct {
+	directed bool
+	weighted bool
+}
+
+func packCases() []packCase {
+	return []packCase{{false, false}, {false, true}, {true, false}, {true, true}}
+}
+
+func (c packCase) String() string {
+	return fmt.Sprintf("directed=%v,weighted=%v", c.directed, c.weighted)
+}
+
+// randomEdges draws m random edges over n vertices, including self-loops
+// and duplicates so the builder's normalization paths are exercised.
+func randomEdges(r *rng.Rand, n, m int, weighted bool) []graph.Edge {
+	edges := make([]graph.Edge, m)
+	for i := range edges {
+		w := 1.0
+		if weighted {
+			w = float64(r.Intn(16)) / 4
+		}
+		edges[i] = graph.Edge{U: graph.NodeID(r.Intn(n)), V: graph.NodeID(r.Intn(n)), W: w}
+	}
+	return edges
+}
+
+func randomGraph(r *rng.Rand, c packCase, n, m int) *graph.Graph {
+	edges := randomEdges(r, n, m, c.weighted)
+	if c.weighted {
+		return graph.FromWeightedEdges(n, c.directed, edges)
+	}
+	return graph.FromEdges(n, c.directed, edges)
+}
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	for _, c := range packCases() {
+		r := rng.New(31)
+		for trial := 0; trial < 12; trial++ {
+			n := r.Intn(200) + 1
+			g := randomGraph(r, c, n, r.Intn(800))
+			for _, block := range []int{1, 8, DefaultBlockVertices} {
+				for _, workers := range []int{1, 3} {
+					pg := PackWithBlock(g, block, workers)
+					if got := pg.Unpack(workers); !got.Equal(g) {
+						t.Fatalf("%v trial %d block %d workers %d: unpack differs",
+							c, trial, block, workers)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestPackEmptyAndTinyGraphs(t *testing.T) {
+	for _, c := range packCases() {
+		for _, g := range []*graph.Graph{
+			graph.FromEdges(0, c.directed, nil),
+			graph.FromEdges(1, c.directed, nil),
+			graph.FromEdges(5, c.directed, nil), // isolated vertices only
+		} {
+			pg := Pack(g, 0)
+			if !pg.Unpack(0).Equal(g) {
+				t.Fatalf("%v: degenerate graph n=%d round trip failed", c, g.N())
+			}
+			if pg.SizeBits() < 0 || pg.BitsPerEdge() != 0 {
+				t.Fatalf("%v: degenerate stats %v", c, pg.Stats())
+			}
+		}
+	}
+}
+
+// The encoded sections must be bit-identical for every worker count — the
+// engine's reproducibility contract extended to storage.
+func TestPackDeterministicAcrossWorkers(t *testing.T) {
+	for _, c := range packCases() {
+		r := rng.New(37)
+		g := randomGraph(r, c, 300, 4000)
+		base := Pack(g, 1)
+		for _, workers := range []int{2, 3, 8} {
+			pg := Pack(g, workers)
+			if !reflect.DeepEqual(base.payload, pg.payload) ||
+				!reflect.DeepEqual(base.blockOff, pg.blockOff) ||
+				!reflect.DeepEqual(base.rel, pg.rel) ||
+				!reflect.DeepEqual(base.inPayload, pg.inPayload) ||
+				!reflect.DeepEqual(base.edgeStart, pg.edgeStart) ||
+				!reflect.DeepEqual(base.weights, pg.weights) {
+				t.Fatalf("%v: pack with %d workers differs from serial", c, workers)
+			}
+		}
+		s1 := EncodeStored(g, 1)
+		for _, workers := range []int{2, 5} {
+			if !reflect.DeepEqual(s1, EncodeStored(g, workers)) {
+				t.Fatalf("%v: stored sections with %d workers differ from serial", c, workers)
+			}
+		}
+	}
+}
+
+func TestAccessorsMatchGraph(t *testing.T) {
+	for _, c := range packCases() {
+		r := rng.New(41)
+		g := randomGraph(r, c, 120, 900)
+		pg := PackWithBlock(g, 16, 0)
+		if pg.N() != g.N() || pg.M() != g.M() || pg.Directed() != g.Directed() ||
+			pg.Weighted() != g.Weighted() || pg.NumArcs() != int64(g.NumArcs()) {
+			t.Fatalf("%v: shape mismatch: %v vs %v", c, pg, g)
+		}
+		var buf []graph.NodeID
+		for v := 0; v < g.N(); v++ {
+			id := graph.NodeID(v)
+			if pg.Degree(id) != g.Degree(id) || pg.InDegree(id) != g.InDegree(id) {
+				t.Fatalf("%v: degree mismatch at %d", c, v)
+			}
+			want := g.Neighbors(id)
+			buf = pg.Neighbors(buf[:0], id)
+			if len(buf) != len(want) {
+				t.Fatalf("%v: neighbors of %d: got %v want %v", c, v, buf, want)
+			}
+			it := pg.Iter(id)
+			i := 0
+			pg.ForNeighbors(id, func(w graph.NodeID) {
+				if want[i] != w || buf[i] != w {
+					t.Fatalf("%v: neighbor %d of %d: got %d want %d", c, i, v, w, want[i])
+				}
+				iw, ok := it.Next()
+				if !ok || iw != w {
+					t.Fatalf("%v: iterator diverged at %d of %d", c, i, v)
+				}
+				i++
+			})
+			if i != len(want) {
+				t.Fatalf("%v: ForNeighbors visited %d of %d", c, i, len(want))
+			}
+			if _, ok := it.Next(); ok {
+				t.Fatalf("%v: iterator overran at %d", c, v)
+			}
+			wantIn := g.InNeighbors(id)
+			i = 0
+			pg.ForInNeighbors(id, func(w graph.NodeID) {
+				if wantIn[i] != w {
+					t.Fatalf("%v: in-neighbor %d of %d: got %d want %d", c, i, v, w, wantIn[i])
+				}
+				i++
+			})
+			if i != len(wantIn) {
+				t.Fatalf("%v: ForInNeighbors visited %d of %d", c, i, len(wantIn))
+			}
+		}
+		for e := 0; e < g.M(); e++ {
+			if pg.EdgeWeight(graph.EdgeID(e)) != g.EdgeWeight(graph.EdgeID(e)) {
+				t.Fatalf("%v: weight mismatch at edge %d", c, e)
+			}
+		}
+	}
+}
+
+// BFS and PageRank must run directly on the packed form with results
+// identical to the raw CSR (workers == 1 makes BFS parents deterministic).
+func TestTraversalOnPackedMatchesRaw(t *testing.T) {
+	for _, c := range packCases() {
+		r := rng.New(43)
+		g := randomGraph(r, c, 150, 1200)
+		pg := Pack(g, 0)
+		root := graph.NodeID(0)
+		raw := traverse.BFS(g, root, 1)
+		packed := traverse.BFSOn(pg, root, 1)
+		if !reflect.DeepEqual(raw, packed) {
+			t.Fatalf("%v: packed BFS differs from raw", c)
+		}
+		if onGraph := traverse.BFSOn(g, root, 1); !reflect.DeepEqual(raw, onGraph) {
+			t.Fatalf("%v: BFSOn over the raw CSR differs from BFS", c)
+		}
+		opts := centrality.PageRankOptions{Workers: 1}
+		prRaw := centrality.PageRank(g, opts)
+		prPacked := centrality.PageRankOn(pg, opts)
+		if !reflect.DeepEqual(prRaw, prPacked) {
+			t.Fatalf("%v: packed PageRank differs from raw", c)
+		}
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	r := rng.New(47)
+	g := randomGraph(r, packCase{false, true}, 400, 6000)
+	pg := Pack(g, 0)
+	s := pg.Stats()
+	if s.SizeBits != pg.SizeBits() {
+		t.Fatalf("Stats.SizeBits %d != SizeBits() %d", s.SizeBits, pg.SizeBits())
+	}
+	if got := s.PayloadBytes*8 + s.DirectoryBits + s.WeightBytes*8; got != s.SizeBits {
+		t.Fatalf("components %d do not sum to SizeBits %d", got, s.SizeBits)
+	}
+	if s.RawCSRBits <= s.SizeBits {
+		t.Fatalf("packed (%d bits) not smaller than raw CSR (%d bits)", s.SizeBits, s.RawCSRBits)
+	}
+	if s.BitsPerEdge <= 0 {
+		t.Fatalf("BitsPerEdge %v", s.BitsPerEdge)
+	}
+}

@@ -1,0 +1,110 @@
+package succinct
+
+import "slimgraph/internal/graph"
+
+// MaxVarintLen is the maximum number of bytes one encoded uint64 occupies.
+const MaxVarintLen = 10
+
+// AppendUvarint appends x in LEB128 form: seven value bits per byte, high
+// bit set on every byte but the last.
+func AppendUvarint(dst []byte, x uint64) []byte {
+	for x >= 0x80 {
+		dst = append(dst, byte(x)|0x80)
+		x >>= 7
+	}
+	return append(dst, byte(x))
+}
+
+// Uvarint decodes the varint starting at pos and returns the value and the
+// position of the first byte after it. A truncated or overlong encoding
+// returns next == pos, which callers treat as corruption.
+func Uvarint(buf []byte, pos int) (x uint64, next int) {
+	var s uint
+	for i := pos; i < len(buf); i++ {
+		b := buf[i]
+		if b < 0x80 {
+			if i-pos >= MaxVarintLen || (i-pos == MaxVarintLen-1 && b > 1) {
+				return 0, pos // overflows uint64
+			}
+			return x | uint64(b)<<s, i + 1
+		}
+		x |= uint64(b&0x7f) << s
+		s += 7
+		if s >= 64 {
+			return 0, pos
+		}
+	}
+	return 0, pos
+}
+
+// ZigZag maps a signed delta onto the unsigned varint domain so that small
+// magnitudes of either sign stay short: 0, -1, 1, -2, ... -> 0, 1, 2, 3, ...
+func ZigZag(x int64) uint64 { return uint64(x<<1) ^ uint64(x>>63) }
+
+// UnZigZag inverts ZigZag.
+func UnZigZag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// AppendList appends one adjacency list in the codec's per-list layout:
+// varint(len), the first neighbor as ZigZag(first-base), then the remaining
+// strictly increasing neighbors as varint(gap-1) deltas. nbrs must be
+// strictly increasing (a sorted, duplicate-free adjacency).
+func AppendList(dst []byte, base graph.NodeID, nbrs []graph.NodeID) []byte {
+	dst = AppendUvarint(dst, uint64(len(nbrs)))
+	if len(nbrs) == 0 {
+		return dst
+	}
+	dst = AppendUvarint(dst, ZigZag(int64(nbrs[0])-int64(base)))
+	prev := int64(nbrs[0])
+	for _, w := range nbrs[1:] {
+		dst = AppendUvarint(dst, uint64(int64(w)-prev-1))
+		prev = int64(w)
+	}
+	return dst
+}
+
+// DecodeList appends the list encoded at pos to dst and returns the grown
+// slice and the position after the list. Corrupt input (truncated varints)
+// returns next == pos with dst unchanged.
+func DecodeList(dst []graph.NodeID, buf []byte, pos int, base graph.NodeID) ([]graph.NodeID, int) {
+	d, p := Uvarint(buf, pos)
+	if p == pos {
+		return dst, pos
+	}
+	if d == 0 {
+		return dst, p
+	}
+	raw, q := Uvarint(buf, p)
+	if q == p {
+		return dst, pos
+	}
+	cur := int64(base) + UnZigZag(raw)
+	dst = append(dst, graph.NodeID(cur))
+	p = q
+	for i := uint64(1); i < d; i++ {
+		gap, q := Uvarint(buf, p)
+		if q == p {
+			return dst[:len(dst)-int(i)], pos
+		}
+		cur += int64(gap) + 1
+		dst = append(dst, graph.NodeID(cur))
+		p = q
+	}
+	return dst, p
+}
+
+// skipList advances past the list encoded at pos without materializing it.
+// Corruption returns next == pos.
+func skipList(buf []byte, pos int) (next int) {
+	d, p := Uvarint(buf, pos)
+	if p == pos {
+		return pos
+	}
+	for i := uint64(0); i < d; i++ {
+		_, q := Uvarint(buf, p)
+		if q == p {
+			return pos
+		}
+		p = q
+	}
+	return p
+}

@@ -1,0 +1,138 @@
+package succinct
+
+import (
+	"math"
+	"testing"
+
+	"slimgraph/internal/graph"
+)
+
+func TestUvarintRoundTrip(t *testing.T) {
+	values := []uint64{0, 1, 127, 128, 129, 1 << 14, 1<<14 - 1, 1 << 21, 1 << 35,
+		1 << 63, math.MaxUint64, math.MaxUint64 - 1}
+	for _, x := range values {
+		buf := AppendUvarint(nil, x)
+		if len(buf) > MaxVarintLen {
+			t.Fatalf("%d encoded to %d bytes", x, len(buf))
+		}
+		v, next := Uvarint(buf, 0)
+		if v != x || next != len(buf) {
+			t.Fatalf("round trip %d: got %d, consumed %d of %d", x, v, next, len(buf))
+		}
+		// Every strict prefix is truncated and must fail in place.
+		for i := 0; i < len(buf); i++ {
+			if _, next := Uvarint(buf[:i], 0); next != 0 {
+				t.Fatalf("truncated prefix of %d decoded (len %d)", x, i)
+			}
+		}
+	}
+}
+
+func TestUvarintRejectsOverflow(t *testing.T) {
+	// Eleven continuation bytes can only encode values beyond uint64.
+	over := []byte{0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x01}
+	if _, next := Uvarint(over, 0); next != 0 {
+		t.Fatal("overlong encoding accepted")
+	}
+	// Ten bytes whose last carries more than one bit overflow too.
+	over = []byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x02}
+	if _, next := Uvarint(over, 0); next != 0 {
+		t.Fatal("uint64 overflow accepted")
+	}
+}
+
+func TestZigZag(t *testing.T) {
+	cases := map[int64]uint64{0: 0, -1: 1, 1: 2, -2: 3, 2: 4,
+		math.MaxInt64: math.MaxUint64 - 1, math.MinInt64: math.MaxUint64}
+	for x, want := range cases {
+		if got := ZigZag(x); got != want {
+			t.Fatalf("ZigZag(%d) = %d, want %d", x, got, want)
+		}
+		if back := UnZigZag(want); back != x {
+			t.Fatalf("UnZigZag(%d) = %d, want %d", want, back, x)
+		}
+	}
+}
+
+func TestListRoundTrip(t *testing.T) {
+	lists := [][]graph.NodeID{
+		nil,
+		{5},
+		{0},
+		{0, 1, 2, 3},
+		{7, 100, 101, 4000, 1 << 30},
+	}
+	for _, base := range []graph.NodeID{0, 9, 1 << 20} {
+		for _, nbrs := range lists {
+			buf := AppendList(nil, base, nbrs)
+			got, next := DecodeList(nil, buf, 0, base)
+			if next != len(buf) {
+				t.Fatalf("base %d list %v: consumed %d of %d", base, nbrs, next, len(buf))
+			}
+			if len(got) != len(nbrs) {
+				t.Fatalf("base %d list %v: got %v", base, nbrs, got)
+			}
+			for i := range nbrs {
+				if got[i] != nbrs[i] {
+					t.Fatalf("base %d list %v: got %v", base, nbrs, got)
+				}
+			}
+			if skip := skipList(buf, 0); skip != len(buf) {
+				t.Fatalf("skipList consumed %d of %d", skip, len(buf))
+			}
+		}
+	}
+}
+
+// FuzzVarintRoundTrip pins the codec's core contract: every uint64 and
+// every signed delta survives encode/decode, truncated prefixes fail in
+// place, and the list layout round-trips a two-element adjacency derived
+// from the fuzzed values.
+func FuzzVarintRoundTrip(f *testing.F) {
+	f.Add(uint64(0), int64(0))
+	f.Add(uint64(127), int64(-1))
+	f.Add(uint64(128), int64(1<<40))
+	f.Add(uint64(math.MaxUint64), int64(math.MinInt64))
+	f.Fuzz(func(t *testing.T, x uint64, d int64) {
+		buf := AppendUvarint(nil, x)
+		v, next := Uvarint(buf, 0)
+		if v != x || next != len(buf) {
+			t.Fatalf("uvarint round trip %d: got %d (consumed %d/%d)", x, v, next, len(buf))
+		}
+		for i := 0; i < len(buf); i++ {
+			if _, n := Uvarint(buf[:i], 0); n != 0 {
+				t.Fatalf("truncated prefix of %d decoded", x)
+			}
+		}
+		if back := UnZigZag(ZigZag(d)); back != d {
+			t.Fatalf("zigzag round trip %d: got %d", d, back)
+		}
+		// A two-element sorted list derived from the fuzz inputs.
+		a := graph.NodeID(x & 0x3fffffff)
+		b := a + 1 + graph.NodeID(uint64(d)&0xffff)
+		base := graph.NodeID(uint64(d) & 0x3fffffff)
+		lbuf := AppendList(nil, base, []graph.NodeID{a, b})
+		got, n := DecodeList(nil, lbuf, 0, base)
+		if n != len(lbuf) || len(got) != 2 || got[0] != a || got[1] != b {
+			t.Fatalf("list round trip [%d %d] base %d: got %v", a, b, base, got)
+		}
+	})
+}
+
+// FuzzDecodeListRobust feeds arbitrary bytes to the list decoder, which
+// must never panic and must fail in place on corruption.
+func FuzzDecodeListRobust(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x00})
+	f.Add(AppendList(nil, 3, []graph.NodeID{4, 9, 17}))
+	f.Add([]byte{0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, buf []byte) {
+		got, next := DecodeList(nil, buf, 0, 0)
+		if next == 0 && len(got) != 0 {
+			t.Fatalf("failed decode returned %d values", len(got))
+		}
+		if next < 0 || next > len(buf) {
+			t.Fatalf("decode consumed %d of %d", next, len(buf))
+		}
+	})
+}

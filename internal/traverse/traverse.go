@@ -91,6 +91,52 @@ func BFS(g *graph.Graph, root graph.NodeID, workers int) *BFSResult {
 	return &BFSResult{Parent: parent, Dist: dist}
 }
 
+// BFSOn is BFS over any graph.Adjacency — the raw CSR or a succinct
+// PackedGraph whose lists are decoded on the fly — so compressed storage is
+// traversed in place, never inflated. Semantics match BFS exactly: levels
+// are always exact; with workers > 1 parent choices among same-level
+// candidates are nondeterministic.
+func BFSOn(g graph.Adjacency, root graph.NodeID, workers int) *BFSResult {
+	n := g.N()
+	parent := make([]graph.NodeID, n)
+	dist := make([]int32, n)
+	for i := range parent {
+		parent[i] = -1
+		dist[i] = -1
+	}
+	parent[root] = root
+	dist[root] = 0
+	frontier := []graph.NodeID{root}
+	level := int32(0)
+	for len(frontier) > 0 {
+		level++
+		nw := parallel.Resolve(workers, len(frontier))
+		nextPer := make([][]graph.NodeID, nw)
+		parallel.ForWorker(len(frontier), nw, func(w, lo, hi int) {
+			local := nextPer[w]
+			var u graph.NodeID
+			// One closure per chunk, not per vertex: u is rebound each
+			// iteration so ForNeighbors stays allocation-free.
+			visit := func(v graph.NodeID) {
+				if atomic.CompareAndSwapInt32(&parent[v], -1, u) {
+					dist[v] = level
+					local = append(local, v)
+				}
+			}
+			for i := lo; i < hi; i++ {
+				u = frontier[i]
+				g.ForNeighbors(u, visit)
+			}
+			nextPer[w] = local
+		})
+		frontier = frontier[:0]
+		for _, part := range nextPer {
+			frontier = append(frontier, part...)
+		}
+	}
+	return &BFSResult{Parent: parent, Dist: dist}
+}
+
 // Inf is the distance assigned to unreachable vertices by SSSP routines.
 var Inf = math.Inf(1)
 
