@@ -507,6 +507,30 @@ func TriangleCount(g *Graph, workers int) int64 { return triangles.Count(g, work
 // TrianglesPerVertex returns the per-vertex triangle counts.
 func TrianglesPerVertex(g *Graph, workers int) []int64 { return triangles.PerVertex(g, workers) }
 
+// TrianglesPerEdge returns the per-edge triangle counts — the input to the
+// CT variant of Triangle Reduction.
+func TrianglesPerEdge(g *Graph, workers int) []int64 { return triangles.PerEdge(g, workers) }
+
+// TriangleCountApprox estimates the triangle count with DOULION edge
+// sampling: each edge survives with probability p and the sampled count is
+// scaled by p^-3.
+func TriangleCountApprox(g *Graph, p float64, seed uint64, workers int) float64 {
+	return triangles.CountApprox(g, p, seed, workers)
+}
+
+// TriangleEngine is the reusable triangle-enumeration substrate: a
+// rank-oriented forward CSR built once per graph, shared by counting,
+// per-element counting, and triangle-kernel runs. The package-level
+// triangle functions build a single-use engine internally; construct one
+// explicitly to amortize it across repeated enumerations of the same graph.
+type TriangleEngine = triangles.Engine
+
+// NewTriangleEngine builds the enumeration substrate for g (undirected
+// only; workers <= 0 uses all CPUs).
+func NewTriangleEngine(g *Graph, workers int) *TriangleEngine {
+	return triangles.NewEngine(g, workers)
+}
+
 // MSTWeight returns the weight of a minimum spanning forest (Kruskal).
 func MSTWeight(g *Graph) float64 { return mst.Kruskal(g).Weight }
 

@@ -184,3 +184,23 @@ func TestReorderedPairsPublicAPI(t *testing.T) {
 		t.Fatalf("JS %v", js)
 	}
 }
+
+func TestTriangleEngineAPI(t *testing.T) {
+	g := slimgraph.GenerateRMAT(9, 8, 7)
+	en := slimgraph.NewTriangleEngine(g, 0)
+	want := slimgraph.TriangleCount(g, 0)
+	if got := en.Count(); got != want {
+		t.Fatalf("engine Count = %d, wrapper %d", got, want)
+	}
+	pe := slimgraph.TrianglesPerEdge(g, 0)
+	var sum int64
+	for _, c := range pe {
+		sum += c
+	}
+	if sum != 3*want {
+		t.Fatalf("per-edge sum %d, want %d", sum, 3*want)
+	}
+	if got := slimgraph.TriangleCountApprox(g, 1, 1, 0); got != float64(want) {
+		t.Fatalf("p=1 approx %v != exact %d", got, want)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"testing"
 
 	"slimgraph"
+	"slimgraph/internal/core"
 	"slimgraph/internal/experiments"
 	"slimgraph/internal/gen"
 	"slimgraph/internal/graph"
@@ -19,6 +20,7 @@ import (
 	"slimgraph/internal/rng"
 	"slimgraph/internal/succinct"
 	"slimgraph/internal/traverse"
+	"slimgraph/internal/triangles"
 )
 
 func benchConfig() experiments.Config {
@@ -248,4 +250,64 @@ func BenchmarkAlgoTriangleCount(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		slimgraph.TriangleCount(g, 0)
 	}
+}
+
+// Triangle-engine benchmarks on the same R-MAT graph: the rank-oriented
+// forward-CSR engine against the preserved pre-engine path (full-adjacency
+// merge scans, per-triangle atomics, edge-index chunking). The PR 4
+// acceptance bar (BENCH_pr4.json) is engine Count >= 2x reference.
+
+func BenchmarkTriangleCount(b *testing.B) {
+	g, _ := coreBenchGraph(b)
+	b.Run("reference", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			triangles.ReferenceCount(g, 0)
+		}
+	})
+	b.Run("engine", func(b *testing.B) {
+		// Includes forward-CSR construction, like the wrapper callers pay.
+		for i := 0; i < b.N; i++ {
+			slimgraph.TriangleCount(g, 0)
+		}
+	})
+	en := slimgraph.NewTriangleEngine(g, 0)
+	b.Run("engine-prebuilt", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			en.Count()
+		}
+	})
+}
+
+func BenchmarkTrianglePerEdge(b *testing.B) {
+	g, _ := coreBenchGraph(b)
+	b.Run("reference", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			triangles.ReferencePerEdge(g, 0)
+		}
+	})
+	b.Run("engine", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			slimgraph.TrianglesPerEdge(g, 0)
+		}
+	})
+}
+
+func BenchmarkTriangleKernel(b *testing.B) {
+	g, _ := coreBenchGraph(b)
+	// The basic p-1-TR kernel of Listing 1: sample, delete one edge u.a.r.
+	kernel := func(sg *core.SG, r *rng.Rand, t core.TriangleView) {
+		if r.Float64() < 0.5 {
+			sg.Del(t.E[r.Intn(3)])
+		}
+	}
+	b.Run("reference", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.New(g, 1, 0).ReferenceRunTriangleKernel(kernel)
+		}
+	})
+	b.Run("engine", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.New(g, 1, 0).RunTriangleKernel(kernel)
+		}
+	})
 }

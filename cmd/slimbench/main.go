@@ -11,12 +11,15 @@
 //	slimbench -guidelines          # just the §7.5 selection guide
 //	slimbench -compare "uniform:p=0.5;tr-eo:p=0.8|spanner:k=8"
 //	                               # arbitrary registry specs side by side
+//	slimbench -only triangles -cpuprofile cpu.out
+//	                               # profile a run for perf work
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"strings"
 
 	"slimgraph/internal/experiments"
@@ -43,6 +46,7 @@ var drivers = []struct {
 	{"lowrank", experiments.LowRank, "§7.4: low-rank baseline"},
 	{"cuts", experiments.CutPreservation, "§6.3: min-cut preservation (+ §4.6 cut sparsifier)"},
 	{"core", experiments.CoreBench, "Engine core: rebuild-free CSR construction vs sort-based reference"},
+	{"triangles", experiments.TriangleBench, "Triangle engine: oriented forward CSR vs pre-engine reference"},
 	{"storage", experiments.Storage, "§5 storage: packed (v2) snapshots + in-place packed-BFS slowdown"},
 	{"abl-eo", experiments.AblationEO, "Ablation: Edge-Once semantics"},
 	{"abl-spanner", experiments.AblationSpanner, "Ablation: spanner inter-cluster rule"},
@@ -60,8 +64,24 @@ func main() {
 		compare    = flag.String("compare", "",
 			"semicolon-separated registry specs (schemes or pipelines) to compare, e.g. "+
 				`"uniform:p=0.5;tr-eo:p=0.8|spanner:k=8"`)
+		cpuprofile = flag.String("cpuprofile", "",
+			"write a pprof CPU profile of the run to this file (go tool pprof <file>)")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "slimbench: -cpuprofile:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "slimbench: -cpuprofile:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	if *list {
 		for _, d := range drivers {

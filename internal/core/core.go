@@ -205,11 +205,41 @@ type TriangleView struct {
 type TriangleKernel func(sg *SG, r *rng.Rand, t TriangleView)
 
 // RunTriangleKernel enumerates all triangles (O(m^{3/2}) work) and executes
-// the kernel on each, in parallel. The per-triangle PRNG is keyed by the
-// triangle's edge IDs, so results are schedule-independent.
+// the kernel on each, in parallel: it builds a triangles.Engine once for
+// the run and drives the kernel off it. The per-triangle PRNG is keyed by
+// the triangle's edge IDs, so results are schedule-independent.
 func (sg *SG) RunTriangleKernel(k TriangleKernel) {
+	sg.RunTriangleKernelOn(triangles.NewEngine(sg.g, sg.workers), k)
+}
+
+// RunTriangleKernelOn is RunTriangleKernel over a prebuilt enumeration
+// engine, so callers that already enumerated (e.g. for per-edge triangle
+// counts) pay for the forward CSR only once. The engine must have been
+// built for this SG's graph.
+func (sg *SG) RunTriangleKernelOn(en *triangles.Engine, k TriangleKernel) {
 	g := sg.g
-	triangles.ForEach(g, sg.workers, func(t triangles.Triangle) {
+	if en.Graph() != g {
+		panic("core: triangle engine built for a different graph")
+	}
+	en.ForEach(func(t triangles.Triangle) {
+		view := TriangleView{V: t.V, E: t.E}
+		for i, e := range t.E {
+			view.Weights[i] = g.EdgeWeight(e)
+		}
+		key := rng.Hash64(uint64(t.E[0]), rng.Hash64(uint64(t.E[1]), uint64(t.E[2])))
+		k(sg, sg.elementRand(kindTriangle, key), view)
+	})
+}
+
+// ReferenceRunTriangleKernel is RunTriangleKernel over the preserved
+// pre-engine enumeration (triangles.ReferenceForEach), with identical
+// per-triangle PRNG keying. Like graph.ReferenceBuild it exists as the
+// pinned baseline: differential tests compare deletion sets against it and
+// the benchmarks keep measuring the same seed implementation as the engine
+// evolves.
+func (sg *SG) ReferenceRunTriangleKernel(k TriangleKernel) {
+	g := sg.g
+	triangles.ReferenceForEach(g, sg.workers, func(t triangles.Triangle) {
 		view := TriangleView{V: t.V, E: t.E}
 		for i, e := range t.E {
 			view.Weights[i] = g.EdgeWeight(e)

@@ -8,6 +8,7 @@ import (
 	"slimgraph/internal/gen"
 	"slimgraph/internal/graph"
 	"slimgraph/internal/rng"
+	"slimgraph/internal/triangles"
 )
 
 func TestEdgeKernelVisitsEveryEdgeOnce(t *testing.T) {
@@ -225,4 +226,80 @@ func TestUniformDeletionConcentrationProperty(t *testing.T) {
 	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// TestTriangleKernelDeletionsMatchReference pins the engine rewrite to the
+// pre-engine behaviour: for a deletion kernel the SG deletion marks are
+// identical whether triangles come from the Engine or from the reference
+// path. Order-independent kernels (PRNG keyed by edge IDs) must match at
+// any worker count; order-dependent Edge-Once kernels must match in the
+// sequential engine mode, whose enumeration order is the reference order.
+func TestTriangleKernelDeletionsMatchReference(t *testing.T) {
+	g := gen.PlantedPartition(200, 15, 0.55, 120, 23)
+	basicKernel := func(sg *SG, r *rng.Rand, tr TriangleView) {
+		if r.Float64() < 0.5 {
+			sg.Del(tr.E[r.Intn(3)])
+		}
+	}
+	eoKernel := func(sg *SG, r *rng.Rand, tr TriangleView) {
+		if r.Float64() >= 0.7 {
+			return
+		}
+		chosen := r.Intn(3)
+		if !sg.ConsiderOnce(tr.E[chosen]) {
+			sg.Del(tr.E[chosen])
+		}
+		sg.MarkConsidered(tr.E[(chosen+1)%3])
+		sg.MarkConsidered(tr.E[(chosen+2)%3])
+	}
+	deletions := func(sg *SG) []graph.EdgeID {
+		var out []graph.EdgeID
+		for e := 0; e < g.M(); e++ {
+			if sg.Deleted(graph.EdgeID(e)) {
+				out = append(out, graph.EdgeID(e))
+			}
+		}
+		return out
+	}
+	cases := []struct {
+		name    string
+		kernel  TriangleKernel
+		workers []int
+	}{
+		{"basic", basicKernel, []int{1, 8}}, // schedule-independent: any worker count
+		{"edge-once", eoKernel, []int{1}},   // order-dependent: sequential contract
+	}
+	for _, c := range cases {
+		for _, workers := range c.workers {
+			engineSG := New(g, 42, workers)
+			engineSG.RunTriangleKernel(c.kernel)
+			refSG := New(g, 42, workers)
+			refSG.ReferenceRunTriangleKernel(c.kernel)
+			got, want := deletions(engineSG), deletions(refSG)
+			if len(got) != len(want) {
+				t.Fatalf("%s workers=%d: %d deletions, reference %d", c.name, workers, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%s workers=%d: deletion set diverges at %d: %d vs %d",
+						c.name, workers, i, got[i], want[i])
+				}
+			}
+			if len(got) == 0 {
+				t.Fatalf("%s: degenerate test — no deletions", c.name)
+			}
+		}
+	}
+}
+
+func TestRunTriangleKernelOnWrongGraphPanics(t *testing.T) {
+	g := gen.Complete(5)
+	other := gen.Complete(6)
+	sg := New(g, 1, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for engine built on a different graph")
+		}
+	}()
+	sg.RunTriangleKernelOn(triangles.NewEngine(other, 1), func(*SG, *rng.Rand, TriangleView) {})
 }

@@ -132,6 +132,89 @@ func ForWorker(n, workers int, body func(worker, lo, hi int)) {
 	wg.Wait()
 }
 
+// ForBalanced runs body(lo, hi) over contiguous ranges covering [0, n),
+// cutting the range where the prefix-summed work is equal rather than where
+// the index is: prefix must have length n+1 with prefix[i] = total weight of
+// items [0, i) (nondecreasing, as produced by ExclusiveScan plus the total).
+// Workers claim ~16 near-equal-work grains each, so a handful of heavy items
+// (hub vertices, dense rows) no longer serialize one chunk. Each item is
+// visited exactly once; zero-weight items ride along with the range that
+// contains them. With workers == 1 the whole range runs inline as one body
+// call in index order.
+func ForBalanced(n, workers int, prefix []int64, body func(lo, hi int)) {
+	ForBalancedWorker(n, workers, prefix, func(_, lo, hi int) { body(lo, hi) })
+}
+
+// ForBalancedWorker is ForBalanced with the claiming worker's index passed
+// to body, so callers can maintain per-worker accumulators without
+// synchronization. Grain boundaries depend only on (n, prefix, workers);
+// which worker claims which grain does not, so per-worker state must be
+// merged order-independently (sums, sets) for worker-count-independent
+// results.
+func ForBalancedWorker(n, workers int, prefix []int64, body func(worker, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if len(prefix) != n+1 {
+		panic("parallel: ForBalanced prefix must have length n+1")
+	}
+	workers = normalize(workers, n)
+	total := prefix[n]
+	if workers == 1 || total <= 0 {
+		if workers == 1 {
+			body(0, 0, n)
+			return
+		}
+		// No weight information: fall back to index chunking.
+		ForWorker(n, workers, body)
+		return
+	}
+	grains := workers * 16
+	if grains > n {
+		grains = n
+	}
+	// cut(g) is the first index whose prefix reaches grain g's share of the
+	// total; cut(0) = 0 and cut(grains) = n so the ranges tile [0, n).
+	cut := func(g int) int {
+		if g <= 0 {
+			return 0
+		}
+		if g >= grains {
+			return n
+		}
+		target := total * int64(g) / int64(grains)
+		lo, hi := 0, n
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if prefix[mid] < target {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return lo
+	}
+	var next int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for {
+				g := int(atomic.AddInt64(&next, 1)) - 1
+				if g >= grains {
+					return
+				}
+				lo, hi := cut(g), cut(g+1)
+				if lo < hi {
+					body(w, lo, hi)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
 // Blocks returns the block count used by the block-deterministic primitives
 // (Histogram, ExclusiveScan, CountingScatter, Pack) for a loop of length n:
 // Resolve(workers, n) capped so per-block bookkeeping of width bins stays

@@ -259,3 +259,110 @@ func BenchmarkForOverhead(b *testing.B) {
 	}
 	_ = sink
 }
+
+func prefixOf(weights []int64) []int64 {
+	prefix := make([]int64, len(weights)+1)
+	for i, w := range weights {
+		prefix[i+1] = prefix[i] + w
+	}
+	return prefix
+}
+
+func TestForBalancedCoversAllIndicesOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 0} {
+		for _, n := range []int{0, 1, 2, 63, 1000, 10000} {
+			weights := make([]int64, n)
+			for i := range weights {
+				// Skewed: a few huge items among unit items.
+				weights[i] = 1
+				if i%97 == 0 {
+					weights[i] = 5000
+				}
+			}
+			hits := make([]int32, n)
+			ForBalanced(n, workers, prefixOf(weights), func(lo, hi int) {
+				// Errorf, not Fatalf: the body runs on worker goroutines.
+				if lo < 0 || hi > n || lo >= hi {
+					t.Errorf("bad range [%d, %d) for n=%d", lo, hi, n)
+					return
+				}
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&hits[i], 1)
+				}
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("workers=%d n=%d: index %d visited %d times", workers, n, i, h)
+				}
+			}
+		}
+	}
+}
+
+func TestForBalancedZeroAndAllZeroWeights(t *testing.T) {
+	// Zero-weight tails and an all-zero prefix must still visit every item.
+	for _, weights := range [][]int64{
+		{0, 0, 0, 0, 0},
+		{10, 0, 0, 0, 0},
+		{0, 0, 0, 0, 10},
+		{0, 7, 0, 7, 0},
+	} {
+		n := len(weights)
+		for _, workers := range []int{1, 3, 8} {
+			hits := make([]int32, n)
+			ForBalanced(n, workers, prefixOf(weights), func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&hits[i], 1)
+				}
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("weights=%v workers=%d: index %d visited %d times", weights, workers, i, h)
+				}
+			}
+		}
+	}
+}
+
+func TestForBalancedSplitsHeavyRuns(t *testing.T) {
+	// With one dominant item the balanced partition must still give other
+	// workers disjoint work: ranges are contiguous, disjoint, and the heavy
+	// item's range does not swallow everything when weights justify cuts.
+	const n = 4096
+	weights := make([]int64, n)
+	for i := range weights {
+		weights[i] = 1
+	}
+	weights[0] = 1 << 20
+	var ranges int64
+	ForBalancedWorker(n, 4, prefixOf(weights), func(_, lo, hi int) {
+		atomic.AddInt64(&ranges, 1)
+	})
+	if ranges < 2 {
+		t.Fatalf("expected the non-heavy tail to be split off, got %d range(s)", ranges)
+	}
+}
+
+func TestForBalancedWorkerIndexInRange(t *testing.T) {
+	const n = 10000
+	weights := make([]int64, n)
+	for i := range weights {
+		weights[i] = int64(i % 13)
+	}
+	for _, workers := range []int{1, 2, 7} {
+		ForBalancedWorker(n, workers, prefixOf(weights), func(w, lo, hi int) {
+			if w < 0 || w >= workers {
+				t.Errorf("worker index %d out of [0, %d)", w, workers)
+			}
+		})
+	}
+}
+
+func TestForBalancedPrefixLengthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for short prefix")
+		}
+	}()
+	ForBalanced(5, 2, make([]int64, 5), func(lo, hi int) {})
+}

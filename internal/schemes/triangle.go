@@ -115,15 +115,18 @@ func TriangleReduction(g *graph.Graph, opts TROptions) *Result {
 	if opts.Variant == TRCollapse {
 		return collapseTR(g, opts, start)
 	}
+	// One engine per run: the CT variant's per-edge counting pass and the
+	// kernel enumeration share the same forward CSR.
+	eng := triangles.NewEngine(g, opts.Workers)
 	var perEdge []int64
 	if opts.Variant == TRCT {
-		perEdge = triangles.PerEdge(g, opts.Workers)
+		perEdge = eng.PerEdge()
 	}
 	sg := core.New(g, opts.Seed, opts.Workers)
 	sg.SetParam("p", opts.P)
 	sg.SetParam("x", float64(x))
 	kernel := trKernel(opts.Variant, perEdge)
-	sg.RunTriangleKernel(kernel)
+	sg.RunTriangleKernelOn(eng, kernel)
 	return finish("tr", opts.paramString(), g, sg.Materialize(), start)
 }
 

@@ -66,23 +66,33 @@ func BFS(g *graph.Graph, root graph.NodeID, workers int) *BFSResult {
 	dist[root] = 0
 	frontier := []graph.NodeID{root}
 	level := int32(0)
+	// One scratch allocation (and one body closure) per traversal, not per
+	// level: the per-worker next-frontier slices keep their capacity across
+	// levels — a level uses the first nw of them, truncated to length 0 —
+	// and the hoisted body reads frontier/level through the closure.
+	scratch := make([][]graph.NodeID, parallel.Resolve(workers, n))
+	var nextPer [][]graph.NodeID
+	body := func(w, lo, hi int) {
+		local := nextPer[w]
+		for i := lo; i < hi; i++ {
+			u := frontier[i]
+			for _, v := range g.Neighbors(u) {
+				if atomic.CompareAndSwapInt32(&parent[v], -1, u) {
+					dist[v] = level
+					local = append(local, v)
+				}
+			}
+		}
+		nextPer[w] = local
+	}
 	for len(frontier) > 0 {
 		level++
 		nw := parallel.Resolve(workers, len(frontier))
-		nextPer := make([][]graph.NodeID, nw)
-		parallel.ForWorker(len(frontier), nw, func(w, lo, hi int) {
-			local := nextPer[w]
-			for i := lo; i < hi; i++ {
-				u := frontier[i]
-				for _, v := range g.Neighbors(u) {
-					if atomic.CompareAndSwapInt32(&parent[v], -1, u) {
-						dist[v] = level
-						local = append(local, v)
-					}
-				}
-			}
-			nextPer[w] = local
-		})
+		nextPer = scratch[:nw]
+		for w := range nextPer {
+			nextPer[w] = nextPer[w][:0]
+		}
+		parallel.ForWorker(len(frontier), nw, body)
 		frontier = frontier[:0]
 		for _, part := range nextPer {
 			frontier = append(frontier, part...)
@@ -108,30 +118,45 @@ func BFSOn(g graph.Adjacency, root graph.NodeID, workers int) *BFSResult {
 	dist[root] = 0
 	frontier := []graph.NodeID{root}
 	level := int32(0)
+	// As in BFS, all per-level state is hoisted so a traversal allocates
+	// its scratch once: per-worker visit closures (created up front, each
+	// owning a state cell rebound per vertex so ForNeighbors stays
+	// allocation-free) and per-worker next-frontier slices whose capacity
+	// survives across levels.
+	maxW := parallel.Resolve(workers, n)
+	states := make([]struct {
+		u     graph.NodeID
+		local []graph.NodeID
+		_     [32]byte // pad cells to a cache line: u/local are written per vertex
+	}, maxW)
+	visits := make([]func(graph.NodeID), maxW)
+	for w := range visits {
+		st := &states[w]
+		visits[w] = func(v graph.NodeID) {
+			if atomic.CompareAndSwapInt32(&parent[v], -1, st.u) {
+				dist[v] = level
+				st.local = append(st.local, v)
+			}
+		}
+	}
+	body := func(w, lo, hi int) {
+		st := &states[w]
+		visit := visits[w]
+		for i := lo; i < hi; i++ {
+			st.u = frontier[i]
+			g.ForNeighbors(st.u, visit)
+		}
+	}
 	for len(frontier) > 0 {
 		level++
 		nw := parallel.Resolve(workers, len(frontier))
-		nextPer := make([][]graph.NodeID, nw)
-		parallel.ForWorker(len(frontier), nw, func(w, lo, hi int) {
-			local := nextPer[w]
-			var u graph.NodeID
-			// One closure per chunk, not per vertex: u is rebound each
-			// iteration so ForNeighbors stays allocation-free.
-			visit := func(v graph.NodeID) {
-				if atomic.CompareAndSwapInt32(&parent[v], -1, u) {
-					dist[v] = level
-					local = append(local, v)
-				}
-			}
-			for i := lo; i < hi; i++ {
-				u = frontier[i]
-				g.ForNeighbors(u, visit)
-			}
-			nextPer[w] = local
-		})
+		for w := 0; w < nw; w++ {
+			states[w].local = states[w].local[:0]
+		}
+		parallel.ForWorker(len(frontier), nw, body)
 		frontier = frontier[:0]
-		for _, part := range nextPer {
-			frontier = append(frontier, part...)
+		for w := 0; w < nw; w++ {
+			frontier = append(frontier, states[w].local...)
 		}
 	}
 	return &BFSResult{Parent: parent, Dist: dist}

@@ -198,3 +198,25 @@ func BenchmarkDeltaSteppingGrid(b *testing.B) {
 		DeltaStepping(g, 0, 0, 0)
 	}
 }
+
+func TestBFSScratchReusedAcrossLevels(t *testing.T) {
+	// A long path maximizes level count (one frontier vertex per level, so
+	// every level runs inline regardless of the worker setting). Before the
+	// per-traversal scratch, BFS allocated fresh per-worker next-frontier
+	// slices every level: >= 2 allocations x 2047 levels here. With reuse,
+	// the whole traversal stays within a small constant budget.
+	g := gen.Path(2048)
+	const budget = 64
+	for _, workers := range []int{1, 4} {
+		allocs := testing.AllocsPerRun(5, func() { BFS(g, 0, workers) })
+		if allocs > budget {
+			t.Errorf("BFS workers=%d: %.0f allocs per traversal, budget %d (per-level scratch leak?)",
+				workers, allocs, budget)
+		}
+		allocs = testing.AllocsPerRun(5, func() { BFSOn(g, 0, workers) })
+		if allocs > budget {
+			t.Errorf("BFSOn workers=%d: %.0f allocs per traversal, budget %d (per-level scratch leak?)",
+				workers, allocs, budget)
+		}
+	}
+}

@@ -1,0 +1,456 @@
+package triangles
+
+import (
+	"slimgraph/internal/graph"
+	"slimgraph/internal/parallel"
+)
+
+// Engine is a precomputed, reusable triangle-enumeration substrate: the
+// rank permutation and rank-oriented forward CSR built once, then shared by
+// every enumeration (ForEach, Count, PerVertex, PerEdge, List) and by
+// core.RunTriangleKernel. Construction is O(n + m) on top of the input CSR
+// and uses only the deterministic primitives of internal/parallel, so the
+// structure — and every result derived from it — is bit-identical for any
+// worker count.
+//
+// Orientation invariant: vertices are ranked by the key (degree, ID), and
+// the forward list F(v) holds exactly the neighbors w with
+// rank(w) > rank(v), each carrying the canonical EdgeID of {v, w}. Every
+// triangle {a, b, c} with rank(a) < rank(b) < rank(c) therefore appears in
+// exactly one intersection — F(a) ∩ F(b), discovered from its rank-lowest
+// edge {a, b} — and |F(v)| = O(√m) for every v, which bounds each
+// intersection and yields the O(m^{3/2}) total of Table 2.
+//
+// Forward lists are stored sorted by neighbor ID, not by rank. Any shared
+// total order supports the intersection; ID order additionally makes the
+// sequential enumeration emit triangles in exactly the reference order
+// (ascending lowest edge, then ascending third vertex), which keeps
+// Edge-Once kernels bit-identical to the pre-engine implementation.
+type Engine struct {
+	g       *graph.Graph
+	workers int
+
+	key []uint64 // rank key per vertex: degree<<32 | ID
+
+	// Forward CSR: off has length n+1; nbr/eid hold, for each vertex, its
+	// higher-ranked neighbors in increasing ID order with canonical EdgeIDs.
+	off []int64
+	nbr []graph.NodeID
+	eid []graph.EdgeID
+
+	// work[e] = total intersection cost of edges [0, e) — the prefix-summed
+	// per-edge estimate |F(u)|+|F(v)|+1 that drives balanced scheduling.
+	work []int64
+}
+
+// NewEngine builds the enumeration substrate for g. workers <= 0 uses all
+// CPUs; the same value drives every subsequent enumeration on the engine.
+// Directed graphs are not supported: callers must symmetrize first.
+func NewEngine(g *graph.Graph, workers int) *Engine {
+	if g.Directed() {
+		panic("triangles: directed graphs are not supported; symmetrize first")
+	}
+	n, m := g.N(), g.M()
+	en := &Engine{g: g, workers: workers}
+
+	en.key = make([]uint64, n)
+	parallel.For(n, workers, func(v int) {
+		en.key[v] = uint64(g.Degree(graph.NodeID(v)))<<32 | uint64(uint32(v))
+	})
+
+	// Forward degrees, offsets, and the filtered fill. Each vertex owns its
+	// own slot and output range, so both passes are trivially deterministic.
+	en.off = make([]int64, n+1)
+	blocks := parallel.Blocks(n, 0, workers)
+	parallel.ForBlocks(n, blocks, workers, func(_, lo, hi int) {
+		for v := lo; v < hi; v++ {
+			kv := en.key[v]
+			var c int64
+			for _, b := range g.Neighbors(graph.NodeID(v)) {
+				if en.key[b] > kv {
+					c++
+				}
+			}
+			en.off[v] = c
+		}
+	})
+	total := parallel.ExclusiveScan(en.off[:n], workers)
+	en.off[n] = total
+	en.nbr = make([]graph.NodeID, total)
+	en.eid = make([]graph.EdgeID, total)
+	parallel.ForBlocks(n, blocks, workers, func(_, lo, hi int) {
+		for v := lo; v < hi; v++ {
+			kv := en.key[v]
+			pos := en.off[v]
+			ns, es := g.NeighborEdges(graph.NodeID(v))
+			for i, b := range ns {
+				if en.key[b] > kv {
+					en.nbr[pos] = b
+					en.eid[pos] = es[i]
+					pos++
+				}
+			}
+		}
+	})
+
+	en.work = make([]int64, m+1)
+	parallel.ForBlocks(m, parallel.Blocks(m, 0, workers), workers, func(_, lo, hi int) {
+		for e := lo; e < hi; e++ {
+			u, v := g.EdgeEndpoints(graph.EdgeID(e))
+			en.work[e] = (en.off[u+1] - en.off[u]) + (en.off[v+1] - en.off[v]) + 1
+		}
+	})
+	parallel.ExclusiveScan(en.work, workers)
+	return en
+}
+
+// Graph returns the graph the engine was built for.
+func (en *Engine) Graph() *graph.Graph { return en.g }
+
+// Workers returns the configured parallelism.
+func (en *Engine) Workers() int { return en.workers }
+
+// forward returns F(v) as parallel neighbor/edge views.
+func (en *Engine) forward(v graph.NodeID) ([]graph.NodeID, []graph.EdgeID) {
+	lo, hi := en.off[v], en.off[v+1]
+	return en.nbr[lo:hi], en.eid[lo:hi]
+}
+
+// orient returns the endpoints of e ordered by rank: rank(u) < rank(v).
+func (en *Engine) orient(e graph.EdgeID) (u, v graph.NodeID) {
+	u, v = en.g.EdgeEndpoints(e)
+	if en.key[v] < en.key[u] {
+		u, v = v, u
+	}
+	return u, v
+}
+
+// ForEach calls fn once for every triangle in the graph. With an effective
+// worker count of 1 the triangles arrive in the reference order (ascending
+// rank-lowest EdgeID, then ascending third-vertex ID — identical to
+// ReferenceForEach); with more workers fn is invoked concurrently and must
+// be safe for that.
+func (en *Engine) ForEach(fn func(t Triangle)) {
+	m := en.g.M()
+	if m == 0 {
+		return
+	}
+	if parallel.Resolve(en.workers, m) == 1 {
+		en.forRange(0, m, fn)
+		return
+	}
+	parallel.ForBalanced(m, en.workers, en.work, func(lo, hi int) {
+		en.forRange(lo, hi, fn)
+	})
+}
+
+// forRange emits every triangle whose rank-lowest edge lies in [lo, hi), in
+// reference order within the range.
+func (en *Engine) forRange(lo, hi int, fn func(Triangle)) {
+	// One emit closure per range (not per edge): cu/cv/ce are rebound each
+	// iteration so the intersection kernels stay allocation-free.
+	var cu, cv graph.NodeID
+	var ce graph.EdgeID
+	emit := func(w graph.NodeID, euw, evw graph.EdgeID) {
+		fn(Triangle{
+			V: [3]graph.NodeID{cu, cv, w},
+			E: [3]graph.EdgeID{ce, euw, evw},
+		})
+	}
+	for e := lo; e < hi; e++ {
+		ce = graph.EdgeID(e)
+		cu, cv = en.orient(ce)
+		un, ue := en.forward(cu)
+		vn, ve := en.forward(cv)
+		intersectEmit(un, ue, vn, ve, emit)
+	}
+}
+
+// countRange counts the triangles whose rank-lowest edge lies in [lo, hi)
+// without materializing them.
+func (en *Engine) countRange(lo, hi int) int64 {
+	var c int64
+	for e := lo; e < hi; e++ {
+		u, v := en.orient(graph.EdgeID(e))
+		c += intersectCount(en.nbr[en.off[u]:en.off[u+1]], en.nbr[en.off[v]:en.off[v+1]])
+	}
+	return c
+}
+
+// Count returns the number of triangles. Per-worker counters replace the
+// per-triangle atomic of the reference path; integer addition commutes, so
+// the result is independent of the worker count.
+func (en *Engine) Count() int64 {
+	m := en.g.M()
+	if m == 0 {
+		return 0
+	}
+	nw := parallel.Resolve(en.workers, m)
+	if nw == 1 {
+		return en.countRange(0, m)
+	}
+	const pad = 8 // one cache line per counter
+	acc := make([]int64, nw*pad)
+	parallel.ForBalancedWorker(m, en.workers, en.work, func(w, lo, hi int) {
+		acc[w*pad] += en.countRange(lo, hi)
+	})
+	var total int64
+	for w := 0; w < nw; w++ {
+		total += acc[w*pad]
+	}
+	return total
+}
+
+// maxAccumulators caps the per-worker dense arrays of PerVertex/PerEdge:
+// each costs a full n- or m-length int64 array, so these two paths cap
+// their enumeration parallelism rather than letting a high-core default
+// worker count allocate GOMAXPROCS full-size copies. Count is unaffected
+// (one padded counter per worker).
+const maxAccumulators = 8
+
+// accWorkers resolves the worker count for the accumulator-array paths.
+func (en *Engine) accWorkers(m int) int {
+	w := en.workers
+	if w <= 0 {
+		w = parallel.DefaultWorkers()
+	}
+	if w > maxAccumulators {
+		w = maxAccumulators
+	}
+	return parallel.Resolve(w, m)
+}
+
+// PerVertex returns counts[v] = number of triangles containing vertex v,
+// accumulated in per-worker arrays reduced at the end (no atomics).
+func (en *Engine) PerVertex() []int64 {
+	n, m := en.g.N(), en.g.M()
+	counts := make([]int64, n)
+	if m == 0 {
+		return counts
+	}
+	nw := en.accWorkers(m)
+	if nw == 1 {
+		en.vertexRange(0, m, counts)
+		return counts
+	}
+	per := make([][]int64, nw)
+	for w := range per {
+		per[w] = make([]int64, n)
+	}
+	parallel.ForBalancedWorker(m, nw, en.work, func(w, lo, hi int) {
+		en.vertexRange(lo, hi, per[w])
+	})
+	parallel.ForChunks(n, en.workers, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			var s int64
+			for w := 0; w < nw; w++ {
+				s += per[w][v]
+			}
+			counts[v] = s
+		}
+	})
+	return counts
+}
+
+func (en *Engine) vertexRange(lo, hi int, acc []int64) {
+	var cu, cv graph.NodeID
+	visit := func(w graph.NodeID, _, _ graph.EdgeID) {
+		acc[cu]++
+		acc[cv]++
+		acc[w]++
+	}
+	for e := lo; e < hi; e++ {
+		cu, cv = en.orient(graph.EdgeID(e))
+		un, ue := en.forward(cu)
+		vn, ve := en.forward(cv)
+		intersectEmit(un, ue, vn, ve, visit)
+	}
+}
+
+// PerEdge returns counts[e] = number of triangles containing canonical edge
+// e, accumulated in per-worker arrays reduced at the end (no atomics). The
+// CT variant of Triangle Reduction removes edges that belong to the fewest
+// triangles first, which needs exactly this array.
+func (en *Engine) PerEdge() []int64 {
+	m := en.g.M()
+	counts := make([]int64, m)
+	if m == 0 {
+		return counts
+	}
+	nw := en.accWorkers(m)
+	if nw == 1 {
+		en.edgeRange(0, m, counts)
+		return counts
+	}
+	per := make([][]int64, nw)
+	for w := range per {
+		per[w] = make([]int64, m)
+	}
+	parallel.ForBalancedWorker(m, nw, en.work, func(w, lo, hi int) {
+		en.edgeRange(lo, hi, per[w])
+	})
+	parallel.ForChunks(m, en.workers, func(lo, hi int) {
+		for e := lo; e < hi; e++ {
+			var s int64
+			for w := 0; w < nw; w++ {
+				s += per[w][e]
+			}
+			counts[e] = s
+		}
+	})
+	return counts
+}
+
+func (en *Engine) edgeRange(lo, hi int, acc []int64) {
+	var ce graph.EdgeID
+	emit := func(_ graph.NodeID, euw, evw graph.EdgeID) {
+		acc[ce]++
+		acc[euw]++
+		acc[evw]++
+	}
+	for e := lo; e < hi; e++ {
+		ce = graph.EdgeID(e)
+		u, v := en.orient(ce)
+		un, ue := en.forward(u)
+		vn, ve := en.forward(v)
+		intersectEmit(un, ue, vn, ve, emit)
+	}
+}
+
+// List materializes all triangles in the reference order regardless of the
+// engine's worker count. Intended for tests and small graphs.
+func (en *Engine) List() []Triangle {
+	var out []Triangle
+	en.forRange(0, en.g.M(), func(t Triangle) { out = append(out, t) })
+	return out
+}
+
+// gallopCutoff is the length ratio beyond which the intersection switches
+// from linear merge to galloping search over the longer list. Merge costs
+// |A|+|B|; galloping costs ~|B| log |A| — the crossover sits near |A|/|B| =
+// log |A|, and 16 keeps the branchy gallop out of balanced cases.
+const gallopCutoff = 16
+
+// gallopTo returns the first index >= from with a[idx] >= w (or len(a)):
+// exponential probe doubling from the cursor, then binary search inside the
+// bracketed window — O(log d) per lookup where d is the cursor advance, so
+// a full pass over a skewed pair costs O(|short| log |long|).
+func gallopTo(a []graph.NodeID, from int, w graph.NodeID) int {
+	lo, step := from, 1
+	for lo+step < len(a) && a[lo+step] < w {
+		lo += step
+		step <<= 1
+	}
+	hi := lo + step
+	if hi > len(a) {
+		hi = len(a)
+	}
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if a[mid] < w {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// intersectEmit reports every common element of the ID-sorted forward lists
+// (an, ae) and (bn, be), in increasing ID order, together with both edge
+// IDs. The kernel is adaptive: linear merge for balanced lengths, galloping
+// over the longer list when skewed past gallopCutoff.
+func intersectEmit(an []graph.NodeID, ae []graph.EdgeID, bn []graph.NodeID, be []graph.EdgeID,
+	emit func(w graph.NodeID, ea, eb graph.EdgeID)) {
+	switch {
+	case len(an) == 0 || len(bn) == 0:
+	case len(an) > gallopCutoff*len(bn):
+		j := 0
+		for i, w := range bn {
+			j = gallopTo(an, j, w)
+			if j == len(an) {
+				return
+			}
+			if an[j] == w {
+				emit(w, ae[j], be[i])
+				j++
+			}
+		}
+	case len(bn) > gallopCutoff*len(an):
+		j := 0
+		for i, w := range an {
+			j = gallopTo(bn, j, w)
+			if j == len(bn) {
+				return
+			}
+			if bn[j] == w {
+				emit(w, ae[i], be[j])
+				j++
+			}
+		}
+	default:
+		i, j := 0, 0
+		for i < len(an) && j < len(bn) {
+			x, y := an[i], bn[j]
+			switch {
+			case x < y:
+				i++
+			case x > y:
+				j++
+			default:
+				emit(x, ae[i], be[j])
+				i++
+				j++
+			}
+		}
+	}
+}
+
+// intersectCount is intersectEmit reduced to the match count — the Count
+// hot path, free of any per-match call.
+func intersectCount(an, bn []graph.NodeID) int64 {
+	var c int64
+	switch {
+	case len(an) == 0 || len(bn) == 0:
+	case len(an) > gallopCutoff*len(bn):
+		j := 0
+		for _, w := range bn {
+			j = gallopTo(an, j, w)
+			if j == len(an) {
+				return c
+			}
+			if an[j] == w {
+				c++
+				j++
+			}
+		}
+	case len(bn) > gallopCutoff*len(an):
+		j := 0
+		for _, w := range an {
+			j = gallopTo(bn, j, w)
+			if j == len(bn) {
+				return c
+			}
+			if bn[j] == w {
+				c++
+				j++
+			}
+		}
+	default:
+		i, j := 0, 0
+		for i < len(an) && j < len(bn) {
+			x, y := an[i], bn[j]
+			switch {
+			case x < y:
+				i++
+			case x > y:
+				j++
+			default:
+				c++
+				i++
+				j++
+			}
+		}
+	}
+	return c
+}

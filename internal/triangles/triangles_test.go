@@ -2,6 +2,7 @@ package triangles
 
 import (
 	"math"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -183,5 +184,215 @@ func BenchmarkCountRMAT12(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		Count(g, 0)
+	}
+}
+
+// naivePerElement is an O(n·d²) center-based reference: for every vertex u
+// and neighbor pair (v, w) of u with the closing edge present, the triangle
+// {u, v, w} contributes once to pv[u] and once to pe[closing edge].
+func naivePerElement(g *graph.Graph) (pv, pe []int64) {
+	pv = make([]int64, g.N())
+	pe = make([]int64, g.M())
+	for u := graph.NodeID(0); u < graph.NodeID(g.N()); u++ {
+		nbrs := g.Neighbors(u)
+		for i := 0; i < len(nbrs); i++ {
+			for j := i + 1; j < len(nbrs); j++ {
+				if e, ok := g.FindEdge(nbrs[i], nbrs[j]); ok {
+					pv[u]++
+					pe[e]++
+				}
+			}
+		}
+	}
+	return pv, pe
+}
+
+func int64sEqual(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// diffGraphs is the graph spread the engine differential tests run over:
+// skewed, community, clique (forces the galloping kernel), and randomized
+// multigraph inputs.
+func diffGraphs() map[string]*graph.Graph {
+	gs := map[string]*graph.Graph{
+		"rmat":    gen.RMAT(10, 8, 0.57, 0.19, 0.19, 3),
+		"planted": gen.PlantedPartition(150, 12, 0.6, 60, 7),
+		"clique":  gen.Complete(48),
+		"ba":      gen.BarabasiAlbert(400, 6, 11),
+		"empty":   gen.Path(1),
+		"path":    gen.Path(50),
+	}
+	r := rng.New(99)
+	edges := make([]graph.Edge, 400)
+	for i := range edges {
+		edges[i] = graph.Edge{U: graph.NodeID(r.Intn(60)), V: graph.NodeID(r.Intn(60)), W: 1}
+	}
+	gs["random"] = graph.FromEdges(60, false, edges)
+	return gs
+}
+
+func TestListMatchesReferenceOrder(t *testing.T) {
+	for name, g := range diffGraphs() {
+		want := ReferenceList(g)
+		got := List(g)
+		if len(got) != len(want) {
+			t.Fatalf("%s: List has %d triangles, reference %d", name, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s: triangle %d = %+v, reference %+v", name, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestCountersWorkerIndependentAndMatchNaive(t *testing.T) {
+	for name, g := range diffGraphs() {
+		wantPV, wantPE := naivePerElement(g)
+		var wantC int64
+		for _, c := range wantPV {
+			wantC += c
+		}
+		wantC /= 3
+		for _, workers := range []int{1, 2, 8} {
+			if got := Count(g, workers); got != wantC {
+				t.Errorf("%s workers=%d: Count = %d, want %d", name, workers, got, wantC)
+			}
+			if got := PerVertex(g, workers); !int64sEqual(got, wantPV) {
+				t.Errorf("%s workers=%d: PerVertex mismatch", name, workers)
+			}
+			if got := PerEdge(g, workers); !int64sEqual(got, wantPE) {
+				t.Errorf("%s workers=%d: PerEdge mismatch", name, workers)
+			}
+		}
+	}
+}
+
+func TestEngineReuse(t *testing.T) {
+	// One engine drives every enumeration; results match the single-use
+	// wrappers and the reference path.
+	g := gen.RMAT(9, 10, 0.57, 0.19, 0.19, 5)
+	en := NewEngine(g, 4)
+	if en.Graph() != g {
+		t.Fatal("engine does not report its graph")
+	}
+	if got, want := en.Count(), ReferenceCount(g, 1); got != want {
+		t.Fatalf("Count = %d, want %d", got, want)
+	}
+	if !int64sEqual(en.PerVertex(), ReferencePerVertex(g, 1)) {
+		t.Fatal("PerVertex mismatch")
+	}
+	if !int64sEqual(en.PerEdge(), ReferencePerEdge(g, 1)) {
+		t.Fatal("PerEdge mismatch")
+	}
+	var viaForEach int64
+	var mu sync.Mutex
+	en.ForEach(func(Triangle) { mu.Lock(); viaForEach++; mu.Unlock() })
+	if viaForEach != en.Count() {
+		t.Fatalf("ForEach saw %d triangles, Count %d", viaForEach, en.Count())
+	}
+}
+
+func TestCliqueForcesGallop(t *testing.T) {
+	// In K48 the rank order is the ID order, so edge (0, 46) intersects a
+	// 47-long forward list against a 1-long one — past the gallop cutoff.
+	g := gen.Complete(48)
+	want := int64(48 * 47 * 46 / 6)
+	if got := Count(g, 1); got != want {
+		t.Fatalf("K48 Count = %d, want %d", got, want)
+	}
+	if got := len(List(g)); int64(got) != want {
+		t.Fatalf("K48 List has %d triangles, want %d", got, want)
+	}
+}
+
+// Map-based oracle for the intersection kernels.
+func mapIntersect(a, b []graph.NodeID) []graph.NodeID {
+	in := map[graph.NodeID]bool{}
+	for _, x := range a {
+		in[x] = true
+	}
+	var out []graph.NodeID
+	for _, x := range b {
+		if in[x] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func TestIntersectKernelsAdaptive(t *testing.T) {
+	mk := func(vals ...int) ([]graph.NodeID, []graph.EdgeID) {
+		ns := make([]graph.NodeID, len(vals))
+		es := make([]graph.EdgeID, len(vals))
+		for i, v := range vals {
+			ns[i] = graph.NodeID(v)
+			es[i] = graph.EdgeID(1000 + v)
+		}
+		return ns, es
+	}
+	long := make([]int, 0, 600)
+	for v := 0; v < 1800; v += 3 {
+		long = append(long, v)
+	}
+	cases := [][2][]int{
+		{{}, {1, 2, 3}},
+		{{1, 2, 3}, {}},
+		{{1, 3, 5, 7}, {2, 3, 4, 7}},      // merge
+		{long, {3, 599, 600, 1200, 1797}}, // gallop over first
+		{{3, 599, 600, 1200, 1797}, long}, // gallop over second
+		{long, {0}},
+		{long, {1797}},
+		{long, {1798}},
+		{{5}, long},
+	}
+	for ci, c := range cases {
+		an, ae := mk(c[0]...)
+		bn, be := mk(c[1]...)
+		want := mapIntersect(an, bn)
+
+		var got []graph.NodeID
+		intersectEmit(an, ae, bn, be, func(w graph.NodeID, ea, eb graph.EdgeID) {
+			if ea != graph.EdgeID(1000+int(w)) || eb != graph.EdgeID(1000+int(w)) {
+				t.Fatalf("case %d: wrong edge ids %d/%d for match %d", ci, ea, eb, w)
+			}
+			got = append(got, w)
+		})
+		if len(got) != len(want) {
+			t.Fatalf("case %d: emit found %v, want %v", ci, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("case %d: emit order %v, want %v", ci, got, want)
+			}
+		}
+
+		if got := intersectCount(an, bn); got != int64(len(want)) {
+			t.Fatalf("case %d: count = %d, want %d", ci, got, len(want))
+		}
+	}
+}
+
+func TestGallopTo(t *testing.T) {
+	a := []graph.NodeID{2, 4, 4, 8, 16, 32, 64}
+	for _, c := range []struct {
+		from, want int
+		w          graph.NodeID
+	}{
+		{0, 0, 0}, {0, 0, 2}, {0, 1, 3}, {0, 1, 4}, {0, 3, 5},
+		{0, 6, 64}, {0, 7, 65}, {3, 3, 2}, {3, 4, 10}, {7, 7, 1},
+	} {
+		if got := gallopTo(a, c.from, c.w); got != c.want {
+			t.Errorf("gallopTo(from=%d, w=%d) = %d, want %d", c.from, c.w, got, c.want)
+		}
 	}
 }
