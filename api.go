@@ -18,6 +18,7 @@ import (
 	"slimgraph/internal/mst"
 	"slimgraph/internal/rng"
 	"slimgraph/internal/schemes"
+	"slimgraph/internal/server"
 	"slimgraph/internal/succinct"
 	"slimgraph/internal/summarize"
 	"slimgraph/internal/traverse"
@@ -117,6 +118,14 @@ func PackedSize(g *Graph) int64 { return graphio.PackedSize(g) }
 // ReadSnapshot reads a binary snapshot of either version, dispatching on
 // the header tag.
 func ReadSnapshot(r io.Reader) (*Graph, error) { return graphio.Read(r) }
+
+// ReadGraph reads a graph of unknown format: binary snapshots (v1 or v2)
+// are recognized by their magic, anything else parses as a text edge list
+// (directed applies only to that case). It is the sniffing behind the
+// slimgraph CLI's -input and the server's graph uploads.
+func ReadGraph(r io.Reader, directed bool) (*Graph, error) {
+	return graphio.ReadAuto(r, directed)
+}
 
 // IsSnapshot reports whether a file beginning with prefix (>= 4 bytes) is a
 // binary snapshot of either version.
@@ -567,11 +576,48 @@ func BFSCriticalRetention(orig, compressed *Graph, roots []NodeID, workers int) 
 	return metrics.BFSCriticalMulti(orig, compressed, roots, workers)
 }
 
+// Quality bundles the §5 accuracy metrics of one compressed variant against
+// its original — the payload of the server's /compare endpoint.
+type Quality = metrics.Quality
+
+// CompareGraphs computes the Quality of comp against orig. The vertex set
+// must be unchanged (no collapse/summarize variants); workers <= 0 means
+// all CPUs.
+func CompareGraphs(orig, comp *Graph, workers int) (*Quality, error) {
+	return metrics.CompareGraphs(orig, comp, workers)
+}
+
 // DegreeDistribution returns the fraction of vertices per degree.
 func DegreeDistribution(g *Graph) []float64 { return metrics.DegreeDistribution(g) }
 
 // PowerLawSlope fits the degree distribution's log-log slope and R^2.
 func PowerLawSlope(dist []float64) (slope, r2 float64) { return metrics.PowerLawSlope(dist) }
+
+// Serving: the slimgraphd compress-and-query service (cmd/slimgraphd), for
+// embedding in-process. See internal/server for the HTTP API.
+
+// Server is the slimgraphd service: a catalog of resident graphs, a
+// single-flight compressed-variant cache, and the HTTP/JSON handler tying
+// them together.
+type Server = server.Server
+
+// ServerOptions configures NewServer: variant-cache capacity, the
+// heavy-request concurrency bound, and the per-request worker-budget cap.
+type ServerOptions = server.Options
+
+// ServerCacheStats is a snapshot of the variant cache counters.
+type ServerCacheStats = server.CacheStats
+
+// Memory policies for graphs in the server catalog: raw CSR or the
+// succinct packed form traversed in place.
+const (
+	MemoryRaw    = server.MemoryRaw
+	MemoryPacked = server.MemoryPacked
+)
+
+// NewServer returns a server with an empty catalog; serve its Handler()
+// with net/http, or preload graphs via AddGraph/AddGenerated.
+func NewServer(opts ServerOptions) *Server { return server.New(opts) }
 
 // Distributed compression (§7.3), simulated: see internal/distributed.
 

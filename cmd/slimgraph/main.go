@@ -12,9 +12,10 @@
 package main
 
 import (
-	"bufio"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -38,90 +39,105 @@ or a pipeline.
 Registered schemes:
 `
 
-func usage() {
-	fmt.Fprintf(flag.CommandLine.Output(), "usage: slimgraph [flags]\n\nFlags:\n")
-	flag.PrintDefaults()
-	fmt.Fprint(flag.CommandLine.Output(), "\n"+specGrammar)
-	for _, name := range slimgraph.SchemeNames() {
-		info, _ := slimgraph.LookupScheme(name)
-		fmt.Fprintf(flag.CommandLine.Output(), "  %-16s %s\n", name, info.About)
-	}
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func main() {
+// run is the whole CLI behind a testable seam: it parses args, performs the
+// compression run, writes human output to stdout and diagnostics to stderr,
+// and returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("slimgraph", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		input   = flag.String("input", "", "input edge-list file (.el/.wel); empty = use -gen")
-		genKind = flag.String("gen", "rmat", "generator: rmat | er | ba | grid | communities | smallworld")
-		scale   = flag.Int("scale", 12, "R-MAT scale (n = 2^scale)")
-		ef      = flag.Int("ef", 8, "R-MAT edge factor")
-		n       = flag.Int("n", 10000, "vertex count for non-R-MAT generators")
-		seed    = flag.Uint64("seed", 1, "random seed (drives generation and compression)")
-		scheme  = flag.String("scheme", "uniform",
+		input   = fs.String("input", "", "input graph file: text edge list or binary snapshot, sniffed by magic")
+		genKind = fs.String("gen", "rmat", "generator: rmat | er | ba | grid | communities | smallworld")
+		scale   = fs.Int("scale", 12, "R-MAT scale (n = 2^scale)")
+		ef      = fs.Int("ef", 8, "R-MAT edge factor")
+		n       = fs.Int("n", 10000, "vertex count for non-R-MAT generators")
+		seed    = fs.Uint64("seed", 1, "random seed (drives generation and compression)")
+		scheme  = fs.String("scheme", "uniform",
 			"scheme spec, e.g. uniform:p=0.5 or a pipeline tr-eo:p=0.8|spanner:k=8 (see usage)")
-		workers  = flag.Int("workers", 0, "parallelism (0 = all CPUs)")
-		weighted = flag.Bool("weighted", false, "attach uniform [1,100) weights to generated graphs")
-		out      = flag.String("out", "", "write the compressed graph to this file (see -format)")
-		format   = flag.String("format", "edgelist", "output format for -out: edgelist | binary | packed")
-		metrics  = flag.Bool("metrics", true, "run stage-2 algorithms and print accuracy metrics")
+		workers  = fs.Int("workers", 0, "parallelism (0 = all CPUs)")
+		weighted = fs.Bool("weighted", false, "attach uniform [1,100) weights to generated graphs")
+		out      = fs.String("out", "", "write the compressed graph to this file (see -format)")
+		format   = fs.String("format", "edgelist", "output format for -out: edgelist | binary | packed")
+		metrics  = fs.Bool("metrics", true, "run stage-2 algorithms and print accuracy metrics")
 	)
-	// Shorthand flags, read back through flag.Visit in buildSpec.
-	flag.Float64("p", 0.5, "shorthand for the p= spec parameter")
-	flag.Int("k", 8, "shorthand for the k= spec parameter (spanner stretch)")
-	flag.Float64("eps", 0.1, "shorthand for the eps= spec parameter (summarization)")
-	flag.Usage = usage
-	flag.Parse()
+	// Shorthand flags, read back through fs.Visit in buildSpec.
+	fs.Float64("p", 0.5, "shorthand for the p= spec parameter")
+	fs.Int("k", 8, "shorthand for the k= spec parameter (spanner stretch)")
+	fs.Float64("eps", 0.1, "shorthand for the eps= spec parameter (summarization)")
+	fs.Usage = func() { usage(fs) }
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
 
 	// Reject a bad -format before the run: by write time the compression
 	// has already cost minutes and os.Create would truncate the target.
 	switch *format {
 	case "edgelist", "binary", "packed":
 	default:
-		fmt.Fprintf(os.Stderr, "slimgraph: unknown -format %q (want edgelist, binary, or packed)\n", *format)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "slimgraph: unknown -format %q (want edgelist, binary, or packed)\n", *format)
+		return 1
 	}
 
 	g, err := load(*input, *genKind, *scale, *ef, *n, *seed)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "slimgraph:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "slimgraph:", err)
+		return 1
 	}
 	if *weighted {
 		g = slimgraph.WithUniformWeights(g, 1, 100, *seed+1)
 	}
-	fmt.Println("input:", g)
+	fmt.Fprintln(stdout, "input:", g)
 
-	s, err := slimgraph.ParseScheme(buildSpec(*scheme),
+	s, err := slimgraph.ParseScheme(buildSpec(fs, *scheme),
 		slimgraph.WithSeed(*seed), slimgraph.WithWorkers(*workers))
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "slimgraph:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "slimgraph:", err)
+		return 1
 	}
 	res, err := s.Apply(g)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "slimgraph:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "slimgraph:", err)
+		return 1
 	}
 	for _, stage := range res.Stages {
-		fmt.Println("  stage", stage)
+		fmt.Fprintln(stdout, "  stage", stage)
 	}
 	if aux, ok := res.Aux.(fmt.Stringer); ok {
-		fmt.Println(aux)
+		fmt.Fprintln(stdout, aux)
 	}
-	fmt.Println(res)
-	fmt.Println(res.ComputeStorage())
+	fmt.Fprintln(stdout, res)
+	fmt.Fprintln(stdout, res.ComputeStorage())
 
 	if *metrics && res.VertexMap == nil {
-		printMetrics(g, res.Output, *workers)
+		printMetrics(stdout, g, res.Output, *workers)
 	}
 	if *out != "" {
 		written, err := writeOutput(*out, *format, res.Output)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "slimgraph:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "slimgraph:", err)
+			return 1
 		}
 		in := slimgraph.BinarySize(g)
-		fmt.Printf("wrote %s (%s, %d bytes; input binary %d bytes, %.1fx smaller)\n",
+		fmt.Fprintf(stdout, "wrote %s (%s, %d bytes; input binary %d bytes, %.1fx smaller)\n",
 			*out, *format, written, in, float64(in)/float64(written))
+	}
+	return 0
+}
+
+func usage(fs *flag.FlagSet) {
+	fmt.Fprintf(fs.Output(), "usage: slimgraph [flags]\n\nFlags:\n")
+	fs.PrintDefaults()
+	fmt.Fprint(fs.Output(), "\n"+specGrammar)
+	for _, name := range slimgraph.SchemeNames() {
+		info, _ := slimgraph.LookupScheme(name)
+		fmt.Fprintf(fs.Output(), "  %-16s %s\n", name, info.About)
 	}
 }
 
@@ -157,12 +173,12 @@ func writeOutput(path, format string, g *slimgraph.Graph) (int64, error) {
 // Flags join the spec only when the user set them explicitly and the spec
 // carries no parameters or pipeline of its own — an explicit spec is always
 // authoritative.
-func buildSpec(spec string) string {
+func buildSpec(fs *flag.FlagSet, spec string) string {
 	if strings.ContainsAny(spec, ":|") {
 		return spec
 	}
 	var params []string
-	flag.Visit(func(f *flag.Flag) {
+	fs.Visit(func(f *flag.Flag) {
 		switch f.Name {
 		case "p", "k", "eps":
 			params = append(params, f.Name+"="+f.Value.String())
@@ -183,11 +199,7 @@ func load(input, genKind string, scale, ef, n int, seed uint64) (*slimgraph.Grap
 		defer f.Close()
 		// Binary snapshots (v1 or v2) are recognized by their magic; any
 		// other content parses as a text edge list.
-		br := bufio.NewReader(f)
-		if prefix, err := br.Peek(4); err == nil && slimgraph.IsSnapshot(prefix) {
-			return slimgraph.ReadSnapshot(br)
-		}
-		return slimgraph.ReadEdgeList(br, false)
+		return slimgraph.ReadGraph(f, false)
 	}
 	switch genKind {
 	case "rmat":
@@ -211,21 +223,23 @@ func load(input, genKind string, scale, ef, n int, seed uint64) (*slimgraph.Grap
 	}
 }
 
-func printMetrics(orig, comp *slimgraph.Graph, workers int) {
-	fmt.Println("-- accuracy metrics --")
-	prO := slimgraph.PageRank(orig, workers)
-	prC := slimgraph.PageRank(comp, workers)
-	fmt.Printf("KL(PageRank orig || compressed): %.4f bits\n", slimgraph.KLDivergence(prO, prC))
-	fmt.Printf("reordered PageRank pairs:        %.4f (of n^2)\n", slimgraph.ReorderedPairs(prO, prC))
-	fmt.Printf("connected components:            %d -> %d\n",
-		slimgraph.ComponentCount(orig), slimgraph.ComponentCount(comp))
-	fmt.Printf("triangles:                       %d -> %d\n",
-		slimgraph.TriangleCount(orig, workers), slimgraph.TriangleCount(comp, workers))
-	roots := []slimgraph.NodeID{0, slimgraph.NodeID(orig.N() / 2)}
-	fmt.Printf("BFS critical-edge retention:     %.2f\n",
-		slimgraph.BFSCriticalRetention(orig, comp, roots, workers))
-	if orig.Weighted() {
-		fmt.Printf("MST weight:                      %.1f -> %.1f\n",
-			slimgraph.MSTWeight(orig), slimgraph.MSTWeight(comp))
+// printMetrics reports the same Quality bundle the server's /compare
+// endpoint returns, so the CLI and the service can never drift.
+func printMetrics(stdout io.Writer, orig, comp *slimgraph.Graph, workers int) {
+	q, err := slimgraph.CompareGraphs(orig, comp, workers)
+	if err != nil {
+		fmt.Fprintln(stdout, "accuracy metrics unavailable:", err)
+		return
+	}
+	fmt.Fprintln(stdout, "-- accuracy metrics --")
+	fmt.Fprintf(stdout, "KL(PageRank orig || compressed): %.4f bits\n", q.KLPageRank)
+	fmt.Fprintf(stdout, "reordered PageRank pairs:        %.4f (of n^2)\n", q.ReorderedPairs)
+	fmt.Fprintf(stdout, "connected components:            %d -> %d\n", q.Components, q.CompressedComponents)
+	fmt.Fprintf(stdout, "triangles:                       %d -> %d\n", q.Triangles, q.CompressedTriangles)
+	fmt.Fprintf(stdout, "BFS critical-edge retention:     %.2f\n", q.BFSRetention)
+	fmt.Fprintf(stdout, "degree-distribution distance:    %.4f (TV)\n", q.DegreeDistance)
+	if q.MSTWeight != nil {
+		fmt.Fprintf(stdout, "MST weight:                      %.1f -> %.1f\n",
+			*q.MSTWeight, *q.CompressedMSTWeight)
 	}
 }

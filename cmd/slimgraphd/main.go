@@ -1,0 +1,89 @@
+// Command slimgraphd serves the Slim Graph compress-and-query API over
+// HTTP/JSON: a catalog of resident graphs, a single-flight cache of
+// compressed variants, and approximate-analytics query endpoints.
+//
+//	slimgraphd -addr :8080
+//	slimgraphd -addr :8080 -load social=graph.packed -demo 12
+//
+// See the README "Serving" section for the endpoint walkthrough.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"slimgraph/internal/graphio"
+	"slimgraph/internal/server"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		cacheN  = flag.Int("cache", 64, "max resident compressed variants (LRU)")
+		maxConc = flag.Int("max-concurrent", 0, "max heavy requests in flight (0 = 2x CPUs)")
+		maxWork = flag.Int("max-workers", 0, "per-request worker-budget cap (0 = all CPUs)")
+		memory  = flag.String("memory", server.MemoryRaw, "residency policy for -load/-demo graphs: raw | packed")
+		demo    = flag.Int("demo", 0, "preload a demo R-MAT graph named \"demo\" at this scale (0 = off)")
+	)
+	var loads []string
+	flag.Func("load", "preload name=path (edge list or snapshot; repeatable)", func(v string) error {
+		if !strings.Contains(v, "=") {
+			return fmt.Errorf("want name=path, got %q", v)
+		}
+		loads = append(loads, v)
+		return nil
+	})
+	flag.Parse()
+
+	srv := server.New(server.Options{
+		CacheCapacity: *cacheN,
+		MaxConcurrent: *maxConc,
+		MaxWorkers:    *maxWork,
+	})
+	for _, nv := range loads {
+		name, path, _ := strings.Cut(nv, "=")
+		if err := preload(srv, name, path, *memory); err != nil {
+			log.Fatalf("slimgraphd: -load %s: %v", nv, err)
+		}
+		log.Printf("loaded %q from %s", name, path)
+	}
+	if *demo > 0 {
+		if err := srv.AddGenerated("demo", "rmat", *demo, 8, 0, 1, false, *memory, 0); err != nil {
+			log.Fatalf("slimgraphd: -demo: %v", err)
+		}
+		log.Printf("generated demo graph at scale %d", *demo)
+	}
+
+	log.Printf("slimgraphd listening on %s", *addr)
+	if err := http.ListenAndServe(*addr, logging(srv.Handler())); err != nil {
+		log.Fatalf("slimgraphd: %v", err)
+	}
+}
+
+// preload loads one graph file into the catalog before serving.
+func preload(srv *server.Server, name, path, memory string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	g, err := graphio.ReadAuto(f, false)
+	if err != nil {
+		return err
+	}
+	return srv.AddGraph(name, memory, "file:"+path, g, 0)
+}
+
+// logging is a minimal request log: method, path, and wall time.
+func logging(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		next.ServeHTTP(w, r)
+		log.Printf("%s %s %v", r.Method, r.URL.Path, time.Since(start).Round(time.Microsecond))
+	})
+}

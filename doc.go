@@ -67,6 +67,21 @@
 // Result.ComputeStorage reports both footprints and the combined
 // lossy-times-lossless reduction after any compression run.
 //
+// # Serving
+//
+// The serving layer (internal/server, run as cmd/slimgraphd or embedded
+// via NewServer) turns the pipeline into a long-lived HTTP/JSON service: a
+// catalog of named resident graphs — uploaded in any format or generated
+// on demand, kept raw or packed per a memory policy — and query endpoints
+// (BFS distances, PageRank top-k, exact or DOULION-approximate triangle
+// counts, degree distributions, and CompareGraphs quality reports) over
+// the original or any compressed variant. Variants live in an LRU cache
+// keyed by (graph, canonical spec, seed, worker budget) with single-flight
+// deduplication:
+// concurrent identical compress requests execute the scheme exactly once,
+// and failures are never cached. Requests default to a one-worker budget,
+// making responses byte-identical for a fixed seed.
+//
 // # Quick start
 //
 //	g := slimgraph.GenerateRMAT(14, 8, 1) // 16k vertices, ~130k edges

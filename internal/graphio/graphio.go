@@ -435,6 +435,21 @@ func SniffSnapshot(prefix []byte) bool {
 	return len(prefix) >= 4 && binary.LittleEndian.Uint32(prefix) == binaryMagic
 }
 
+// ReadAuto reads a graph of unknown format: binary snapshots (v1 or v2) are
+// recognized by their magic and loaded through Read; anything else parses as
+// a text edge list. The directed flag only applies to the edge-list case —
+// snapshots carry their own directedness. This is the sniffing shared by the
+// slimgraph CLI's -input and the server's graph uploads.
+func ReadAuto(r io.Reader, directed bool) (*graph.Graph, error) {
+	br := bufio.NewReader(r)
+	if prefix, err := br.Peek(4); err == nil && SniffSnapshot(prefix) {
+		// Read's own bufio.NewReader returns br unchanged, so the peeked
+		// bytes are not lost.
+		return Read(br)
+	}
+	return ReadEdgeList(br, directed)
+}
+
 // BinarySize returns the v1 snapshot size in bytes without retaining any
 // output: the actual WriteBinary path runs against a discarding writer, so
 // the reported size can never drift from what WriteBinary produces.

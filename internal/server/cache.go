@@ -1,0 +1,159 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+
+	"slimgraph/internal/schemes"
+)
+
+// Key identifies one compressed variant in the cache: the graph's identity
+// (name plus the catalog generation, so a re-uploaded graph never aliases a
+// stale variant), the canonical scheme spec — the registry's
+// Spec(Parse(spec)) round-trip fixpoint — the seed, and the worker budget.
+// Two requests that spell the same scheme differently ("uniform:p=0.5" vs
+// "uniform: p=0.5") land on the same Key. Workers are part of the Key
+// because a few schemes (tr-maxweight, tr-collapse) are seed-deterministic
+// only at workers=1: a budget>1 execution must never be served to a
+// default deterministic request.
+type Key struct {
+	Graph   string
+	Gen     uint64
+	Spec    string
+	Seed    uint64
+	Workers int
+}
+
+// CacheStats is a snapshot of the variant cache's counters.
+type CacheStats struct {
+	// Hits counts requests answered from a resident variant.
+	Hits int64 `json:"hits"`
+	// Coalesced counts requests that joined an in-flight execution of the
+	// same Key instead of starting their own.
+	Coalesced int64 `json:"coalesced"`
+	// Misses counts requests that led an execution (successful or not).
+	Misses int64 `json:"misses"`
+	// Executions counts scheme executions that completed successfully.
+	Executions int64 `json:"executions"`
+	// Failures counts scheme executions that returned an error. Failures
+	// are never cached: the next request for the same Key re-executes.
+	Failures int64 `json:"failures"`
+	// Evictions counts variants dropped by the LRU bound.
+	Evictions int64 `json:"evictions"`
+	// Entries and Capacity describe the current occupancy.
+	Entries  int `json:"entries"`
+	Capacity int `json:"capacity"`
+}
+
+// variant is one cached compression result.
+type variant struct {
+	key Key
+	res *schemes.Result
+}
+
+// call is one in-flight execution that later arrivals wait on.
+type call struct {
+	done chan struct{}
+	res  *schemes.Result
+	err  error
+}
+
+// cache is the compressed-variant cache: an LRU over Keys with
+// single-flight deduplication, so N concurrent identical requests run the
+// scheme exactly once while distinct Keys execute concurrently. Errors are
+// returned to every waiter of the failing flight but never cached, so a
+// transient failure does not poison the Key.
+type cache struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List // front = most recently used; values are *variant
+	entries  map[Key]*list.Element
+	calls    map[Key]*call
+	stats    CacheStats
+}
+
+func newCache(capacity int) *cache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &cache{
+		capacity: capacity,
+		ll:       list.New(),
+		entries:  map[Key]*list.Element{},
+		calls:    map[Key]*call{},
+	}
+}
+
+// get returns the variant for key, running compute at most once across all
+// concurrent callers of the same key. cached reports whether this caller
+// avoided an execution of its own (resident hit or coalesced flight).
+func (c *cache) get(key Key, compute func() (*schemes.Result, error)) (res *schemes.Result, cached bool, err error) {
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.ll.MoveToFront(el)
+		c.stats.Hits++
+		res := el.Value.(*variant).res
+		c.mu.Unlock()
+		return res, true, nil
+	}
+	if fl, ok := c.calls[key]; ok {
+		c.stats.Coalesced++
+		c.mu.Unlock()
+		<-fl.done
+		return fl.res, true, fl.err
+	}
+	fl := &call{done: make(chan struct{})}
+	c.calls[key] = fl
+	c.stats.Misses++
+	c.mu.Unlock()
+
+	fl.res, fl.err = compute()
+
+	c.mu.Lock()
+	delete(c.calls, key)
+	if fl.err != nil {
+		c.stats.Failures++
+	} else {
+		c.stats.Executions++
+		c.entries[key] = c.ll.PushFront(&variant{key: key, res: fl.res})
+		for c.ll.Len() > c.capacity {
+			oldest := c.ll.Back()
+			c.ll.Remove(oldest)
+			delete(c.entries, oldest.Value.(*variant).key)
+			c.stats.Evictions++
+		}
+	}
+	c.mu.Unlock()
+	close(fl.done)
+	return fl.res, false, fl.err
+}
+
+// purgeGraph drops every resident variant of the named graph (in-flight
+// executions finish but insert under a Key whose generation no longer
+// resolves). It returns the number of variants dropped.
+func (c *cache) purgeGraph(name string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	dropped := 0
+	var next *list.Element
+	for el := c.ll.Front(); el != nil; el = next {
+		next = el.Next()
+		v := el.Value.(*variant)
+		if v.key.Graph == name {
+			c.ll.Remove(el)
+			delete(c.entries, v.key)
+			dropped++
+		}
+	}
+	return dropped
+}
+
+// snapshot returns the current counters.
+func (c *cache) snapshot() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Entries = c.ll.Len()
+	s.Capacity = c.capacity
+	return s
+}

@@ -1,0 +1,196 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"slimgraph/internal/gen"
+	"slimgraph/internal/graph"
+	"slimgraph/internal/succinct"
+)
+
+// Memory policies for catalog entries.
+const (
+	// MemoryRaw keeps the raw CSR resident: fastest to query and to
+	// compress from.
+	MemoryRaw = "raw"
+	// MemoryPacked keeps only the succinct PackedGraph resident
+	// (typically 3-5x smaller). BFS and PageRank over the original run on
+	// the packed form in place; operations that need the raw CSR
+	// (compression, triangles, compare) unpack a transient copy per
+	// request and drop it afterwards — the documented memory/CPU trade.
+	MemoryPacked = "packed"
+)
+
+// entry is one named graph in the catalog. Entries are immutable after
+// insertion, so concurrent readers need no locking beyond the catalog map.
+type entry struct {
+	name   string
+	memory string
+	gen    uint64 // catalog generation, part of every cache Key
+	source string // provenance: generator spec or "upload"
+
+	raw    *graph.Graph          // resident under MemoryRaw, nil otherwise
+	packed *succinct.PackedGraph // resident under MemoryPacked, nil otherwise
+
+	n, m     int
+	directed bool
+	weighted bool
+}
+
+// adjacency returns the resident neighborhood view: the raw CSR or the
+// packed form traversed in place.
+func (e *entry) adjacency() graph.Adjacency {
+	if e.raw != nil {
+		return e.raw
+	}
+	return e.packed
+}
+
+// materialize returns the entry as a raw *graph.Graph. Under MemoryRaw this
+// is the resident graph; under MemoryPacked it unpacks a transient copy the
+// caller must not retain beyond the request.
+func (e *entry) materialize(workers int) *graph.Graph {
+	if e.raw != nil {
+		return e.raw
+	}
+	return e.packed.Unpack(workers)
+}
+
+// errExists reports a name collision on put; the HTTP layer maps it to 409.
+var errExists = errors.New("already exists")
+
+// catalog is the set of named resident graphs.
+type catalog struct {
+	mu      sync.RWMutex
+	graphs  map[string]*entry
+	nextGen uint64
+}
+
+func newCatalog() *catalog {
+	return &catalog{graphs: map[string]*entry{}}
+}
+
+func validName(name string) error {
+	if name == "" || len(name) > 128 {
+		return fmt.Errorf("graph name must be 1-128 characters")
+	}
+	if strings.ContainsAny(name, "/ \t\n") {
+		return fmt.Errorf("graph name %q may not contain '/' or whitespace", name)
+	}
+	return nil
+}
+
+// put stores g under name with the given memory policy, failing if the name
+// is taken. The graph is packed (and the raw CSR released) under
+// MemoryPacked.
+func (c *catalog) put(name, memory, source string, g *graph.Graph, workers int) (*entry, error) {
+	if err := validName(name); err != nil {
+		return nil, err
+	}
+	e := &entry{
+		name: name, memory: memory, source: source,
+		n: g.N(), m: g.M(), directed: g.Directed(), weighted: g.Weighted(),
+	}
+	switch memory {
+	case MemoryRaw, "":
+		e.memory = MemoryRaw
+		e.raw = g
+	case MemoryPacked:
+		e.packed = succinct.Pack(g, workers)
+	default:
+		return nil, fmt.Errorf("unknown memory policy %q (want %s or %s)", memory, MemoryRaw, MemoryPacked)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, taken := c.graphs[name]; taken {
+		return nil, fmt.Errorf("graph %q: %w (DELETE it first)", name, errExists)
+	}
+	c.nextGen++
+	e.gen = c.nextGen
+	c.graphs[name] = e
+	return e, nil
+}
+
+func (c *catalog) get(name string) (*entry, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	e, ok := c.graphs[name]
+	return e, ok
+}
+
+func (c *catalog) remove(name string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.graphs[name]
+	delete(c.graphs, name)
+	return ok
+}
+
+// list returns the entries sorted by name.
+func (c *catalog) list() []*entry {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]*entry, 0, len(c.graphs))
+	for _, e := range c.graphs {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+func (c *catalog) size() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.graphs)
+}
+
+// generate builds a graph from the generator request, mirroring the
+// slimgraph CLI's -gen dispatch. Every generator is deterministic per seed.
+func generate(kind string, scale, ef, n int, seed uint64, weighted bool) (*graph.Graph, string, error) {
+	if ef <= 0 {
+		ef = 8
+	}
+	if n <= 0 {
+		n = 10000
+	}
+	if scale <= 0 {
+		scale = 12
+	}
+	var g *graph.Graph
+	var source string
+	switch kind {
+	case "rmat":
+		g = gen.RMAT(scale, ef, 0.57, 0.19, 0.19, seed)
+		source = fmt.Sprintf("rmat:scale=%d,ef=%d,seed=%d", scale, ef, seed)
+	case "er":
+		g = gen.ErdosRenyi(n, n*ef, seed)
+		source = fmt.Sprintf("er:n=%d,m=%d,seed=%d", n, n*ef, seed)
+	case "ba":
+		g = gen.BarabasiAlbert(n, ef, seed)
+		source = fmt.Sprintf("ba:n=%d,k=%d,seed=%d", n, ef, seed)
+	case "grid":
+		side := 1
+		for side*side < n {
+			side++
+		}
+		g = gen.Grid2D(side, side, false)
+		source = fmt.Sprintf("grid:side=%d", side)
+	case "communities":
+		g = gen.PlantedPartition(n, 25, 0.5, n, seed)
+		source = fmt.Sprintf("communities:n=%d,seed=%d", n, seed)
+	case "smallworld":
+		g = gen.WattsStrogatz(n, ef, 0.1, seed)
+		source = fmt.Sprintf("smallworld:n=%d,k=%d,seed=%d", n, ef, seed)
+	default:
+		return nil, "", fmt.Errorf("unknown generator %q (rmat, er, ba, grid, communities, smallworld)", kind)
+	}
+	if weighted {
+		g = gen.WithUniformWeights(g, 1, 100, seed+1)
+		source += ",weighted"
+	}
+	return g, source, nil
+}

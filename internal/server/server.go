@@ -1,0 +1,341 @@
+// Package server implements slimgraphd: a long-lived HTTP/JSON service that
+// keeps named graphs resident, compresses them on demand through the scheme
+// registry, and answers approximate-analytics queries over the original or
+// any compressed variant — the paper's "approximate graph processing,
+// storage, and analytics" pipeline as one concurrent process.
+//
+// Three pieces compose under concurrency:
+//
+//   - the graph catalog: named graphs uploaded (edge list or either binary
+//     snapshot version, sniffed by graphio.ReadAuto) or generated on demand,
+//     kept raw or succinctly packed per a memory policy;
+//   - the compressed-variant cache: an LRU keyed by (graph, canonical
+//     scheme spec, seed, worker budget) with single-flight deduplication,
+//     so N concurrent identical compress requests run the scheme exactly
+//     once and failures are never cached;
+//   - query endpoints (BFS distances, PageRank top-k, exact or
+//     DOULION-approximate triangle counts, degree distributions, §5 quality
+//     comparison) that resolve their target graph through the cache, with
+//     bounded request concurrency and per-request worker budgets riding on
+//     internal/parallel.
+//
+// Requests default to a one-worker budget, which makes every query response
+// byte-identical for a fixed seed; a higher budget is an explicit opt-in
+// (responses stay correct but float reductions may round differently).
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/url"
+	"runtime"
+	"strconv"
+	"strings"
+
+	"slimgraph/internal/graph"
+	"slimgraph/internal/graphio"
+	"slimgraph/internal/schemes"
+)
+
+// Options configures a Server.
+type Options struct {
+	// CacheCapacity bounds the number of resident compressed variants
+	// (default 64).
+	CacheCapacity int
+	// MaxConcurrent bounds how many heavy requests (loads, compressions,
+	// queries) execute at once; further requests queue. Default
+	// 2×GOMAXPROCS.
+	MaxConcurrent int
+	// MaxWorkers caps the per-request worker budget (default GOMAXPROCS).
+	MaxWorkers int
+}
+
+func (o Options) withDefaults() Options {
+	if o.CacheCapacity <= 0 {
+		o.CacheCapacity = 64
+	}
+	if o.MaxConcurrent <= 0 {
+		o.MaxConcurrent = 2 * runtime.GOMAXPROCS(0)
+	}
+	if o.MaxWorkers <= 0 {
+		o.MaxWorkers = runtime.GOMAXPROCS(0)
+	}
+	return o
+}
+
+// Server is the slimgraphd service: a catalog of resident graphs, a
+// single-flight variant cache, and the HTTP handler tying them together.
+type Server struct {
+	opts    Options
+	catalog *catalog
+	cache   *cache
+	sem     chan struct{} // MaxConcurrent slots for heavy requests
+	mux     *http.ServeMux
+}
+
+// New returns a Server with an empty catalog.
+func New(opts Options) *Server {
+	s := &Server{
+		opts:    opts.withDefaults(),
+		catalog: newCatalog(),
+		sem:     nil,
+		mux:     http.NewServeMux(),
+	}
+	s.cache = newCache(s.opts.CacheCapacity)
+	s.sem = make(chan struct{}, s.opts.MaxConcurrent)
+	s.routes()
+	return s
+}
+
+// Handler returns the HTTP handler serving the slimgraphd API.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// CacheStats returns a snapshot of the variant cache counters.
+func (s *Server) CacheStats() CacheStats { return s.cache.snapshot() }
+
+// AddGraph inserts g into the catalog programmatically — the preload path
+// of cmd/slimgraphd and of in-process embedders. memory is MemoryRaw or
+// MemoryPacked ("" means raw); source is free-form provenance.
+func (s *Server) AddGraph(name, memory, source string, g *graph.Graph, workers int) error {
+	_, err := s.catalog.put(name, memory, source, g, s.clampWorkers(workers))
+	return err
+}
+
+// AddGenerated generates a graph and inserts it, mirroring the JSON body of
+// POST /v1/graphs.
+func (s *Server) AddGenerated(name, kind string, scale, edgeFactor, n int, seed uint64, weighted bool, memory string, workers int) error {
+	g, source, err := generate(kind, scale, edgeFactor, n, seed, weighted)
+	if err != nil {
+		return err
+	}
+	return s.AddGraph(name, memory, source, g, workers)
+}
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	s.mux.HandleFunc("GET /v1/schemes", s.handleSchemes)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/graphs", s.handleListGraphs)
+	s.mux.HandleFunc("POST /v1/graphs", s.handleCreateGraph)
+	s.mux.HandleFunc("GET /v1/graphs/{name}", s.handleGetGraph)
+	s.mux.HandleFunc("DELETE /v1/graphs/{name}", s.handleDeleteGraph)
+	s.mux.HandleFunc("POST /v1/graphs/{name}/compress", s.handleCompress)
+	s.mux.HandleFunc("GET /v1/graphs/{name}/bfs", s.handleBFS)
+	s.mux.HandleFunc("GET /v1/graphs/{name}/pagerank", s.handlePageRank)
+	s.mux.HandleFunc("GET /v1/graphs/{name}/triangles", s.handleTriangles)
+	s.mux.HandleFunc("GET /v1/graphs/{name}/degrees", s.handleDegrees)
+	s.mux.HandleFunc("GET /v1/graphs/{name}/compare", s.handleCompare)
+}
+
+// acquire claims one of the MaxConcurrent heavy-request slots; the returned
+// release must be deferred.
+func (s *Server) acquire() (release func()) {
+	s.sem <- struct{}{}
+	return func() { <-s.sem }
+}
+
+// --- JSON plumbing ---------------------------------------------------------
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// --- catalog endpoints -----------------------------------------------------
+
+// graphInfo is the JSON shape of one catalog entry.
+type graphInfo struct {
+	Name     string `json:"name"`
+	N        int    `json:"n"`
+	M        int    `json:"m"`
+	Directed bool   `json:"directed"`
+	Weighted bool   `json:"weighted"`
+	Memory   string `json:"memory"`
+	Source   string `json:"source"`
+}
+
+func infoOf(e *entry) graphInfo {
+	return graphInfo{
+		Name: e.name, N: e.n, M: e.m,
+		Directed: e.directed, Weighted: e.weighted,
+		Memory: e.memory, Source: e.source,
+	}
+}
+
+type schemeInfo struct {
+	Name  string `json:"name"`
+	About string `json:"about"`
+}
+
+func (s *Server) handleSchemes(w http.ResponseWriter, r *http.Request) {
+	var out []schemeInfo
+	for _, name := range schemes.Names() {
+		reg, _ := schemes.Lookup(name)
+		out = append(out, schemeInfo{Name: reg.Name, About: reg.About})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Cache  CacheStats `json:"cache"`
+		Graphs int        `json:"graphs"`
+	}{s.cache.snapshot(), s.catalog.size()})
+}
+
+func (s *Server) handleListGraphs(w http.ResponseWriter, r *http.Request) {
+	out := []graphInfo{}
+	for _, e := range s.catalog.list() {
+		out = append(out, infoOf(e))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// createRequest is the JSON body of POST /v1/graphs when generating a graph
+// on demand. Uploads instead send the graph bytes as the body (any format
+// graphio.ReadAuto sniffs) with name/memory/directed as query parameters.
+type createRequest struct {
+	Name string `json:"name"`
+	// Gen selects the generator: rmat, er, ba, grid, communities,
+	// smallworld.
+	Gen         string `json:"gen"`
+	Scale       int    `json:"scale"`      // rmat: n = 2^scale
+	EdgeFactor  int    `json:"edgeFactor"` // edges per vertex
+	NumVertices int    `json:"numVertices"`
+	Seed        uint64 `json:"seed"`
+	Weighted    bool   `json:"weighted"`
+	// Memory is the residency policy: "raw" (default) or "packed".
+	Memory  string `json:"memory"`
+	Workers int    `json:"workers"`
+}
+
+func (s *Server) handleCreateGraph(w http.ResponseWriter, r *http.Request) {
+	defer s.acquire()()
+	if isJSON(r) {
+		s.createGenerated(w, r)
+		return
+	}
+	s.createUploaded(w, r)
+}
+
+func isJSON(r *http.Request) bool {
+	return strings.HasPrefix(r.Header.Get("Content-Type"), "application/json")
+}
+
+func (s *Server) createGenerated(w http.ResponseWriter, r *http.Request) {
+	var req createRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad JSON body: %v", err)
+		return
+	}
+	if req.Gen == "" {
+		writeErr(w, http.StatusBadRequest, "missing generator: set \"gen\" to rmat, er, ba, grid, communities, or smallworld")
+		return
+	}
+	workers := s.clampWorkers(req.Workers)
+	g, source, err := generate(req.Gen, req.Scale, req.EdgeFactor, req.NumVertices, req.Seed, req.Weighted)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	e, err := s.catalog.put(req.Name, req.Memory, source, g, workers)
+	if err != nil {
+		writeErr(w, statusForPut(err), "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, infoOf(e))
+}
+
+func (s *Server) createUploaded(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	name := q.Get("name")
+	directed := q.Get("directed") == "true"
+	g, err := graphio.ReadAuto(r.Body, directed)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "parsing uploaded graph: %v", err)
+		return
+	}
+	rawWorkers, err := intParam(q, "workers", 0)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	workers := s.clampWorkers(rawWorkers)
+	e, err := s.catalog.put(name, q.Get("memory"), "upload", g, workers)
+	if err != nil {
+		writeErr(w, statusForPut(err), "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, infoOf(e))
+}
+
+// statusForPut distinguishes the name-collision error (409) from
+// validation errors (400).
+func statusForPut(err error) int {
+	if errors.Is(err, errExists) {
+		return http.StatusConflict
+	}
+	return http.StatusBadRequest
+}
+
+func (s *Server) handleGetGraph(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.catalog.get(r.PathValue("name"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no graph %q", r.PathValue("name"))
+		return
+	}
+	writeJSON(w, http.StatusOK, infoOf(e))
+}
+
+func (s *Server) handleDeleteGraph(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if !s.catalog.remove(name) {
+		writeErr(w, http.StatusNotFound, "no graph %q", name)
+		return
+	}
+	dropped := s.cache.purgeGraph(name)
+	writeJSON(w, http.StatusOK, struct {
+		Deleted         string `json:"deleted"`
+		VariantsDropped int    `json:"variantsDropped"`
+	}{name, dropped})
+}
+
+// --- request parameter helpers ---------------------------------------------
+
+// clampWorkers resolves a requested worker budget: <= 0 means the
+// deterministic default of one worker, and the result never exceeds
+// MaxWorkers.
+func (s *Server) clampWorkers(workers int) int {
+	if workers <= 0 {
+		return 1
+	}
+	if workers > s.opts.MaxWorkers {
+		return s.opts.MaxWorkers
+	}
+	return workers
+}
+
+// intParam parses an optional integer query parameter strictly: empty means
+// def, anything non-numeric is an error — never a silent fallback that
+// would answer a different question than the client asked.
+func intParam(q url.Values, name string, def int) (int, error) {
+	v := q.Get(name)
+	if v == "" {
+		return def, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, fmt.Errorf("parameter %s: want an integer, got %q", name, v)
+	}
+	return n, nil
+}

@@ -1,0 +1,454 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"slimgraph/internal/centrality"
+	"slimgraph/internal/gen"
+	"slimgraph/internal/graphio"
+	"slimgraph/internal/schemes"
+)
+
+func newTestServer(t *testing.T, opts Options) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(opts)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// request performs an HTTP request; safe from any goroutine.
+func request(method, url, contentType string, body []byte) (int, []byte, error) {
+	req, err := http.NewRequest(method, url, bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, err
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, nil, err
+	}
+	return resp.StatusCode, out, nil
+}
+
+// do is request for the test goroutine, failing fast on transport errors.
+func do(t *testing.T, method, url, contentType string, body []byte) (int, []byte) {
+	t.Helper()
+	code, out, err := request(method, url, contentType, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return code, out
+}
+
+func postJSON(t *testing.T, url string, v any) (int, []byte) {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return do(t, "POST", url, "application/json", b)
+}
+
+func get(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	return do(t, "GET", url, "", nil)
+}
+
+// mustStatus fails the test with the body in the message when the status
+// differs.
+func mustStatus(t *testing.T, want, got int, body []byte) {
+	t.Helper()
+	if got != want {
+		t.Fatalf("status %d, want %d; body: %s", got, want, body)
+	}
+}
+
+// createCommunities creates a triangle-rich graph through the HTTP API.
+func createCommunities(t *testing.T, base, name string, n int, seed uint64, memory string) {
+	t.Helper()
+	code, body := postJSON(t, base+"/v1/graphs", map[string]any{
+		"name": name, "gen": "communities", "numVertices": n, "seed": seed, "memory": memory,
+	})
+	mustStatus(t, http.StatusCreated, code, body)
+}
+
+// TestEndToEndMixedWorkload drives a mixed concurrent workload — loads,
+// compressions, queries, and compares — from many goroutines, then checks
+// the cache counters add up and that every response to an identical query
+// was byte-identical. CI runs this package under -race.
+func TestEndToEndMixedWorkload(t *testing.T) {
+	const goroutines = 8
+	s, ts := newTestServer(t, Options{CacheCapacity: 32, MaxConcurrent: 4, MaxWorkers: 4})
+	createCommunities(t, ts.URL, "base", 400, 7, MemoryRaw)
+
+	// Each goroutine creates a private graph, then hammers the shared one
+	// with an identical compress + query + compare sequence.
+	sharedResponses := make([][3][]byte, goroutines)
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines*4)
+	for i := 0; i < goroutines; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			fail := func(format string, args ...any) { errs <- fmt.Errorf(format, args...) }
+			send := func(method, url string, body []byte) (int, []byte) {
+				ct := ""
+				if body != nil {
+					ct = "application/json"
+				}
+				code, out, err := request(method, url, ct, body)
+				if err != nil {
+					fail("%s %s: %v", method, url, err)
+					return 0, nil
+				}
+				return code, out
+			}
+
+			// Load: a private generated graph, alternating memory policy.
+			memory := MemoryRaw
+			if i%2 == 1 {
+				memory = MemoryPacked
+			}
+			name := fmt.Sprintf("g%d", i)
+			create, _ := json.Marshal(map[string]any{
+				"name": name, "gen": "er", "numVertices": 200, "edgeFactor": 4,
+				"seed": uint64(i), "memory": memory,
+			})
+			code, body := send("POST", ts.URL+"/v1/graphs", create)
+			if code != http.StatusCreated {
+				fail("create %s: %d %s", name, code, body)
+				return
+			}
+			// Compress the private graph and query the variant.
+			comp, _ := json.Marshal(compressRequest{Spec: "uniform:p=0.5", Seed: uint64(i % 3)})
+			code, body = send("POST", ts.URL+"/v1/graphs/"+name+"/compress", comp)
+			if code != http.StatusOK {
+				fail("compress %s: %d %s", name, code, body)
+				return
+			}
+			code, body = send("GET", fmt.Sprintf("%s/v1/graphs/%s/bfs?root=0&spec=uniform:p=0.5&seed=%d", ts.URL, name, i%3), nil)
+			if code != http.StatusOK {
+				fail("bfs %s: %d %s", name, code, body)
+				return
+			}
+
+			// Shared graph: identical spec and seed from every goroutine, so
+			// the single-flight cache must coalesce and the responses must
+			// be byte-identical.
+			code, pr := send("GET", ts.URL+"/v1/graphs/base/pagerank?k=5&spec=tr-eo:p=0.8&seed=11", nil)
+			if code != http.StatusOK {
+				fail("pagerank base: %d %s", code, pr)
+				return
+			}
+			code, tri := send("GET", ts.URL+"/v1/graphs/base/triangles?spec=tr-eo:p=0.8&seed=11", nil)
+			if code != http.StatusOK {
+				fail("triangles base: %d %s", code, tri)
+				return
+			}
+			code, cmp := send("GET", ts.URL+"/v1/graphs/base/compare?spec=tr-eo:p=0.8&seed=11", nil)
+			if code != http.StatusOK {
+				fail("compare base: %d %s", code, cmp)
+				return
+			}
+			sharedResponses[i] = [3][]byte{pr, tri, cmp}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	for i := 1; i < goroutines; i++ {
+		for j, label := range []string{"pagerank", "triangles", "compare"} {
+			if !bytes.Equal(sharedResponses[0][j], sharedResponses[i][j]) {
+				t.Errorf("%s response diverged between goroutines 0 and %d:\n%s\nvs\n%s",
+					label, i, sharedResponses[0][j], sharedResponses[i][j])
+			}
+		}
+	}
+
+	st := s.CacheStats()
+	if st.Failures != 0 {
+		t.Errorf("unexpected failures: %+v", st)
+	}
+	if st.Misses != st.Executions {
+		t.Errorf("misses (%d) != successful executions (%d) with no failures: %+v",
+			st.Misses, st.Executions, st)
+	}
+	// Every goroutine resolved 5 variants (compress + bfs on its own graph,
+	// 3 shared-graph queries).
+	total := st.Hits + st.Coalesced + st.Misses
+	if want := int64(5 * goroutines); total != want {
+		t.Errorf("request accounting: hits %d + coalesced %d + misses %d = %d, want %d",
+			st.Hits, st.Coalesced, st.Misses, total, want)
+	}
+	// One uniform variant per private graph plus the single shared tr-eo
+	// variant — the 3×goroutines shared requests coalesced on one run.
+	if st.Executions != goroutines+1 {
+		t.Errorf("executions = %d, want %d (one per private graph + 1 shared tr-eo): %+v",
+			st.Executions, goroutines+1, st)
+	}
+	if st.Entries > st.Capacity {
+		t.Errorf("entries %d exceed capacity %d", st.Entries, st.Capacity)
+	}
+}
+
+// TestResponsesIdenticalAcrossRuns replays the same requests against two
+// fresh servers and requires byte-identical query responses — the
+// fixed-seed determinism contract of the serving layer.
+func TestResponsesIdenticalAcrossRuns(t *testing.T) {
+	paths := []string{
+		"/v1/graphs/det/bfs?root=3",
+		"/v1/graphs/det/bfs?root=3&spec=spanner:k=4&seed=2",
+		"/v1/graphs/det/pagerank?k=8",
+		"/v1/graphs/det/pagerank?k=8&spec=tr-eo:p=0.8&seed=9",
+		"/v1/graphs/det/triangles",
+		"/v1/graphs/det/triangles?mode=approx&p=0.5&seed=4",
+		"/v1/graphs/det/degrees?spec=uniform:p=0.7&seed=1",
+		"/v1/graphs/det/compare?spec=uniform:p=0.7&seed=1",
+		"/v1/graphs/det",
+	}
+	run := func() [][]byte {
+		_, ts := newTestServer(t, Options{})
+		createCommunities(t, ts.URL, "det", 300, 5, MemoryPacked)
+		out := make([][]byte, len(paths))
+		for i, p := range paths {
+			code, body := get(t, ts.URL+p)
+			mustStatus(t, http.StatusOK, code, body)
+			out[i] = body
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range paths {
+		if !bytes.Equal(a[i], b[i]) {
+			t.Errorf("%s differs across runs:\n%s\nvs\n%s", paths[i], a[i], b[i])
+		}
+	}
+}
+
+// TestCachedVariantMatchesOffline pins the acceptance criterion: a cached
+// PageRank top-k over tr-eo:p=0.8 is bit-identical to computing the same
+// variant offline with the library at the same seed.
+func TestCachedVariantMatchesOffline(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	createCommunities(t, ts.URL, "acc", 400, 7, MemoryRaw)
+
+	// Warm the cache through the compress endpoint, then query it.
+	code, body := postJSON(t, ts.URL+"/v1/graphs/acc/compress", compressRequest{Spec: "tr-eo:p=0.8", Seed: 3})
+	mustStatus(t, http.StatusOK, code, body)
+	code, served := get(t, ts.URL+"/v1/graphs/acc/pagerank?k=10&spec=tr-eo:p=0.8&seed=3")
+	mustStatus(t, http.StatusOK, code, served)
+
+	// Offline: same generator, scheme, seed, and one-worker budget.
+	g, _, err := generate("communities", 0, 0, 400, 7, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch, err := schemes.Parse("tr-eo:p=0.8", schemes.WithSeed(3), schemes.WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sch.Apply(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranks := centrality.PageRank(res.Output, centrality.PageRankOptions{Workers: 1})
+	want, err := json.Marshal(pagerankResponse{
+		Graph: "acc", Spec: "tr-eo:p=0.8", K: 10, Top: topK(ranks, 10),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = append(want, '\n') // writeJSON streams via Encoder, which appends it
+	if !bytes.Equal(served, want) {
+		t.Errorf("served PageRank differs from offline computation:\n%s\nvs\n%s", served, want)
+	}
+
+	// The query must have been answered from the compress-warmed cache.
+	code, body = postJSON(t, ts.URL+"/v1/graphs/acc/compress", compressRequest{Spec: "tr-eo:p=0.8", Seed: 3})
+	mustStatus(t, http.StatusOK, code, body)
+	var cr compressResponse
+	if err := json.Unmarshal(body, &cr); err != nil {
+		t.Fatal(err)
+	}
+	if !cr.Cached {
+		t.Errorf("re-compress was not served from cache: %s", body)
+	}
+}
+
+// TestUploadFormats uploads the same graph as a text edge list, a v1 binary
+// snapshot, and a v2 packed snapshot, and requires identical catalog
+// entries and query answers.
+func TestUploadFormats(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	g := gen.PlantedPartition(200, 25, 0.5, 200, 3)
+
+	var el, bin, packed bytes.Buffer
+	if err := graphio.WriteEdgeList(&el, g); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := graphio.WriteBinary(&bin, g); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := graphio.WritePacked(&packed, g); err != nil {
+		t.Fatal(err)
+	}
+	uploads := map[string][]byte{"u-el": el.Bytes(), "u-bin": bin.Bytes(), "u-packed": packed.Bytes()}
+	for name, data := range uploads {
+		code, body := do(t, "POST", ts.URL+"/v1/graphs?name="+name+"&memory=packed", "application/octet-stream", data)
+		mustStatus(t, http.StatusCreated, code, body)
+	}
+	var answers [][]byte
+	for name := range map[string]bool{"u-el": true, "u-bin": true, "u-packed": true} {
+		code, body := get(t, ts.URL+"/v1/graphs/"+name+"/triangles")
+		mustStatus(t, http.StatusOK, code, body)
+		// Strip the graph name so the three are comparable.
+		answers = append(answers, bytes.Replace(body, []byte(name), []byte("X"), 1))
+	}
+	for i := 1; i < len(answers); i++ {
+		if !bytes.Equal(answers[0], answers[i]) {
+			t.Errorf("upload formats disagree: %s vs %s", answers[0], answers[i])
+		}
+	}
+}
+
+// TestPackedVariantDoesNotPinRawInput checks a cached variant of a packed
+// graph drops its reference to the transient unpacked CSR — the raw copy
+// the packed memory policy exists to avoid keeping resident.
+func TestPackedVariantDoesNotPinRawInput(t *testing.T) {
+	s, ts := newTestServer(t, Options{})
+	createCommunities(t, ts.URL, "pk", 200, 1, MemoryPacked)
+	e, ok := s.catalog.get("pk")
+	if !ok {
+		t.Fatal("missing catalog entry")
+	}
+	res, _, _, err := s.variantOf(e, "uniform:p=0.5", 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Input != nil {
+		t.Error("cached variant of a packed graph pins the transient unpacked CSR")
+	}
+
+	// Raw entries keep Input: it aliases the resident graph anyway.
+	createCommunities(t, ts.URL, "rw", 200, 1, MemoryRaw)
+	e, ok = s.catalog.get("rw")
+	if !ok {
+		t.Fatal("missing catalog entry")
+	}
+	res, _, _, err = s.variantOf(e, "uniform:p=0.5", 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Input == nil {
+		t.Error("raw entry lost its Input reference")
+	}
+}
+
+// TestEmptyGraphCompare checks a zero-vertex upload is queryable without
+// panicking the compare path.
+func TestEmptyGraphCompare(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	code, body := do(t, "POST", ts.URL+"/v1/graphs?name=empty", "text/plain", []byte("# empty\n"))
+	mustStatus(t, http.StatusCreated, code, body)
+	code, body = get(t, ts.URL+"/v1/graphs/empty/compare?spec=uniform:p=1")
+	mustStatus(t, http.StatusOK, code, body)
+	if !strings.Contains(string(body), `"n":0`) {
+		t.Errorf("expected empty-graph quality counts: %s", body)
+	}
+}
+
+// TestDeleteInvalidatesVariants checks DELETE purges the graph's cached
+// variants and that a recreated graph under the same name does not alias
+// them (the generation in the Key).
+func TestDeleteInvalidatesVariants(t *testing.T) {
+	s, ts := newTestServer(t, Options{})
+	createCommunities(t, ts.URL, "d", 200, 1, MemoryRaw)
+	code, body := postJSON(t, ts.URL+"/v1/graphs/d/compress", compressRequest{Spec: "uniform:p=0.5"})
+	mustStatus(t, http.StatusOK, code, body)
+
+	code, body = do(t, "DELETE", ts.URL+"/v1/graphs/d", "", nil)
+	mustStatus(t, http.StatusOK, code, body)
+	if !strings.Contains(string(body), `"variantsDropped":1`) {
+		t.Errorf("expected one dropped variant: %s", body)
+	}
+
+	// Same name, different seed: must recompute, not alias the old variant.
+	createCommunities(t, ts.URL, "d", 200, 2, MemoryRaw)
+	before := s.CacheStats().Executions
+	code, body = postJSON(t, ts.URL+"/v1/graphs/d/compress", compressRequest{Spec: "uniform:p=0.5"})
+	mustStatus(t, http.StatusOK, code, body)
+	if got := s.CacheStats().Executions; got != before+1 {
+		t.Errorf("recreated graph reused a stale variant (executions %d -> %d)", before, got)
+	}
+}
+
+// TestErrorPaths pins the HTTP status codes of the failure modes.
+func TestErrorPaths(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	createCommunities(t, ts.URL, "e", 100, 1, MemoryRaw)
+
+	for _, tc := range []struct {
+		name   string
+		method string
+		path   string
+		ct     string
+		body   []byte
+		want   int
+	}{
+		{"unknown graph", "GET", "/v1/graphs/nope", "", nil, http.StatusNotFound},
+		{"unknown graph query", "GET", "/v1/graphs/nope/bfs", "", nil, http.StatusNotFound},
+		{"duplicate name", "POST", "/v1/graphs", "application/json",
+			[]byte(`{"name":"e","gen":"er"}`), http.StatusConflict},
+		{"bad generator", "POST", "/v1/graphs", "application/json",
+			[]byte(`{"name":"x","gen":"zzz"}`), http.StatusBadRequest},
+		{"bad name", "POST", "/v1/graphs", "application/json",
+			[]byte(`{"name":"a/b","gen":"er"}`), http.StatusBadRequest},
+		{"bad upload", "POST", "/v1/graphs?name=y", "", []byte("0 zebra\n"), http.StatusBadRequest},
+		{"bad spec", "GET", "/v1/graphs/e/bfs?spec=uniform:q=1", "", nil, http.StatusUnprocessableEntity},
+		{"in-spec seed rejected", "GET", "/v1/graphs/e/bfs?spec=uniform:p=0.5,seed=9", "", nil,
+			http.StatusUnprocessableEntity},
+		{"in-spec workers rejected", "POST", "/v1/graphs/e/compress", "application/json",
+			[]byte(`{"spec":"uniform:p=0.5,workers=2"}`), http.StatusUnprocessableEntity},
+		{"bad root", "GET", "/v1/graphs/e/bfs?root=100000", "", nil, http.StatusBadRequest},
+		{"non-numeric root", "GET", "/v1/graphs/e/bfs?root=abc", "", nil, http.StatusBadRequest},
+		{"non-numeric k", "GET", "/v1/graphs/e/pagerank?k=abc", "", nil, http.StatusBadRequest},
+		{"non-numeric workers", "GET", "/v1/graphs/e/degrees?workers=abc", "", nil, http.StatusBadRequest},
+		{"bad mode before execution", "GET", "/v1/graphs/e/triangles?mode=zzz&spec=uniform:p=0.1&seed=77", "",
+			nil, http.StatusBadRequest},
+		{"bad mode", "GET", "/v1/graphs/e/triangles?mode=zzz", "", nil, http.StatusBadRequest},
+		{"bad doulion p", "GET", "/v1/graphs/e/triangles?mode=approx&p=7", "", nil, http.StatusBadRequest},
+		{"compare without spec", "GET", "/v1/graphs/e/compare", "", nil, http.StatusBadRequest},
+		{"compare renumbering variant", "GET", "/v1/graphs/e/compare?spec=tr-collapse:p=1", "", nil,
+			http.StatusUnprocessableEntity},
+		{"compress without spec", "POST", "/v1/graphs/e/compress", "application/json",
+			[]byte(`{}`), http.StatusBadRequest},
+	} {
+		code, body := do(t, tc.method, ts.URL+tc.path, tc.ct, tc.body)
+		if code != tc.want {
+			t.Errorf("%s: status %d, want %d (body %s)", tc.name, code, tc.want, body)
+		}
+	}
+}
