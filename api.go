@@ -4,6 +4,7 @@ import (
 	"io"
 
 	"slimgraph/internal/centrality"
+	"slimgraph/internal/cluster"
 	"slimgraph/internal/coloring"
 	"slimgraph/internal/components"
 	"slimgraph/internal/core"
@@ -621,9 +622,56 @@ func NewServer(opts ServerOptions) *Server { return server.New(opts) }
 
 // Distributed compression (§7.3), simulated: see internal/distributed.
 
-// DistributedEngine runs edge kernels over partitioned edge ranges with one
-// goroutine per simulated rank.
+// DistributedEngine runs registry schemes over degree-partitioned vertex
+// ranges with one goroutine per simulated rank; the output is identical for
+// any rank count because scheme decisions are keyed by global element IDs.
 type DistributedEngine = distributed.Engine
 
 // DistributedRun is the outcome of a distributed compression.
 type DistributedRun = distributed.Run
+
+// PartitionRange is one rank's contiguous vertex range.
+type PartitionRange = distributed.Range
+
+// PartitionByDegree splits a graph's vertices into parts contiguous ranges
+// balanced by degree+1 — the 1D partitioning the cluster's shards use to
+// agree on vertex ownership.
+func PartitionByDegree(g *Graph, parts int) []PartitionRange {
+	return distributed.PartitionByDegree(g, parts)
+}
+
+// Sharded serving: a coordinator + N shard cluster behind the same
+// /v1/graphs HTTP API, byte-identical to a single node for a fixed seed at
+// workers=1. See internal/cluster and cmd/slimgraphd -role.
+
+// ClusterOptions configures a Coordinator: shard base URLs in rank order,
+// the per-shard sub-request deadline, and an optional HTTP client.
+type ClusterOptions = cluster.Options
+
+// Coordinator serves the public API by scatter/gathering over shards; it
+// implements the server's Catalog and QueryBackend seams, so
+// server.NewWithBackend(coord, coord, opts) is a drop-in cluster frontend
+// (NewLocalCluster wires this up for you).
+type Coordinator = cluster.Coordinator
+
+// ClusterShard is one cluster member: a full local server extended with
+// the /internal/v1 replication and partial-query protocol.
+type ClusterShard = cluster.Shard
+
+// LocalCluster is an in-process coordinator + N shards on loopback
+// listeners — the cluster analog of NewServer for tests and demos.
+type LocalCluster = cluster.LocalCluster
+
+// NewCoordinator returns a coordinator over the configured shards.
+func NewCoordinator(opts ClusterOptions) (*Coordinator, error) {
+	return cluster.NewCoordinator(opts)
+}
+
+// NewClusterShard returns a shard around a fresh local server.
+func NewClusterShard(opts ServerOptions) *ClusterShard { return cluster.NewShard(opts) }
+
+// NewLocalCluster boots n shards on ephemeral loopback ports plus a
+// coordinator; serve its Front.Handler() or query it in-process.
+func NewLocalCluster(n int, shardOpts ServerOptions, opts ClusterOptions) (*LocalCluster, error) {
+	return cluster.StartLocal(n, shardOpts, opts)
+}

@@ -160,10 +160,17 @@ func TestAlgorithmSuiteSmoke(t *testing.T) {
 func TestDistributedPublicAPI(t *testing.T) {
 	g := slimgraph.GenerateRMAT(10, 8, 9)
 	engine := slimgraph.DistributedEngine{Ranks: 4, Seed: 1}
-	run := engine.UniformSample(g, 0.5)
+	run, err := engine.Compress(g, "uniform:p=0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
 	ratio := float64(run.Output.M()) / float64(g.M())
 	if math.Abs(ratio-0.5) > 0.05 {
 		t.Fatalf("distributed ratio %v", ratio)
+	}
+	ranges := slimgraph.PartitionByDegree(g, 4)
+	if len(ranges) != 4 || int(ranges[3].Hi) != g.N() {
+		t.Fatalf("partition %+v", ranges)
 	}
 }
 

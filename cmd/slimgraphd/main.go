@@ -2,21 +2,38 @@
 // HTTP/JSON: a catalog of resident graphs, a single-flight cache of
 // compressed variants, and approximate-analytics query endpoints.
 //
-//	slimgraphd -addr :8080
-//	slimgraphd -addr :8080 -load social=graph.packed -demo 12
+// It runs in one of three roles:
 //
-// See the README "Serving" section for the endpoint walkthrough.
+//	slimgraphd -addr :8080                       # standalone (the default)
+//	slimgraphd -role shard -addr :8081           # cluster member
+//	slimgraphd -role coordinator -addr :8080 \
+//	    -peers http://h1:8081,http://h2:8081     # cluster frontend
+//
+// A coordinator serves the same /v1/graphs API as a standalone server by
+// scatter/gathering over its -peers shards (see internal/cluster). All
+// roles expose /healthz (process liveness) and /readyz (traffic
+// readiness: preloads finished; for a coordinator, every shard ready) and
+// shut down gracefully on SIGINT/SIGTERM, draining in-flight requests up
+// to -drain before exiting.
+//
+// See the README "Serving" and "Running a cluster" sections for endpoint
+// walkthroughs.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
+	"slimgraph/internal/cluster"
 	"slimgraph/internal/graphio"
 	"slimgraph/internal/server"
 )
@@ -24,6 +41,10 @@ import (
 func main() {
 	var (
 		addr    = flag.String("addr", ":8080", "listen address")
+		role    = flag.String("role", "standalone", "process role: standalone | coordinator | shard")
+		peers   = flag.String("peers", "", "comma-separated shard base URLs (coordinator only)")
+		shardTO = flag.Duration("shard-timeout", 15*time.Second, "per-shard sub-request deadline (coordinator only)")
+		drain   = flag.Duration("drain", 10*time.Second, "graceful-shutdown deadline for in-flight requests")
 		cacheN  = flag.Int("cache", 64, "max resident compressed variants (LRU)")
 		maxConc = flag.Int("max-concurrent", 0, "max heavy requests in flight (0 = 2x CPUs)")
 		maxWork = flag.Int("max-workers", 0, "per-request worker-budget cap (0 = all CPUs)")
@@ -40,11 +61,45 @@ func main() {
 	})
 	flag.Parse()
 
-	srv := server.New(server.Options{
+	opts := server.Options{
 		CacheCapacity: *cacheN,
 		MaxConcurrent: *maxConc,
 		MaxWorkers:    *maxWork,
-	})
+	}
+
+	var srv *server.Server
+	var handler http.Handler
+	switch *role {
+	case "standalone", "shard":
+		srv = server.New(opts)
+		// Hold traffic off until the preloads finish; a load balancer
+		// watching /readyz won't route to a shard still parsing graphs.
+		srv.SetNotReady("loading graphs")
+		handler = srv.Handler()
+		if *role == "shard" {
+			handler = cluster.WrapShard(srv).Handler()
+		}
+		if *peers != "" {
+			log.Fatalf("slimgraphd: -peers applies only to -role coordinator")
+		}
+	case "coordinator":
+		shards := splitPeers(*peers)
+		if len(shards) == 0 {
+			log.Fatalf("slimgraphd: -role coordinator needs -peers")
+		}
+		coord, err := cluster.NewCoordinator(cluster.Options{Shards: shards, ShardTimeout: *shardTO})
+		if err != nil {
+			log.Fatalf("slimgraphd: %v", err)
+		}
+		srv = server.NewWithBackend(coord, coord, opts)
+		srv.SetNotReady("loading graphs")
+		srv.SetReadyCheck(coord.Ready)
+		handler = srv.Handler()
+		log.Printf("coordinating %d shards: %s", len(shards), strings.Join(shards, ", "))
+	default:
+		log.Fatalf("slimgraphd: unknown -role %q (standalone | coordinator | shard)", *role)
+	}
+
 	for _, nv := range loads {
 		name, path, _ := strings.Cut(nv, "=")
 		if err := preload(srv, name, path, *memory); err != nil {
@@ -58,11 +113,56 @@ func main() {
 		}
 		log.Printf("generated demo graph at scale %d", *demo)
 	}
+	srv.SetReady()
 
-	log.Printf("slimgraphd listening on %s", *addr)
-	if err := http.ListenAndServe(*addr, logging(srv.Handler())); err != nil {
+	if err := serve(*addr, *role, logging(handler), *drain); err != nil {
 		log.Fatalf("slimgraphd: %v", err)
 	}
+}
+
+// serve runs the HTTP server until SIGINT/SIGTERM, then drains: new
+// connections stop, in-flight requests get up to the drain deadline, and
+// the exit is clean so orchestrators don't log a crash on every deploy.
+func serve(addr, role string, handler http.Handler, drain time.Duration) error {
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	hs := &http.Server{Addr: addr, Handler: handler}
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("slimgraphd %s listening on %s", role, addr)
+		errc <- hs.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("slimgraphd shutting down (draining up to %v)", drain)
+	sctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := hs.Shutdown(sctx); err != nil {
+		return fmt.Errorf("drain incomplete: %w", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	log.Printf("slimgraphd stopped")
+	return nil
+}
+
+// splitPeers parses the -peers list, dropping empty entries and trailing
+// slashes so URL joins stay clean.
+func splitPeers(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		p = strings.TrimRight(strings.TrimSpace(p), "/")
+		if p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 // preload loads one graph file into the catalog before serving.

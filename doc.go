@@ -82,6 +82,21 @@
 // and failures are never cached. Requests default to a one-worker budget,
 // making responses byte-identical for a fixed seed.
 //
+// # Cluster
+//
+// The same API scales out (internal/cluster, run as slimgraphd -role
+// coordinator|shard or in-process via NewLocalCluster): a coordinator
+// serves /v1/graphs by scatter/gathering partial computations — BFS
+// frontier expansions, PageRank pull sums, degree histograms, forward
+// triangle counts — over N shard replicas, splitting work by the same
+// degree-balanced contiguous ranges as PartitionByDegree. Storage is
+// replicated, compute is partitioned: that keeps the determinism contract
+// intact (element-keyed scheme randomness needs the whole graph), so a
+// cluster's responses are byte-identical to a single node's for a fixed
+// seed at workers=1, and one compress request populates every replica's
+// variant cache exactly once. A hung or dead shard fails requests fast
+// with a 502 and never leaves a partially replicated variant behind.
+//
 // # Quick start
 //
 //	g := slimgraph.GenerateRMAT(14, 8, 1) // 16k vertices, ~130k edges

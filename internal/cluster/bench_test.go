@@ -1,0 +1,64 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"slimgraph/internal/gen"
+	"slimgraph/internal/server"
+)
+
+// BenchmarkCoordinatorOverhead measures the scatter/gather tax: the same
+// query against a direct single-node server and against a coordinator with
+// one local shard — the delta is pure cluster plumbing (HTTP hop, JSON
+// round-trip, partition computation), with zero algorithmic win to hide it.
+func BenchmarkCoordinatorOverhead(b *testing.B) {
+	g := gen.BarabasiAlbert(2000, 4, 7)
+
+	bench := func(b *testing.B, url string) {
+		b.Helper()
+		for i := 0; i < b.N; i++ {
+			resp, err := http.Get(url)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+				b.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				b.Fatalf("status %d", resp.StatusCode)
+			}
+		}
+	}
+
+	b.Run("single", func(b *testing.B) {
+		s := server.New(server.Options{MaxWorkers: 4})
+		if err := s.AddGraph("g", server.MemoryRaw, "bench", g.Clone(), 1); err != nil {
+			b.Fatal(err)
+		}
+		ts := httptest.NewServer(s.Handler())
+		defer ts.Close()
+		b.ResetTimer()
+		bench(b, ts.URL+"/v1/graphs/g/degrees?workers=1")
+	})
+	for _, shards := range []int{1, 3} {
+		b.Run(fmt.Sprintf("cluster%d", shards), func(b *testing.B) {
+			lc, err := StartLocal(shards, server.Options{MaxWorkers: 4}, Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer lc.Close()
+			if _, err := lc.Coordinator.Create(b.Context(), "g", server.MemoryRaw, "bench", g.Clone(), 1); err != nil {
+				b.Fatal(err)
+			}
+			ts := httptest.NewServer(lc.Front.Handler())
+			defer ts.Close()
+			b.ResetTimer()
+			bench(b, ts.URL+"/v1/graphs/g/degrees?workers=1")
+		})
+	}
+}

@@ -1,0 +1,127 @@
+// Package cluster shards slimgraphd across processes: a coordinator serves
+// the ordinary /v1/graphs API by scatter/gathering partial computations
+// over N shard servers, each a full slimgraphd (internal/server) extended
+// with a small /internal/v1 protocol.
+//
+// The design is compute-partitioned, storage-replicated: every shard holds
+// the whole graph (raw or succinctly packed, the PR 3 representation
+// traversed in place), and work is split by the degree-aware contiguous
+// vertex ranges of distributed.PartitionByDegree, which every shard
+// recomputes locally from the degree sequence — ownership needs no
+// metadata exchange, and it stays correct even for compressed variants
+// whose vertex count differs from the original. Replicating storage is
+// what keeps the paper's determinism contract intact: compression schemes
+// key every random decision by global element ID (internal/core), so a
+// variant computed on any replica is byte-identical to the single-node
+// result, something no storage-partitioned execution of a global scheme
+// (spanners, triangle reduction) could guarantee.
+//
+// The same property drives the variant cache: the coordinator forwards one
+// canonical (spec, seed, workers) key to every shard's single-flight cache,
+// so each replica executes a requested scheme exactly once and then serves
+// identical cached bytes; if any shard fails mid-scatter the coordinator
+// purges the key from the others rather than leave a partially replicated
+// variant behind.
+//
+// Scatter/gather queries — BFS frontiers, PageRank iterations, degree
+// histograms, exact triangle counts — merge in fixed shard order with all
+// floating-point reductions performed sequentially by the coordinator, so
+// responses are byte-identical to internal/server's for a fixed seed at
+// workers=1 (the cluster tests pin this). DOULION-approximate triangle
+// counts and §5 quality comparison run whole on one replica and relay.
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"time"
+)
+
+// Options configures a Coordinator.
+type Options struct {
+	// Shards lists the shard base URLs (e.g. "http://10.0.0.2:8080") in
+	// rank order. The order is part of the cluster's identity: merge order
+	// follows it.
+	Shards []string
+	// ShardTimeout bounds every sub-request to a shard (default 15s). A
+	// shard that exceeds it fails the request with a 502 — the coordinator
+	// never hangs on a dead shard.
+	ShardTimeout time.Duration
+	// Client is the HTTP client for shard calls (default: a dedicated
+	// client with keep-alives).
+	Client *http.Client
+}
+
+func (o Options) timeout() time.Duration {
+	if o.ShardTimeout <= 0 {
+		return 15 * time.Second
+	}
+	return o.ShardTimeout
+}
+
+// httpError is a non-2xx shard reply: the decoded {"error": ...} body and
+// its status code, kept apart from transport errors so 4xx validation
+// errors relay to the client verbatim.
+type httpError struct {
+	code int
+	msg  string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+// errBody extracts the {"error": msg} body of an error reply, falling back
+// to the raw bytes.
+func errBody(code int, body []byte) *httpError {
+	var m map[string]string
+	if err := json.Unmarshal(body, &m); err == nil && m["error"] != "" {
+		return &httpError{code: code, msg: m["error"]}
+	}
+	return &httpError{code: code, msg: fmt.Sprintf("status %d: %s", code, bytes.TrimSpace(body))}
+}
+
+// doJSON performs one HTTP exchange against a shard: method addr+path with
+// optional query and body, decoding a 2xx JSON reply into out (when
+// non-nil) and any other reply into an *httpError.
+func doJSON(ctx context.Context, client *http.Client, method, addr, path string, query url.Values, contentType string, body io.Reader, out any) error {
+	u := addr + path
+	if len(query) > 0 {
+		u += "?" + query.Encode()
+	}
+	req, err := http.NewRequestWithContext(ctx, method, u, body)
+	if err != nil {
+		return err
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return errBody(resp.StatusCode, data)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(data, out)
+}
+
+// postJSON marshals in and POSTs it as application/json.
+func postJSON(ctx context.Context, client *http.Client, addr, path string, in, out any) error {
+	data, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	return doJSON(ctx, client, http.MethodPost, addr, path, nil, "application/json", bytes.NewReader(data), out)
+}

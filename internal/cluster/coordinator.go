@@ -1,0 +1,576 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"net/url"
+	"sort"
+	"strconv"
+	"sync"
+
+	"slimgraph/internal/distributed"
+	"slimgraph/internal/graph"
+	"slimgraph/internal/graphio"
+	"slimgraph/internal/metrics"
+	"slimgraph/internal/server"
+)
+
+// Coordinator serves the public slimgraphd API over N shard replicas: it
+// implements server.Catalog and server.QueryBackend, so
+// server.NewWithBackend(coord, coord, opts) is a drop-in cluster frontend.
+// See the package comment for the replication and determinism model.
+type Coordinator struct {
+	opts   Options
+	client *http.Client
+
+	mu     sync.RWMutex
+	graphs map[string]server.GraphInfo
+}
+
+// NewCoordinator returns a coordinator over opts.Shards.
+func NewCoordinator(opts Options) (*Coordinator, error) {
+	if len(opts.Shards) == 0 {
+		return nil, errors.New("cluster: coordinator needs at least one shard")
+	}
+	client := opts.Client
+	if client == nil {
+		client = &http.Client{}
+	}
+	return &Coordinator{opts: opts, client: client, graphs: map[string]server.GraphInfo{}}, nil
+}
+
+// Shards returns the shard base URLs in rank order.
+func (c *Coordinator) Shards() []string { return append([]string(nil), c.opts.Shards...) }
+
+// Ready probes every shard's /readyz, returning the first failure in shard
+// order — the readiness check cmd/slimgraphd installs on the coordinator's
+// own /readyz.
+func (c *Coordinator) Ready() error {
+	errs := c.scatter(context.Background(), func(ctx context.Context, i int, addr string) error {
+		return doJSON(ctx, c.client, http.MethodGet, addr, "/readyz", nil, "", nil, nil)
+	})
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("shard %d (%s): %v", i, c.opts.Shards[i], err)
+		}
+	}
+	return nil
+}
+
+// scatter runs fn against every shard concurrently, each under its own
+// ShardTimeout, and returns the per-shard errors in shard order.
+func (c *Coordinator) scatter(ctx context.Context, fn func(ctx context.Context, shard int, addr string) error) []error {
+	errs := make([]error, len(c.opts.Shards))
+	var wg sync.WaitGroup
+	for i, addr := range c.opts.Shards {
+		wg.Add(1)
+		go func(i int, addr string) {
+			defer wg.Done()
+			sctx, cancel := context.WithTimeout(ctx, c.opts.timeout())
+			defer cancel()
+			errs[i] = fn(sctx, i, addr)
+		}(i, addr)
+	}
+	wg.Wait()
+	return errs
+}
+
+// mergeErrors reduces per-shard errors to one client-facing error: a 4xx
+// shard reply (validation: unknown scheme, bad root, missing graph) relays
+// verbatim — every replica rejects identically, so the first is THE error,
+// byte-identical to a single node's — while transport failures, timeouts,
+// and 5xx surface as 502 naming the first failing shard.
+func (c *Coordinator) mergeErrors(errs []error) error {
+	var firstIdx = -1
+	for i, err := range errs {
+		if err == nil {
+			continue
+		}
+		var he *httpError
+		if errors.As(err, &he) && he.code >= 400 && he.code < 500 {
+			return server.Errf(he.code, "%s", he.msg)
+		}
+		if firstIdx < 0 {
+			firstIdx = i
+		}
+	}
+	if firstIdx < 0 {
+		return nil
+	}
+	return server.Errf(http.StatusBadGateway, "shard %d (%s): %v",
+		firstIdx, c.opts.Shards[firstIdx], errs[firstIdx])
+}
+
+// --- server.Catalog --------------------------------------------------------
+
+// Create replicates g to every shard: packed once into the succinct v2
+// snapshot (the PR 3 representation — the cheapest bytes to ship), loaded
+// by each shard under the client's memory policy. A partial failure rolls
+// back the shards that succeeded, so the catalog never diverges.
+func (c *Coordinator) Create(ctx context.Context, name, memory, source string, g *graph.Graph, workers int) (*server.GraphInfo, error) {
+	var buf bytes.Buffer
+	if _, err := graphio.WritePacked(&buf, g); err != nil {
+		return nil, server.Errf(http.StatusInternalServerError, "packing graph for replication: %v", err)
+	}
+	data := buf.Bytes()
+	q := url.Values{}
+	q.Set("name", name)
+	q.Set("memory", memory)
+	q.Set("source", source)
+	q.Set("workers", strconv.Itoa(workers))
+	if g.Directed() {
+		q.Set("directed", "true")
+	}
+	infos := make([]server.GraphInfo, len(c.opts.Shards))
+	errs := c.scatter(ctx, func(ctx context.Context, i int, addr string) error {
+		return doJSON(ctx, c.client, http.MethodPost, addr, "/internal/v1/graphs", q,
+			"application/octet-stream", bytes.NewReader(data), &infos[i])
+	})
+	if err := c.mergeErrors(errs); err != nil {
+		// Roll back the shards that accepted the graph; the ones that
+		// failed (or already held the name) are left untouched.
+		c.scatter(context.Background(), func(ctx context.Context, i int, addr string) error {
+			if errs[i] != nil {
+				return nil
+			}
+			return doJSON(ctx, c.client, http.MethodDelete, addr, "/internal/v1/graphs/"+url.PathEscape(name), nil, "", nil, nil)
+		})
+		return nil, err
+	}
+	info := infos[0]
+	c.mu.Lock()
+	c.graphs[name] = info
+	c.mu.Unlock()
+	return &info, nil
+}
+
+// Info implements server.Catalog from the coordinator's metadata.
+func (c *Coordinator) Info(_ context.Context, name string) (*server.GraphInfo, error) {
+	c.mu.RLock()
+	info, ok := c.graphs[name]
+	c.mu.RUnlock()
+	if !ok {
+		return nil, server.Errf(http.StatusNotFound, "no graph %q", name)
+	}
+	return &info, nil
+}
+
+// List implements server.Catalog.
+func (c *Coordinator) List(_ context.Context) ([]server.GraphInfo, error) {
+	c.mu.RLock()
+	out := make([]server.GraphInfo, 0, len(c.graphs))
+	for _, info := range c.graphs {
+		out = append(out, info)
+	}
+	c.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+// Drop removes the graph from every shard. VariantsDropped reports the
+// largest per-shard count (replicas hold identical variant sets in steady
+// state, so this is normally every shard's number).
+func (c *Coordinator) Drop(ctx context.Context, name string) (*server.DeleteResponse, error) {
+	c.mu.Lock()
+	_, ok := c.graphs[name]
+	delete(c.graphs, name)
+	c.mu.Unlock()
+	if !ok {
+		return nil, server.Errf(http.StatusNotFound, "no graph %q", name)
+	}
+	dropped := 0
+	var mu sync.Mutex
+	errs := c.scatter(ctx, func(ctx context.Context, i int, addr string) error {
+		var resp server.DeleteResponse
+		err := doJSON(ctx, c.client, http.MethodDelete, addr, "/internal/v1/graphs/"+url.PathEscape(name), nil, "", nil, &resp)
+		if err == nil {
+			mu.Lock()
+			if resp.VariantsDropped > dropped {
+				dropped = resp.VariantsDropped
+			}
+			mu.Unlock()
+		}
+		return err
+	})
+	// A shard that already lost the graph (404) is in the desired state.
+	for i, err := range errs {
+		var he *httpError
+		if errors.As(err, &he) && he.code == http.StatusNotFound {
+			errs[i] = nil
+		}
+	}
+	if err := c.mergeErrors(errs); err != nil {
+		return nil, err
+	}
+	return &server.DeleteResponse{Deleted: name, VariantsDropped: dropped}, nil
+}
+
+// --- server.QueryBackend ---------------------------------------------------
+
+// Compress replicates one variant: the same (spec, seed, workers) request
+// goes to every shard's public compress endpoint, so each replica's
+// single-flight cache executes the scheme exactly once and then serves
+// identical bytes (schemes are pure functions of graph, canonical spec,
+// and seed). On a partial failure the coordinator purges the key from the
+// shards that succeeded — the client saw an error, so no replica may keep
+// the variant.
+func (c *Coordinator) Compress(ctx context.Context, name, spec string, p server.QueryParams) (*server.CompressResponse, error) {
+	if _, err := c.Info(ctx, name); err != nil {
+		return nil, err
+	}
+	resps := make([]server.CompressResponse, len(c.opts.Shards))
+	req := server.CompressRequest{Spec: spec, Seed: p.Seed, Workers: p.Workers}
+	errs := c.scatter(ctx, func(ctx context.Context, i int, addr string) error {
+		return postJSON(ctx, c.client, addr, "/v1/graphs/"+url.PathEscape(name)+"/compress", req, &resps[i])
+	})
+	if err := c.mergeErrors(errs); err != nil {
+		c.purgeVariant(name, spec, p)
+		return nil, err
+	}
+	merged := resps[0]
+	for i := 1; i < len(resps); i++ {
+		r := resps[i]
+		if r.Spec != merged.Spec || r.N != merged.N || r.M != merged.M {
+			return nil, server.Errf(http.StatusBadGateway,
+				"replicas disagree on variant %q of %q: shard 0 got n=%d m=%d spec=%q, shard %d got n=%d m=%d spec=%q",
+				spec, name, merged.N, merged.M, merged.Spec, i, r.N, r.M, r.Spec)
+		}
+		merged.Cached = merged.Cached && r.Cached
+		if r.ElapsedMS > merged.ElapsedMS {
+			merged.ElapsedMS = r.ElapsedMS
+		}
+	}
+	return &merged, nil
+}
+
+// purgeVariant best-effort drops a variant key from every shard after a
+// partial failure. A shard still executing the scheme (the timeout case)
+// inserts when it finishes; the next successful Compress for the key will
+// simply find it cached — correctness is unaffected since variants are
+// deterministic.
+func (c *Coordinator) purgeVariant(name, spec string, p server.QueryParams) {
+	req := purgeRequest{Spec: spec, Seed: p.Seed, Workers: p.Workers}
+	c.scatter(context.Background(), func(ctx context.Context, i int, addr string) error {
+		return postJSON(ctx, c.client, addr, "/internal/v1/graphs/"+url.PathEscape(name)+"/purge", req, nil)
+	})
+}
+
+// target resolves what a query runs on: (vertex count, canonical spec).
+// With a spec it first replicates the variant cluster-wide via Compress —
+// after which every partial request is a shard-local cache hit.
+func (c *Coordinator) target(ctx context.Context, name string, p server.QueryParams) (n int, canonical string, err error) {
+	info, err := c.Info(ctx, name)
+	if err != nil {
+		return 0, "", err
+	}
+	if p.Spec == "" {
+		return info.N, "", nil
+	}
+	cr, err := c.Compress(ctx, name, p.Spec, p)
+	if err != nil {
+		return 0, "", err
+	}
+	return cr.N, cr.Spec, nil
+}
+
+// scatterParts sends one partial request per shard (with Shard/Of filled
+// in) and decodes each shard's reply into out[i], relaying errors with
+// mergeErrors semantics.
+func (c *Coordinator) scatterParts(ctx context.Context, name, path string, req partRequest, out func(i int) any) error {
+	req.Of = len(c.opts.Shards)
+	errs := c.scatter(ctx, func(ctx context.Context, i int, addr string) error {
+		r := req
+		r.Shard = i
+		return postJSON(ctx, c.client, addr, "/internal/v1/graphs/"+url.PathEscape(name)+"/part/"+path, r, out(i))
+	})
+	return c.mergeErrors(errs)
+}
+
+// BFS runs a level-synchronous distributed BFS: the coordinator owns the
+// distance array and the frontier; each level every shard expands the
+// frontier vertices it owns and returns the candidate next level, merged
+// in shard order. Levels are exact regardless of merge order, so the
+// distance array — and the response bytes — match the single-node server.
+func (c *Coordinator) BFS(ctx context.Context, name string, root int32, p server.QueryParams) (*server.BFSResponse, error) {
+	n, canonical, err := c.target(ctx, name, p)
+	if err != nil {
+		return nil, err
+	}
+	if root < 0 || int(root) >= n {
+		return nil, server.Errf(http.StatusBadRequest, "root %d outside [0, %d)", root, n)
+	}
+	dist := make([]int32, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[root] = 0
+	frontier := []int32{root}
+	base := partRequest{Spec: canonical, Seed: p.Seed, Workers: p.Workers}
+	for level := int32(1); len(frontier) > 0; level++ {
+		parts := make([]bfsPartResponse, len(c.opts.Shards))
+		req := base
+		req.Frontier = frontier
+		if err := c.scatterParts(ctx, name, "bfs", req, func(i int) any { return &parts[i] }); err != nil {
+			return nil, err
+		}
+		frontier = frontier[:0]
+		for _, part := range parts {
+			for _, v := range part.Next {
+				if dist[v] < 0 {
+					dist[v] = level
+					frontier = append(frontier, v)
+				}
+			}
+		}
+	}
+	reached := 0
+	var ecc int32
+	for _, d := range dist {
+		if d >= 0 {
+			reached++
+		}
+		if d > ecc {
+			ecc = d
+		}
+	}
+	return &server.BFSResponse{
+		Graph: name, Spec: canonical, Root: root,
+		Reached: reached, Ecc: ecc, Dist: dist,
+	}, nil
+}
+
+// PageRank defaults, mirroring centrality.PageRankOptions.withDefaults —
+// the coordinator reimplements the power iteration's scalar steps (base,
+// dangling mass, damping, L1 delta) in the exact single-node order, with
+// shards supplying only the per-vertex pull sums.
+const (
+	prTol     = 1e-9
+	prMaxIter = 100
+)
+
+// prDamping is deliberately a var, not a const: the single node computes
+// (1 - damping) at runtime from a float64, and an untyped-constant 0.85
+// would let (1 - prDamping) fold exactly to 0.15 at compile time — one ulp
+// away from the runtime subtraction, which compounds across iterations.
+var prDamping = 0.85
+
+// PageRank runs the distributed power iteration. Per iteration the full
+// rank vector is broadcast; each shard returns raw pull sums for its
+// range; the coordinator applies base + dangling + damping per vertex and
+// the sequential L1 delta. Every floating-point reduction happens once, on
+// the coordinator, in ascending vertex order — float addition is not
+// associative, so this ordering (not just the partition) is what makes the
+// scores bit-identical to centrality.PageRankOn at workers=1.
+func (c *Coordinator) PageRank(ctx context.Context, name string, k int, p server.QueryParams) (*server.PageRankResponse, error) {
+	n, canonical, err := c.target(ctx, name, p)
+	if err != nil {
+		return nil, err
+	}
+	base := partRequest{Spec: canonical, Seed: p.Seed, Workers: p.Workers}
+	var ranks []float64
+	if n > 0 {
+		inits := make([]prInitResponse, len(c.opts.Shards))
+		if err := c.scatterParts(ctx, name, "pr-init", base, func(i int) any { return &inits[i] }); err != nil {
+			return nil, err
+		}
+		// Shard ranges are contiguous and ascending, so concatenating the
+		// per-range dangling lists yields the globally ascending list; the
+		// non-dangling vertices the single-node sum skips contribute exact
+		// zeros, so summing only these matches it bitwise.
+		var dangling []int32
+		for _, init := range inits {
+			if init.N != n {
+				return nil, server.Errf(http.StatusBadGateway,
+					"replicas disagree on vertex count: %d vs %d", init.N, n)
+			}
+			dangling = append(dangling, init.Dangling...)
+		}
+		rank := make([]float64, n)
+		next := make([]float64, n)
+		inv := 1.0 / float64(n)
+		for i := range rank {
+			rank[i] = inv
+		}
+		baseMass := (1 - prDamping) * inv
+		for iter := 0; iter < prMaxIter; iter++ {
+			danglingMass := 0.0
+			for _, v := range dangling {
+				danglingMass += rank[v]
+			}
+			danglingShare := prDamping * danglingMass * inv
+			pulls := make([]prPullResponse, len(c.opts.Shards))
+			req := base
+			req.Ranks = rank
+			if err := c.scatterParts(ctx, name, "pr-pull", req, func(i int) any { return &pulls[i] }); err != nil {
+				return nil, err
+			}
+			for _, pull := range pulls {
+				for j, sum := range pull.Sums {
+					next[int(pull.Lo)+j] = baseMass + danglingShare + prDamping*sum
+				}
+			}
+			delta := 0.0
+			for v := 0; v < n; v++ {
+				delta += math.Abs(next[v] - rank[v])
+			}
+			rank, next = next, rank
+			if delta < prTol {
+				break
+			}
+		}
+		ranks = rank
+	}
+	return &server.PageRankResponse{Graph: name, Spec: canonical, K: k, Top: server.TopK(ranks, k)}, nil
+}
+
+// Triangles counts exactly by summing per-shard forward counts (each
+// triangle lands on the shard owning its minimum vertex; integer sums are
+// exact in any order). mode=approx (DOULION) relays to shard 0: the
+// estimate samples edges by global edge ID, so any single replica computes
+// the canonical answer.
+func (c *Coordinator) Triangles(ctx context.Context, name, mode string, prob float64, p server.QueryParams) (*server.TrianglesResponse, error) {
+	if mode == "approx" {
+		q := url.Values{}
+		q.Set("mode", "approx")
+		q.Set("p", strconv.FormatFloat(prob, 'g', -1, 64))
+		addCommonParams(q, p)
+		var resp server.TrianglesResponse
+		if err := c.relay(ctx, "/v1/graphs/"+url.PathEscape(name)+"/triangles", q, &resp); err != nil {
+			return nil, err
+		}
+		return &resp, nil
+	}
+	_, canonical, err := c.target(ctx, name, p)
+	if err != nil {
+		return nil, err
+	}
+	parts := make([]trianglesPartResponse, len(c.opts.Shards))
+	base := partRequest{Spec: canonical, Seed: p.Seed, Workers: p.Workers}
+	if err := c.scatterParts(ctx, name, "triangles", base, func(i int) any { return &parts[i] }); err != nil {
+		return nil, err
+	}
+	var total int64
+	for _, part := range parts {
+		total += part.Count
+	}
+	return &server.TrianglesResponse{Graph: name, Spec: canonical, Mode: mode, Count: &total}, nil
+}
+
+// Degrees merges per-shard degree histograms (deterministic integer
+// reduction in shard order) and computes the fractions and power-law fit
+// exactly as metrics.DegreeDistribution + PowerLawSlope do on one node.
+func (c *Coordinator) Degrees(ctx context.Context, name string, p server.QueryParams) (*server.DegreesResponse, error) {
+	n, canonical, err := c.target(ctx, name, p)
+	if err != nil {
+		return nil, err
+	}
+	parts := make([]degreesPartResponse, len(c.opts.Shards))
+	base := partRequest{Spec: canonical, Seed: p.Seed, Workers: p.Workers}
+	if err := c.scatterParts(ctx, name, "degrees", base, func(i int) any { return &parts[i] }); err != nil {
+		return nil, err
+	}
+	partials := make([][]int64, len(parts))
+	for i, part := range parts {
+		partials[i] = part.Counts
+	}
+	merged := distributed.MergeHistograms(partials)
+	if len(merged) == 0 {
+		// n == 0: a single node still emits the MaxDegree()+1 == 1 bucket.
+		merged = make([]int64, 1)
+	}
+	dist := make([]float64, len(merged))
+	if n > 0 {
+		fn := float64(n)
+		for d, cnt := range merged {
+			dist[d] = float64(cnt) / fn
+		}
+	}
+	slope, r2 := metrics.PowerLawSlope(dist)
+	return &server.DegreesResponse{Graph: name, Spec: canonical, Dist: dist, Slope: slope, R2: r2}, nil
+}
+
+// Compare relays the §5 quality comparison to shard 0: it needs the whole
+// original and the whole variant side by side, which every replica holds.
+func (c *Coordinator) Compare(ctx context.Context, name string, p server.QueryParams) (*server.CompareResponse, error) {
+	q := url.Values{}
+	addCommonParams(q, p)
+	var resp server.CompareResponse
+	if err := c.relay(ctx, "/v1/graphs/"+url.PathEscape(name)+"/compare", q, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// relay forwards one GET to shard 0 under the shard timeout.
+func (c *Coordinator) relay(ctx context.Context, path string, q url.Values, out any) error {
+	sctx, cancel := context.WithTimeout(ctx, c.opts.timeout())
+	defer cancel()
+	err := doJSON(sctx, c.client, http.MethodGet, c.opts.Shards[0], path, q, "", nil, out)
+	if err == nil {
+		return nil
+	}
+	var he *httpError
+	if errors.As(err, &he) && he.code >= 400 && he.code < 500 {
+		return server.Errf(he.code, "%s", he.msg)
+	}
+	return server.Errf(http.StatusBadGateway, "shard 0 (%s): %v", c.opts.Shards[0], err)
+}
+
+func addCommonParams(q url.Values, p server.QueryParams) {
+	if p.Spec != "" {
+		q.Set("spec", p.Spec)
+	}
+	q.Set("seed", strconv.FormatUint(p.Seed, 10))
+	q.Set("workers", strconv.Itoa(p.Workers))
+}
+
+// Stats gathers every shard's /v1/stats and merges them: cluster-wide
+// counter sums with the per-shard breakdown attached. Graphs is the
+// logical catalog size (each graph is replicated everywhere, so summing
+// shard counts would overstate it N-fold).
+func (c *Coordinator) Stats(ctx context.Context) (*server.StatsResponse, error) {
+	per := make([]server.ShardStats, len(c.opts.Shards))
+	errs := c.scatter(ctx, func(ctx context.Context, i int, addr string) error {
+		var resp server.StatsResponse
+		if err := doJSON(ctx, c.client, http.MethodGet, addr, "/v1/stats", nil, "", nil, &resp); err != nil {
+			return err
+		}
+		per[i] = server.ShardStats{Shard: i, Addr: addr, Cache: resp.Cache, Graphs: resp.Graphs}
+		return nil
+	})
+	if err := c.mergeErrors(errs); err != nil {
+		return nil, err
+	}
+	c.mu.RLock()
+	graphs := len(c.graphs)
+	c.mu.RUnlock()
+	return MergeStats(graphs, per), nil
+}
+
+// MergeStats combines per-shard stats into the aggregated cluster
+// response: every cache counter sums across shards (Capacity and Entries
+// included — they describe cluster-wide cache capacity and residency),
+// graphs is the logical catalog size.
+func MergeStats(graphs int, per []server.ShardStats) *server.StatsResponse {
+	var sum server.CacheStats
+	for _, s := range per {
+		sum.Hits += s.Cache.Hits
+		sum.Coalesced += s.Cache.Coalesced
+		sum.Misses += s.Cache.Misses
+		sum.Executions += s.Cache.Executions
+		sum.Failures += s.Cache.Failures
+		sum.Evictions += s.Cache.Evictions
+		sum.Entries += s.Cache.Entries
+		sum.Capacity += s.Cache.Capacity
+	}
+	return &server.StatsResponse{Cache: sum, Graphs: graphs, PerShard: per}
+}
+
+var (
+	_ server.Catalog      = (*Coordinator)(nil)
+	_ server.QueryBackend = (*Coordinator)(nil)
+)

@@ -1,0 +1,79 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"slimgraph/internal/server"
+)
+
+// LocalCluster is an in-process coordinator + N shards on loopback
+// listeners — the test and demo harness, and the same wiring cmd/slimgraphd
+// performs across real processes.
+type LocalCluster struct {
+	Coordinator *Coordinator
+	// Front is the coordinator's public server: the handler tests hit and
+	// cmd/slimgraphd serves.
+	Front  *server.Server
+	shards []*Shard
+	srvs   []*http.Server
+	lns    []net.Listener
+}
+
+// StartLocal boots n shard servers on ephemeral loopback ports and a
+// coordinator over them. shardOpts configures each shard's local server
+// (cache size, worker cap); copts supplies coordinator knobs — its Shards
+// field is ignored and replaced with the listeners' addresses.
+func StartLocal(n int, shardOpts server.Options, copts Options) (*LocalCluster, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("cluster: need at least 1 shard, got %d", n)
+	}
+	lc := &LocalCluster{}
+	addrs := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			lc.Close()
+			return nil, fmt.Errorf("cluster: listening for shard %d: %v", i, err)
+		}
+		sh := NewShard(shardOpts)
+		srv := &http.Server{Handler: sh.Handler()}
+		go srv.Serve(ln)
+		lc.shards = append(lc.shards, sh)
+		lc.srvs = append(lc.srvs, srv)
+		lc.lns = append(lc.lns, ln)
+		addrs = append(addrs, "http://"+ln.Addr().String())
+	}
+	copts.Shards = addrs
+	coord, err := NewCoordinator(copts)
+	if err != nil {
+		lc.Close()
+		return nil, err
+	}
+	lc.Coordinator = coord
+	lc.Front = server.NewWithBackend(coord, coord, server.Options{MaxWorkers: shardOpts.MaxWorkers})
+	lc.Front.SetReadyCheck(coord.Ready)
+	return lc, nil
+}
+
+// Shard exposes shard i (for stats inspection and fault injection in
+// tests).
+func (lc *LocalCluster) Shard(i int) *Shard { return lc.shards[i] }
+
+// NumShards returns the shard count.
+func (lc *LocalCluster) NumShards() int { return len(lc.shards) }
+
+// Close shuts the shard servers down, bounded by a short deadline.
+func (lc *LocalCluster) Close() {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	for _, srv := range lc.srvs {
+		_ = srv.Shutdown(ctx)
+	}
+	for _, ln := range lc.lns {
+		_ = ln.Close()
+	}
+}

@@ -1,0 +1,119 @@
+package cluster
+
+import (
+	"sort"
+
+	"slimgraph/internal/distributed"
+	"slimgraph/internal/graph"
+)
+
+// Shard-side partial kernels. Each operates on the full replica through
+// graph.Adjacency (raw CSR or packed form, traversed in place) restricted
+// to one contiguous vertex range, and each is deterministic: outputs are
+// pure functions of (graph, range), with any float accumulation happening
+// in the same order the single-node algorithms use.
+
+// expandFrontier returns the sorted, deduplicated out-neighbors of the
+// frontier vertices this range owns — one shard's share of a
+// level-synchronous BFS step.
+func expandFrontier(g graph.Adjacency, r distributed.Range, frontier []int32) []int32 {
+	var next []int32
+	for _, u := range frontier {
+		if !r.Contains(u) {
+			continue
+		}
+		g.ForNeighbors(u, func(w graph.NodeID) {
+			next = append(next, int32(w))
+		})
+	}
+	if len(next) == 0 {
+		return next
+	}
+	sort.Slice(next, func(i, j int) bool { return next[i] < next[j] })
+	uniq := next[:1]
+	for _, v := range next[1:] {
+		if v != uniq[len(uniq)-1] {
+			uniq = append(uniq, v)
+		}
+	}
+	return uniq
+}
+
+// danglingIn returns the out-degree-0 vertices of the range, ascending.
+// Concatenated in shard order these form the globally ascending dangling
+// list the coordinator sums rank mass over — the order matching the
+// single-node sequential reduction.
+func danglingIn(g graph.Adjacency, r distributed.Range) []int32 {
+	var out []int32
+	for v := r.Lo; v < r.Hi; v++ {
+		if g.Degree(v) == 0 {
+			out = append(out, int32(v))
+		}
+	}
+	return out
+}
+
+// pullSums computes one PageRank pull iteration for the owned range:
+// sums[i] = Σ ranks[u]/deg(u) over the in-neighbors u of vertex Lo+i,
+// accumulated in in-neighbor order — exactly the per-vertex sum of
+// centrality.PageRankOn, so the coordinator's next[v] = base + dangling +
+// damping*sums[i] reproduces the single-node floats bit for bit.
+func pullSums(g graph.Adjacency, r distributed.Range, ranks []float64) []float64 {
+	sums := make([]float64, r.Len())
+	var sum float64
+	add := func(u graph.NodeID) { sum += ranks[u] / float64(g.Degree(u)) }
+	for v := r.Lo; v < r.Hi; v++ {
+		sum = 0
+		g.ForInNeighbors(v, add)
+		sums[v-r.Lo] = sum
+	}
+	return sums
+}
+
+// countForward counts the triangles whose minimum-ID vertex lies in the
+// owned range, via sorted forward-list intersections: for each owned u and
+// each forward neighbor w > u, triangles {u, w, x} with x > w are
+// |fwd(u) ∩ fwd(w)|. Every triangle {a < b < c} is counted exactly once —
+// at u=a, w=b — so per-range counts sum to the exact global count (integer
+// sums are associative; no merge-order caveats). Assumes simple graphs,
+// like the single-node exact counter.
+func countForward(g graph.Adjacency, r distributed.Range) int64 {
+	var total int64
+	var fu, fw []graph.NodeID
+	forward := func(v graph.NodeID, buf []graph.NodeID) []graph.NodeID {
+		buf = buf[:0]
+		g.ForNeighbors(v, func(w graph.NodeID) {
+			if w > v {
+				buf = append(buf, w)
+			}
+		})
+		return buf
+	}
+	for u := r.Lo; u < r.Hi; u++ {
+		fu = forward(u, fu)
+		for _, w := range fu {
+			fw = forward(w, fw)
+			total += intersectCount(fu, fw)
+		}
+	}
+	return total
+}
+
+// intersectCount returns |a ∩ b| for ascending slices.
+func intersectCount(a, b []graph.NodeID) int64 {
+	var c int64
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			c++
+			i++
+			j++
+		}
+	}
+	return c
+}

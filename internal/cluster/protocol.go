@@ -1,0 +1,79 @@
+package cluster
+
+// The /internal/v1 shard protocol: a handful of JSON messages the
+// coordinator exchanges with shards beyond the public API. Replication
+// (graph load/unload, variant purge) addresses whole objects; partial
+// queries address the shard's vertex range, which the shard derives itself
+// from (shard, of) — ranges are a pure function of the target's degree
+// sequence, so they never travel on the wire.
+
+// partRequest selects the target of a partial computation: the original
+// graph (empty Spec) or a cached variant, plus this shard's position in the
+// partition. Frontier rides along for BFS expansion, Ranks for a PageRank
+// pull iteration.
+type partRequest struct {
+	Spec    string `json:"spec,omitempty"`
+	Seed    uint64 `json:"seed"`
+	Workers int    `json:"workers"`
+	// Shard/Of position this request in the partition: the receiver owns
+	// range Shard of PartitionByDegree(target, Of).
+	Shard int `json:"shard"`
+	Of    int `json:"of"`
+
+	Frontier []int32   `json:"frontier,omitempty"`
+	Ranks    []float64 `json:"ranks,omitempty"`
+}
+
+// bfsPartResponse returns the sorted, deduplicated neighbors reachable
+// from the owned part of the frontier. The coordinator filters visited
+// vertices; levels stay exact regardless of which shard proposes a vertex
+// first because the merge is level-synchronous.
+type bfsPartResponse struct {
+	Next []int32 `json:"next"`
+}
+
+// prInitResponse describes the owned range once per PageRank run: its
+// bounds and the dangling (out-degree 0) vertices inside it, ascending.
+type prInitResponse struct {
+	N        int     `json:"n"`
+	Lo       int32   `json:"lo"`
+	Hi       int32   `json:"hi"`
+	Dangling []int32 `json:"dangling"`
+}
+
+// prPullResponse carries one iteration's raw pull sums for the owned
+// range: sums[i] = Σ rank[u]/deg(u) over in-neighbors u of vertex Lo+i, in
+// in-neighbor order. The coordinator applies damping, base, and dangling
+// mass itself so every float operation happens exactly once, in the
+// single-node order.
+type prPullResponse struct {
+	Lo   int32     `json:"lo"`
+	Sums []float64 `json:"sums"`
+}
+
+// degreesPartResponse is the out-degree histogram of the owned range,
+// sized to the local maximum degree plus one.
+type degreesPartResponse struct {
+	Counts []int64 `json:"counts"`
+}
+
+// trianglesPartResponse is the number of triangles whose lowest-ID vertex
+// falls in the owned range; the per-shard counts sum to the exact global
+// count because each triangle is counted exactly once, at its minimum
+// vertex.
+type trianglesPartResponse struct {
+	Count int64 `json:"count"`
+}
+
+// purgeRequest asks a shard to drop one cached variant by its canonical
+// key — the coordinator's cleanup after a partially failed replication.
+type purgeRequest struct {
+	Spec    string `json:"spec"`
+	Seed    uint64 `json:"seed"`
+	Workers int    `json:"workers"`
+}
+
+// purgeResponse reports whether the variant was resident.
+type purgeResponse struct {
+	Purged bool `json:"purged"`
+}

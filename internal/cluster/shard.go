@@ -1,0 +1,184 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"slimgraph/internal/distributed"
+	"slimgraph/internal/graph"
+	"slimgraph/internal/graphio"
+	"slimgraph/internal/server"
+)
+
+// Shard is one cluster member: a full public slimgraphd (so any replica
+// can also answer the ordinary API, which the coordinator uses for
+// compress, stats, approximate triangles, and compare) extended with the
+// /internal/v1 replication and partial-query protocol.
+type Shard struct {
+	srv *server.Server
+	mux *http.ServeMux
+}
+
+// NewShard builds a shard around a fresh local server.
+func NewShard(opts server.Options) *Shard {
+	return WrapShard(server.New(opts))
+}
+
+// WrapShard extends an existing locally backed server (srv.Local() must be
+// non-nil) with the shard protocol — the path cmd/slimgraphd takes so
+// preloads and flags apply once.
+func WrapShard(srv *server.Server) *Shard {
+	if srv.Local() == nil {
+		panic("cluster: shard requires a locally backed server")
+	}
+	s := &Shard{srv: srv, mux: http.NewServeMux()}
+	s.mux.Handle("/", srv.Handler())
+	s.mux.HandleFunc("POST /internal/v1/graphs", s.handleLoad)
+	s.mux.HandleFunc("DELETE /internal/v1/graphs/{name}", s.handleUnload)
+	s.mux.HandleFunc("POST /internal/v1/graphs/{name}/purge", s.handlePurge)
+	s.mux.HandleFunc("POST /internal/v1/graphs/{name}/part/bfs", s.handlePartBFS)
+	s.mux.HandleFunc("POST /internal/v1/graphs/{name}/part/pr-init", s.handlePartPRInit)
+	s.mux.HandleFunc("POST /internal/v1/graphs/{name}/part/pr-pull", s.handlePartPRPull)
+	s.mux.HandleFunc("POST /internal/v1/graphs/{name}/part/degrees", s.handlePartDegrees)
+	s.mux.HandleFunc("POST /internal/v1/graphs/{name}/part/triangles", s.handlePartTriangles)
+	return s
+}
+
+// Handler serves the public API plus the internal shard protocol.
+func (s *Shard) Handler() http.Handler { return s.mux }
+
+// Server returns the wrapped public server (for readiness control and
+// programmatic preloads).
+func (s *Shard) Server() *server.Server { return s.srv }
+
+func shardWriteJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func shardWriteErr(w http.ResponseWriter, err error) {
+	shardWriteJSON(w, server.StatusOf(err), map[string]string{"error": err.Error()})
+}
+
+// handleLoad replicates a graph onto this shard: the body is any snapshot
+// graphio.ReadAuto sniffs (the coordinator sends the succinct packed
+// format), with identity carried in query parameters so the catalog entry
+// — name, memory policy, provenance — matches every other replica's.
+func (s *Shard) handleLoad(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	g, err := graphio.ReadAuto(r.Body, q.Get("directed") == "true")
+	if err != nil {
+		shardWriteJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("parsing replicated graph: %v", err)})
+		return
+	}
+	workers := 0
+	fmt.Sscanf(q.Get("workers"), "%d", &workers)
+	info, err := s.srv.Local().Create(r.Context(), q.Get("name"), q.Get("memory"), q.Get("source"), g, workers)
+	if err != nil {
+		shardWriteErr(w, err)
+		return
+	}
+	shardWriteJSON(w, http.StatusCreated, info)
+}
+
+func (s *Shard) handleUnload(w http.ResponseWriter, r *http.Request) {
+	resp, err := s.srv.Local().Drop(r.Context(), r.PathValue("name"))
+	if err != nil {
+		shardWriteErr(w, err)
+		return
+	}
+	shardWriteJSON(w, http.StatusOK, resp)
+}
+
+func (s *Shard) handlePurge(w http.ResponseWriter, r *http.Request) {
+	var req purgeRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		shardWriteJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("bad JSON body: %v", err)})
+		return
+	}
+	purged, err := s.srv.Local().PurgeVariant(r.PathValue("name"), req.Spec, req.Seed, req.Workers)
+	if err != nil {
+		shardWriteErr(w, err)
+		return
+	}
+	shardWriteJSON(w, http.StatusOK, purgeResponse{Purged: purged})
+}
+
+// partial decodes a partRequest, resolves its target (original or cached
+// variant — a cache miss recomputes it, so an evicted variant heals
+// transparently), and computes this shard's range.
+func (s *Shard) partial(w http.ResponseWriter, r *http.Request) (req partRequest, t partTarget, ok bool) {
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		shardWriteJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("bad JSON body: %v", err)})
+		return req, t, false
+	}
+	if req.Of < 1 || req.Shard < 0 || req.Shard >= req.Of {
+		shardWriteJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("invalid partition position %d of %d", req.Shard, req.Of)})
+		return req, t, false
+	}
+	adj, _, err := s.srv.Local().Target(r.PathValue("name"), server.QueryParams{
+		Spec: req.Spec, Seed: req.Seed, Workers: req.Workers,
+	})
+	if err != nil {
+		shardWriteErr(w, err)
+		return req, t, false
+	}
+	t.g = adj
+	t.r = distributed.PartitionByDegree(adj, req.Of)[req.Shard]
+	return req, t, true
+}
+
+// partTarget pairs a resolved target with this shard's owned range.
+type partTarget struct {
+	g graph.Adjacency
+	r distributed.Range
+}
+
+func (s *Shard) handlePartBFS(w http.ResponseWriter, r *http.Request) {
+	req, t, ok := s.partial(w, r)
+	if !ok {
+		return
+	}
+	shardWriteJSON(w, http.StatusOK, bfsPartResponse{Next: expandFrontier(t.g, t.r, req.Frontier)})
+}
+
+func (s *Shard) handlePartPRInit(w http.ResponseWriter, r *http.Request) {
+	_, t, ok := s.partial(w, r)
+	if !ok {
+		return
+	}
+	shardWriteJSON(w, http.StatusOK, prInitResponse{
+		N: t.g.N(), Lo: t.r.Lo, Hi: t.r.Hi, Dangling: danglingIn(t.g, t.r),
+	})
+}
+
+func (s *Shard) handlePartPRPull(w http.ResponseWriter, r *http.Request) {
+	req, t, ok := s.partial(w, r)
+	if !ok {
+		return
+	}
+	if len(req.Ranks) != t.g.N() {
+		shardWriteJSON(w, http.StatusBadRequest, map[string]string{
+			"error": fmt.Sprintf("rank vector length %d, graph has %d vertices", len(req.Ranks), t.g.N())})
+		return
+	}
+	shardWriteJSON(w, http.StatusOK, prPullResponse{Lo: t.r.Lo, Sums: pullSums(t.g, t.r, req.Ranks)})
+}
+
+func (s *Shard) handlePartDegrees(w http.ResponseWriter, r *http.Request) {
+	_, t, ok := s.partial(w, r)
+	if !ok {
+		return
+	}
+	shardWriteJSON(w, http.StatusOK, degreesPartResponse{Counts: distributed.HistogramRange(t.g, t.r)})
+}
+
+func (s *Shard) handlePartTriangles(w http.ResponseWriter, r *http.Request) {
+	_, t, ok := s.partial(w, r)
+	if !ok {
+		return
+	}
+	shardWriteJSON(w, http.StatusOK, trianglesPartResponse{Count: countForward(t.g, t.r)})
+}

@@ -1,192 +1,137 @@
-// Package distributed simulates the paper's distributed-memory compression
-// pipeline (§3.2, §7.3).
+// Package distributed provides the partitioning layer of the paper's
+// distributed-memory pipeline (§3.2, §7.3): degree-aware 1D vertex
+// partitioning over any graph.Adjacency, partition diagnostics (edge cut),
+// distributed reductions (degree histograms), and a simulated multi-rank
+// compression engine dispatching through the scheme registry.
 //
 // Substitution note (see DESIGN.md §3): the paper compresses graphs that
 // exceed single-node memory with MPI Remote Memory Access across Cray XC
 // nodes. The relevant structure — and what this package reproduces — is:
 //
-//  1. the canonical edge list is partitioned into contiguous rank-local
-//     ranges (a distributed CSR's edge ownership);
-//  2. every rank runs edge compression kernels over its own partition with
-//     a rank-local random stream, with no shared mutable state (the RMA
-//     window is write-local/read-remote in the paper; our deletion marks
-//     are rank-private slices);
-//  3. per-rank statistics (degree histograms, removal counts) are
-//     combined in a reduction step.
+//  1. vertices are partitioned into contiguous rank-local ranges, balanced
+//     by degree so every rank owns a comparable share of the arcs (a
+//     distributed CSR's row ownership);
+//  2. compression kernels derive every random decision from the global
+//     element ID (internal/core's element-keyed streams), so the output is
+//     a pure function of (graph, spec, seed) — identical on 1 rank or 64;
+//  3. per-rank statistics (arc counts, edge cut, degree histograms) are
+//     combined in a deterministic reduction step.
 //
-// Ranks are goroutines synchronized by an epoch barrier; the message-
-// passing reduction runs over channels. Everything is deterministic for a
-// fixed (seed, ranks) pair — matching how the paper reports reproducible
-// distributed runs — and independent of scheduling.
+// Ranks are goroutines; reductions merge in rank order, so every result is
+// deterministic for a fixed seed and independent of scheduling. The
+// partitioner consumes the graph.Adjacency interface only, so a succinct
+// PackedGraph is partitioned in place without an Unpack call — the same
+// ranges internal/cluster's shards compute to agree on vertex ownership
+// without exchanging them.
 package distributed
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
 	"slimgraph/internal/graph"
-	"slimgraph/internal/rng"
+	"slimgraph/internal/schemes"
 )
 
-// Engine is a simulated distributed-memory cluster.
-type Engine struct {
-	Ranks int    // number of simulated compute nodes; <= 0 means 4
-	Seed  uint64 // base seed; each rank derives its own stream
+// Range is a half-open contiguous vertex range [Lo, Hi) owned by one rank.
+type Range struct {
+	Lo, Hi int32
 }
 
-func (e Engine) ranks() int {
-	if e.Ranks <= 0 {
-		return 4
+// Len returns the number of vertices in the range.
+func (r Range) Len() int { return int(r.Hi - r.Lo) }
+
+// Contains reports whether v falls in the range.
+func (r Range) Contains(v graph.NodeID) bool { return v >= r.Lo && v < r.Hi }
+
+// PartitionByDegree splits [0, n) into parts contiguous ranges balanced by
+// vertex weight degree+1 — the degree term balances arc ownership (the work
+// of BFS expansion, PageRank pulls, histogram scans), the +1 spreads
+// isolated vertices. The split is a pure function of the degree sequence:
+// every process that sees the same graph computes the same ranges, which is
+// how cluster shards agree on ownership without a metadata exchange. Ranges
+// concatenate to exactly [0, n); trailing ranges may be empty when parts
+// exceeds what the weights can fill.
+func PartitionByDegree(g graph.Adjacency, parts int) []Range {
+	if parts < 1 {
+		parts = 1
 	}
-	return e.Ranks
-}
-
-// RankStats reports one rank's work.
-type RankStats struct {
-	Rank      int
-	EdgesHeld int           // size of the rank-local partition
-	Removed   int           // edges this rank's kernels deleted
-	Elapsed   time.Duration // rank-local compression time
-}
-
-// Run is the outcome of a distributed compression.
-type Run struct {
-	Output    *graph.Graph
-	PerRank   []RankStats
-	Elapsed   time.Duration // wall-clock including gather
-	RanksUsed int
-}
-
-// String summarizes the run like the paper's Fig. 8 captions ("#compute
-// nodes used for compression: ...").
-func (r *Run) String() string {
-	removed := 0
-	for _, s := range r.PerRank {
-		removed += s.Removed
-	}
-	return fmt.Sprintf("distributed compression on %d ranks: removed %d edges in %v",
-		r.RanksUsed, removed, r.Elapsed)
-}
-
-// EdgeDecision is a rank-local edge kernel: it sees the rank index, the
-// rank's private random stream, and one owned edge; it returns false to
-// delete the edge.
-type EdgeDecision func(rank int, r *rng.Rand, e graph.EdgeID, u, v graph.NodeID) bool
-
-// partition returns the half-open range of canonical edges owned by rank.
-func partition(m, ranks, rank int) (lo, hi int) {
-	per := m / ranks
-	rem := m % ranks
-	lo = rank*per + min(rank, rem)
-	hi = lo + per
-	if rank < rem {
-		hi++
-	}
-	return lo, hi
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
-// RunEdgeKernel executes the decision kernel over all ranks and gathers the
-// compressed graph.
-func (e Engine) RunEdgeKernel(g *graph.Graph, kernel EdgeDecision) *Run {
-	start := time.Now()
-	ranks := e.ranks()
-	m := g.M()
-	keep := make([]bool, m) // each rank writes only its own range
-	stats := make([]RankStats, ranks)
-	var wg sync.WaitGroup
-	for rank := 0; rank < ranks; rank++ {
-		wg.Add(1)
-		go func(rank int) {
-			defer wg.Done()
-			rankStart := time.Now()
-			lo, hi := partition(m, ranks, rank)
-			r := rng.New(rng.Hash64(e.Seed, uint64(rank)))
-			removed := 0
-			for ei := lo; ei < hi; ei++ {
-				id := graph.EdgeID(ei)
-				u, v := g.EdgeEndpoints(id)
-				if kernel(rank, r, id, u, v) {
-					keep[ei] = true
-				} else {
-					removed++
-				}
-			}
-			stats[rank] = RankStats{
-				Rank: rank, EdgesHeld: hi - lo, Removed: removed,
-				Elapsed: time.Since(rankStart),
-			}
-		}(rank)
-	}
-	wg.Wait()
-	out := g.FilterEdges(func(e graph.EdgeID) bool { return keep[e] }, nil)
-	return &Run{Output: out, PerRank: stats, Elapsed: time.Since(start), RanksUsed: ranks}
-}
-
-// UniformSample runs distributed random uniform sampling (the scheme the
-// paper used for its first distributed lossy compression of the largest
-// public graphs, Fig. 8): each edge stays with probability p.
-func (e Engine) UniformSample(g *graph.Graph, p float64) *Run {
-	return e.RunEdgeKernel(g, func(rank int, r *rng.Rand, id graph.EdgeID, u, v graph.NodeID) bool {
-		return r.Float64() < p
-	})
-}
-
-// SpectralSparsify runs the distributed variant of the §4.2.1 kernel with
-// Υ = p·ln(n) — degree lookups are rank-local reads of the replicated
-// degree array, mirroring the RMA get of the paper's implementation.
-func (e Engine) SpectralSparsify(g *graph.Graph, upsilon float64) *Run {
-	return e.RunEdgeKernel(g, func(rank int, r *rng.Rand, id graph.EdgeID, u, v graph.NodeID) bool {
-		minDeg := g.Degree(u)
-		if d := g.Degree(v); d < minDeg {
-			minDeg = d
-		}
-		if minDeg == 0 {
-			return true
-		}
-		stay := upsilon / float64(minDeg)
-		if stay > 1 {
-			stay = 1
-		}
-		return r.Float64() < stay
-	})
-}
-
-// DegreeHistogram computes the out-degree histogram with a distributed
-// reduction: each rank histograms the vertices it owns and the partial
-// histograms merge over a channel — the structure of the Fig. 8 analysis.
-func (e Engine) DegreeHistogram(g *graph.Graph) []int64 {
-	ranks := e.ranks()
 	n := g.N()
-	parts := make(chan []int64, ranks)
-	var wg sync.WaitGroup
-	for rank := 0; rank < ranks; rank++ {
-		wg.Add(1)
-		go func(rank int) {
-			defer wg.Done()
-			lo, hi := partition(n, ranks, rank)
-			local := make([]int64, 0)
-			for v := lo; v < hi; v++ {
-				d := g.Degree(graph.NodeID(v))
-				for len(local) <= d {
-					local = append(local, 0)
-				}
-				local[d]++
-			}
-			parts <- local
-		}(rank)
+	var total int64
+	for v := 0; v < n; v++ {
+		total += int64(g.Degree(graph.NodeID(v))) + 1
 	}
-	wg.Wait()
-	close(parts)
+	ranges := make([]Range, parts)
+	lo := 0
+	var acc int64
+	for i := 0; i < parts; i++ {
+		// Close part i at the prefix weight nearest its proportional share.
+		target := total * int64(i+1) / int64(parts)
+		hi := lo
+		for hi < n && acc < target {
+			acc += int64(g.Degree(graph.NodeID(hi))) + 1
+			hi++
+		}
+		ranges[i] = Range{Lo: int32(lo), Hi: int32(hi)}
+		lo = hi
+	}
+	ranges[parts-1].Hi = int32(n)
+	return ranges
+}
+
+// Owner returns the index of the range containing v. Ranges must be the
+// contiguous cover PartitionByDegree returns.
+func Owner(ranges []Range, v graph.NodeID) int {
+	return sort.Search(len(ranges), func(i int) bool { return ranges[i].Hi > v })
+}
+
+// CutArcs counts arcs (u, w) whose endpoints live in different ranges — the
+// 1D edge cut, the communication volume proxy the paper's §3.2 partitioning
+// discussion optimizes.
+func CutArcs(g graph.Adjacency, ranges []Range) int64 {
+	var total int64
+	for i := range ranges {
+		total += cutArcsOf(g, ranges, ranges[i])
+	}
+	return total
+}
+
+// cutArcsOf counts arcs leaving vertices of r for another range.
+func cutArcsOf(g graph.Adjacency, ranges []Range, r Range) int64 {
+	var cut int64
+	for v := r.Lo; v < r.Hi; v++ {
+		g.ForNeighbors(v, func(w graph.NodeID) {
+			if !r.Contains(w) {
+				cut++
+			}
+		})
+	}
+	return cut
+}
+
+// HistogramRange returns the out-degree histogram of the vertices in r,
+// sized to the local maximum degree plus one.
+func HistogramRange(g graph.Adjacency, r Range) []int64 {
+	local := make([]int64, 0)
+	for v := r.Lo; v < r.Hi; v++ {
+		d := g.Degree(v)
+		for len(local) <= d {
+			local = append(local, 0)
+		}
+		local[d]++
+	}
+	return local
+}
+
+// MergeHistograms sums partial histograms into one sized to the longest
+// part — the reduction step of a distributed degree analysis. Merging in
+// slice order keeps the result deterministic (integer sums are associative,
+// but a fixed order costs nothing and documents the intent).
+func MergeHistograms(parts [][]int64) []int64 {
 	var merged []int64
-	for part := range parts {
+	for _, part := range parts {
 		if len(part) > len(merged) {
 			grown := make([]int64, len(part))
 			copy(grown, merged)
@@ -197,4 +142,111 @@ func (e Engine) DegreeHistogram(g *graph.Graph) []int64 {
 		}
 	}
 	return merged
+}
+
+// DegreeHistogram computes the out-degree histogram with a distributed
+// reduction: one goroutine per range histograms the vertices it owns and
+// the partial histograms merge in rank order. The result matches
+// (*graph.Graph).DegreeHistogram but runs over any Adjacency — a packed
+// graph is scanned in place.
+func DegreeHistogram(g graph.Adjacency, parts int) []int64 {
+	ranges := PartitionByDegree(g, parts)
+	partials := make([][]int64, len(ranges))
+	var wg sync.WaitGroup
+	for i := range ranges {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			partials[i] = HistogramRange(g, ranges[i])
+		}(i)
+	}
+	wg.Wait()
+	return MergeHistograms(partials)
+}
+
+// Engine is a simulated distributed-memory cluster: Ranks compute nodes
+// compressing through the scheme registry with a shared base seed.
+type Engine struct {
+	Ranks int    // number of simulated compute nodes; <= 0 means 4
+	Seed  uint64 // base seed for the scheme's element-keyed streams
+}
+
+func (e Engine) ranks() int {
+	if e.Ranks <= 0 {
+		return 4
+	}
+	return e.Ranks
+}
+
+// RankStats reports one rank's share of the input partition.
+type RankStats struct {
+	Rank     int
+	Vertices Range // owned contiguous vertex range
+	Arcs     int64 // sum of out-degrees over owned vertices
+	CutArcs  int64 // arcs leaving the partition (1D edge cut)
+}
+
+// Run is the outcome of a distributed compression.
+type Run struct {
+	Output *graph.Graph
+	// Spec is the canonical registry spelling of the scheme that ran.
+	Spec      string
+	InputM    int // canonical edge count of the input
+	PerRank   []RankStats
+	Elapsed   time.Duration // wall clock including the gather
+	RanksUsed int
+}
+
+// String summarizes the run like the paper's Fig. 8 captions ("#compute
+// nodes used for compression: ...").
+func (r *Run) String() string {
+	return fmt.Sprintf("distributed %s on %d ranks: removed %d edges in %v",
+		r.Spec, r.RanksUsed, r.InputM-r.Output.M(), r.Elapsed)
+}
+
+// Compress runs any registry scheme (by spec, e.g. "uniform:p=0.6" or
+// "spectral:upsilon=2") as a distributed job: the worker budget is the rank
+// count and the seed is the engine's. Because every scheme derives its
+// random decisions from global element IDs, the output is identical for any
+// rank count — the modern replacement for the pre-registry rank-stream
+// kernels this package used to carry, whose output depended on the
+// partition.
+func (e Engine) Compress(g *graph.Graph, spec string) (*Run, error) {
+	start := time.Now()
+	ranks := e.ranks()
+	sch, err := schemes.Parse(spec, schemes.WithSeed(e.Seed), schemes.WithWorkers(ranks))
+	if err != nil {
+		return nil, err
+	}
+	ranges := PartitionByDegree(g, ranks)
+	stats := make([]RankStats, ranks)
+	var wg sync.WaitGroup
+	for rank := 0; rank < ranks; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			r := ranges[rank]
+			var arcs int64
+			for v := r.Lo; v < r.Hi; v++ {
+				arcs += int64(g.Degree(v))
+			}
+			stats[rank] = RankStats{
+				Rank: rank, Vertices: r,
+				Arcs: arcs, CutArcs: cutArcsOf(g, ranges, r),
+			}
+		}(rank)
+	}
+	res, err := sch.Apply(g)
+	wg.Wait()
+	if err != nil {
+		return nil, err
+	}
+	return &Run{
+		Output:    res.Output,
+		Spec:      schemes.Spec(sch),
+		InputM:    g.M(),
+		PerRank:   stats,
+		Elapsed:   time.Since(start),
+		RanksUsed: ranks,
+	}, nil
 }

@@ -6,86 +6,103 @@ import (
 
 	"slimgraph/internal/gen"
 	"slimgraph/internal/graph"
-	"slimgraph/internal/rng"
+	"slimgraph/internal/succinct"
 )
 
 func TestPartitionCoversDisjointly(t *testing.T) {
-	for _, m := range []int{0, 1, 7, 100, 1001} {
-		for _, ranks := range []int{1, 3, 4, 16} {
-			covered := 0
-			prevHi := 0
-			for rank := 0; rank < ranks; rank++ {
-				lo, hi := partition(m, ranks, rank)
-				if lo != prevHi {
-					t.Fatalf("m=%d ranks=%d rank=%d: gap at %d", m, ranks, rank, lo)
-				}
-				covered += hi - lo
-				prevHi = hi
+	for _, n := range []int{0, 1, 7, 100, 1001} {
+		for _, parts := range []int{1, 3, 4, 16} {
+			g := gen.ErdosRenyi(n, 4*n, uint64(n+1))
+			ranges := PartitionByDegree(g, parts)
+			if len(ranges) != parts {
+				t.Fatalf("n=%d parts=%d: got %d ranges", n, parts, len(ranges))
 			}
-			if covered != m {
-				t.Fatalf("m=%d ranks=%d: covered %d", m, ranks, covered)
+			prevHi := int32(0)
+			covered := 0
+			for i, r := range ranges {
+				if r.Lo != prevHi {
+					t.Fatalf("n=%d parts=%d rank=%d: gap at %d", n, parts, i, r.Lo)
+				}
+				covered += r.Len()
+				prevHi = r.Hi
+			}
+			if covered != g.N() || int(prevHi) != g.N() {
+				t.Fatalf("n=%d parts=%d: covered %d of %d", n, parts, covered, g.N())
 			}
 		}
 	}
 }
 
-func TestUniformSampleRatio(t *testing.T) {
-	g := gen.RMAT(12, 8, 0.57, 0.19, 0.19, 1)
-	e := Engine{Ranks: 8, Seed: 42}
-	run := e.UniformSample(g, 0.4)
-	ratio := float64(run.Output.M()) / float64(g.M())
-	if math.Abs(ratio-0.4) > 0.03 {
-		t.Fatalf("ratio %v, want ~0.4", ratio)
+func TestPartitionBalancesArcs(t *testing.T) {
+	// A BA graph is skewed; a degree-aware split must still balance arcs
+	// far better than the worst case of all mass in one range.
+	g := gen.BarabasiAlbert(2000, 4, 11)
+	const parts = 8
+	ranges := PartitionByDegree(g, parts)
+	var total int64
+	maxPart := int64(0)
+	for _, r := range ranges {
+		var arcs int64
+		for v := r.Lo; v < r.Hi; v++ {
+			arcs += int64(g.Degree(v))
+		}
+		total += arcs
+		if arcs > maxPart {
+			maxPart = arcs
+		}
 	}
-	if run.RanksUsed != 8 || len(run.PerRank) != 8 {
-		t.Fatalf("rank bookkeeping: %+v", run)
+	if total == 0 {
+		t.Fatal("no arcs")
 	}
-	held := 0
-	for _, s := range run.PerRank {
-		held += s.EdgesHeld
-	}
-	if held != g.M() {
-		t.Fatalf("ranks held %d edges of %d", held, g.M())
-	}
-}
-
-func TestDeterministicPerSeedAndRanks(t *testing.T) {
-	g := gen.ErdosRenyi(500, 3000, 3)
-	a := Engine{Ranks: 4, Seed: 7}.UniformSample(g, 0.5)
-	b := Engine{Ranks: 4, Seed: 7}.UniformSample(g, 0.5)
-	if a.Output.M() != b.Output.M() {
-		t.Fatal("same engine config, different output")
-	}
-	c := Engine{Ranks: 4, Seed: 8}.UniformSample(g, 0.5)
-	if a.Output.M() == c.Output.M() {
-		t.Log("different seeds produced same edge count (possible, not checked further)")
+	// Perfect balance is total/parts; allow 2x skew (one heavy vertex can
+	// force it), which still rules out degenerate splits.
+	if maxPart > 2*total/parts {
+		t.Fatalf("heaviest part holds %d of %d arcs across %d parts", maxPart, total, parts)
 	}
 }
 
-func TestRemovedAccounting(t *testing.T) {
-	g := gen.ErdosRenyi(300, 2000, 5)
-	run := Engine{Ranks: 3, Seed: 9}.UniformSample(g, 0.7)
-	removed := 0
-	for _, s := range run.PerRank {
-		removed += s.Removed
-	}
-	if removed != g.M()-run.Output.M() {
-		t.Fatalf("per-rank removed %d != global %d", removed, g.M()-run.Output.M())
+func TestPartitionWorksOnPackedGraph(t *testing.T) {
+	// The partitioner consumes Adjacency only: a packed graph must produce
+	// the identical split without an Unpack call.
+	g := gen.RMAT(10, 8, 0.57, 0.19, 0.19, 3)
+	pg := succinct.Pack(g, 1)
+	raw := PartitionByDegree(g, 5)
+	packed := PartitionByDegree(pg, 5)
+	for i := range raw {
+		if raw[i] != packed[i] {
+			t.Fatalf("range %d: raw %+v packed %+v", i, raw[i], packed[i])
+		}
 	}
 }
 
-func TestSpectralSparsifyKeepsLowDegreeEdges(t *testing.T) {
-	g := gen.Star(100)
-	// Υ larger than every min-degree (leaves have degree 1): keep all.
-	run := Engine{Ranks: 4, Seed: 11}.SpectralSparsify(g, 2)
-	if run.Output.M() != g.M() {
-		t.Fatalf("kept %d of %d", run.Output.M(), g.M())
+func TestOwner(t *testing.T) {
+	g := gen.ErdosRenyi(100, 400, 2)
+	ranges := PartitionByDegree(g, 7)
+	for v := 0; v < g.N(); v++ {
+		i := Owner(ranges, graph.NodeID(v))
+		if !ranges[i].Contains(graph.NodeID(v)) {
+			t.Fatalf("vertex %d assigned to range %d = %+v", v, i, ranges[i])
+		}
+	}
+}
+
+func TestCutArcsBounds(t *testing.T) {
+	g := gen.Cycle(100) // every vertex has degree 2
+	ranges := PartitionByDegree(g, 4)
+	cut := CutArcs(g, ranges)
+	// A cycle split into 4 contiguous arcs cuts exactly 4 edges = 8 arcs.
+	if cut != 8 {
+		t.Fatalf("cycle cut %d arcs, want 8", cut)
+	}
+	one := PartitionByDegree(g, 1)
+	if c := CutArcs(g, one); c != 0 {
+		t.Fatalf("single partition cut %d arcs", c)
 	}
 }
 
 func TestDegreeHistogramMatchesLocal(t *testing.T) {
 	g := gen.BarabasiAlbert(1000, 3, 13)
-	dist := Engine{Ranks: 7, Seed: 1}.DegreeHistogram(g)
+	dist := DegreeHistogram(g, 7)
 	local := g.DegreeHistogram()
 	if len(dist) != len(local) {
 		t.Fatalf("length %d vs %d", len(dist), len(local))
@@ -95,28 +112,80 @@ func TestDegreeHistogramMatchesLocal(t *testing.T) {
 			t.Fatalf("histogram[%d]: %d vs %d", d, dist[d], local[d])
 		}
 	}
-}
-
-func TestCustomKernel(t *testing.T) {
-	g := gen.Cycle(100)
-	// Keep only even edge IDs.
-	run := Engine{Ranks: 5, Seed: 1}.RunEdgeKernel(g,
-		func(rank int, r *rng.Rand, id graph.EdgeID, u, v graph.NodeID) bool {
-			return id%2 == 0
-		})
-	if run.Output.M() != 50 {
-		t.Fatalf("kept %d, want 50", run.Output.M())
+	// And identically over the packed form.
+	packed := DegreeHistogram(succinct.Pack(g, 1), 3)
+	for d := range local {
+		if packed[d] != local[d] {
+			t.Fatalf("packed histogram[%d]: %d vs %d", d, packed[d], local[d])
+		}
 	}
 }
 
-func TestSingleRankEqualsSequential(t *testing.T) {
-	g := gen.ErdosRenyi(200, 1000, 17)
-	one := Engine{Ranks: 1, Seed: 3}.UniformSample(g, 0.5)
-	if one.RanksUsed != 1 {
-		t.Fatal("rank override failed")
+func TestCompressUniformRatio(t *testing.T) {
+	g := gen.RMAT(12, 8, 0.57, 0.19, 0.19, 1)
+	e := Engine{Ranks: 8, Seed: 42}
+	run, err := e.Compress(g, "uniform:p=0.4")
+	if err != nil {
+		t.Fatal(err)
 	}
-	if one.Output.M() == 0 || one.Output.M() == g.M() {
-		t.Fatalf("degenerate sample: %d", one.Output.M())
+	ratio := float64(run.Output.M()) / float64(g.M())
+	if math.Abs(ratio-0.4) > 0.03 {
+		t.Fatalf("ratio %v, want ~0.4", ratio)
+	}
+	if run.RanksUsed != 8 || len(run.PerRank) != 8 {
+		t.Fatalf("rank bookkeeping: %+v", run)
+	}
+	held := int32(0)
+	for _, s := range run.PerRank {
+		held += s.Vertices.Hi - s.Vertices.Lo
+	}
+	if int(held) != g.N() {
+		t.Fatalf("ranks own %d vertices of %d", held, g.N())
+	}
+}
+
+func TestCompressIndependentOfRankCount(t *testing.T) {
+	// Element-keyed streams make the output a pure function of
+	// (graph, spec, seed): rank count must not matter.
+	g := gen.ErdosRenyi(500, 3000, 3)
+	a, err := Engine{Ranks: 1, Seed: 7}.Compress(g, "uniform:p=0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Engine{Ranks: 16, Seed: 7}.Compress(g, "uniform:p=0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Output.M() != b.Output.M() {
+		t.Fatalf("rank count changed output: %d vs %d edges", a.Output.M(), b.Output.M())
+	}
+	c, err := Engine{Ranks: 4, Seed: 8}.Compress(g, "uniform:p=0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Output.M() == c.Output.M() {
+		t.Log("different seeds produced same edge count (possible, not checked further)")
+	}
+}
+
+func TestCompressBadSpec(t *testing.T) {
+	g := gen.Cycle(10)
+	if _, err := (Engine{Ranks: 2, Seed: 1}).Compress(g, "no-such-scheme"); err == nil {
+		t.Fatal("want error for unknown scheme")
+	}
+}
+
+func TestCompressCanonicalSpec(t *testing.T) {
+	g := gen.ErdosRenyi(100, 500, 1)
+	run, err := Engine{Ranks: 2, Seed: 1}.Compress(g, "uniform: p=0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Spec != "uniform:p=0.5" {
+		t.Fatalf("canonical spec %q", run.Spec)
+	}
+	if run.InputM != g.M() {
+		t.Fatalf("InputM %d != %d", run.InputM, g.M())
 	}
 }
 
@@ -125,6 +194,8 @@ func BenchmarkDistributedUniformRMAT14(b *testing.B) {
 	e := Engine{Ranks: 8, Seed: 1}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		e.UniformSample(g, 0.4)
+		if _, err := e.Compress(g, "uniform:p=0.4"); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

@@ -26,7 +26,11 @@ func Figure8(cfg Config) *Table {
 		t.AddRow(ng.Key, d2(ranks), "none", d2(ng.G.M()), f3(slope), f3(r2), "-")
 		engine := distributed.Engine{Ranks: ranks, Seed: cfg.seed()}
 		for _, removal := range []float64{0.4, 0.7} {
-			run := engine.UniformSample(ng.G, 1-removal)
+			run, err := engine.Compress(ng.G, fmt.Sprintf("uniform:p=%.1f", 1-removal))
+			if err != nil {
+				t.AddRow(ng.Key, d2(ranks), fmt.Sprintf("%.1f", removal), "error", err.Error(), "-", "-")
+				continue
+			}
 			slope, r2 := metrics.PowerLawSlope(metrics.DegreeDistribution(run.Output))
 			t.AddRow(ng.Key, d2(ranks), fmt.Sprintf("%.1f", removal),
 				d2(run.Output.M()), f3(slope), f3(r2), run.Elapsed.String())

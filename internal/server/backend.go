@@ -1,0 +1,227 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"slimgraph/internal/graph"
+	"slimgraph/internal/metrics"
+	"slimgraph/internal/schemes"
+)
+
+// This file defines the seam between the HTTP surface and the engine that
+// answers it. slimgraphd's handlers parse and validate requests, then call a
+// Catalog (graph CRUD) and a QueryBackend (compress + analytics); both have
+// two interchangeable implementations — the in-process Local engine and the
+// cluster coordinator's remote scatter/gather engine (internal/cluster) —
+// so a single-node server and an N-shard cluster serve the same /v1 API.
+
+// Error is a backend failure with the HTTP status it should surface as.
+// Backends return *Error so the transport layer never guesses status codes;
+// the coordinator relays a shard's Error code and message verbatim, which
+// keeps error bodies byte-identical between a single node and a cluster.
+type Error struct {
+	Code    int
+	Message string
+}
+
+func (e *Error) Error() string { return e.Message }
+
+// Errf builds an *Error with a formatted message.
+func Errf(code int, format string, args ...any) *Error {
+	return &Error{Code: code, Message: fmt.Sprintf(format, args...)}
+}
+
+// StatusOf maps an error to its HTTP status: the embedded code for *Error,
+// 500 otherwise.
+func StatusOf(err error) int {
+	var e *Error
+	if errors.As(err, &e) {
+		return e.Code
+	}
+	return http.StatusInternalServerError
+}
+
+// QueryParams are the common query parameters every analytics endpoint
+// accepts: an optional scheme spec selecting a compressed variant, the seed,
+// and the (already clamped) worker budget.
+type QueryParams struct {
+	Spec    string
+	Seed    uint64
+	Workers int
+}
+
+// Catalog is the named-graph store behind the /v1/graphs CRUD surface.
+// The Local implementation keeps entries resident in one process; the
+// cluster coordinator replicates every graph to all shards.
+type Catalog interface {
+	// Create stores g under name with the given memory policy ("" or
+	// MemoryRaw keeps the CSR, MemoryPacked keeps the succinct form) and
+	// free-form provenance, failing with a 409 Error if the name is taken.
+	Create(ctx context.Context, name, memory, source string, g *graph.Graph, workers int) (*GraphInfo, error)
+	// Info describes one graph, or fails with a 404 Error.
+	Info(ctx context.Context, name string) (*GraphInfo, error)
+	// List returns all graphs sorted by name.
+	List(ctx context.Context) ([]GraphInfo, error)
+	// Drop removes a graph and every cached variant of it.
+	Drop(ctx context.Context, name string) (*DeleteResponse, error)
+}
+
+// QueryBackend executes compression and analytics queries. Implementations
+// must keep responses byte-identical for a fixed (graph, spec, seed,
+// workers=1) regardless of where execution happens — the property the
+// cluster tests pin against the Local engine.
+type QueryBackend interface {
+	Compress(ctx context.Context, name, spec string, p QueryParams) (*CompressResponse, error)
+	BFS(ctx context.Context, name string, root int32, p QueryParams) (*BFSResponse, error)
+	PageRank(ctx context.Context, name string, k int, p QueryParams) (*PageRankResponse, error)
+	Triangles(ctx context.Context, name, mode string, prob float64, p QueryParams) (*TrianglesResponse, error)
+	Degrees(ctx context.Context, name string, p QueryParams) (*DegreesResponse, error)
+	Compare(ctx context.Context, name string, p QueryParams) (*CompareResponse, error)
+	Stats(ctx context.Context) (*StatsResponse, error)
+}
+
+// VariantStore caches compressed variants under canonical keys with
+// single-flight deduplication. The Local engine owns one; the coordinator
+// replicates keys across every shard's store.
+type VariantStore interface {
+	// GetOrCompute returns the variant for key, running compute at most
+	// once across concurrent callers; cached reports whether this caller
+	// avoided an execution.
+	GetOrCompute(key Key, compute func() (*schemes.Result, error)) (res *schemes.Result, cached bool, err error)
+	// PurgeGraph drops every resident variant of the named graph.
+	PurgeGraph(name string) int
+	// PurgeKey drops one resident variant, reporting whether it was there.
+	PurgeKey(key Key) bool
+	// Stats snapshots the store's counters.
+	Stats() CacheStats
+}
+
+// --- wire types ------------------------------------------------------------
+
+// GraphInfo is the JSON shape of one catalog entry.
+type GraphInfo struct {
+	Name     string `json:"name"`
+	N        int    `json:"n"`
+	M        int    `json:"m"`
+	Directed bool   `json:"directed"`
+	Weighted bool   `json:"weighted"`
+	Memory   string `json:"memory"`
+	Source   string `json:"source"`
+}
+
+// CreateRequest is the JSON body of POST /v1/graphs when generating a graph
+// on demand. Uploads instead send the graph bytes as the body (any format
+// graphio.ReadAuto sniffs) with name/memory/directed as query parameters.
+type CreateRequest struct {
+	Name string `json:"name"`
+	// Gen selects the generator: rmat, er, ba, grid, communities,
+	// smallworld.
+	Gen         string `json:"gen"`
+	Scale       int    `json:"scale"`      // rmat: n = 2^scale
+	EdgeFactor  int    `json:"edgeFactor"` // edges per vertex
+	NumVertices int    `json:"numVertices"`
+	Seed        uint64 `json:"seed"`
+	Weighted    bool   `json:"weighted"`
+	// Memory is the residency policy: "raw" (default) or "packed".
+	Memory  string `json:"memory"`
+	Workers int    `json:"workers"`
+}
+
+// DeleteResponse reports a catalog removal.
+type DeleteResponse struct {
+	Deleted         string `json:"deleted"`
+	VariantsDropped int    `json:"variantsDropped"`
+}
+
+// CompressRequest is the JSON body of POST /v1/graphs/{name}/compress.
+type CompressRequest struct {
+	Spec    string `json:"spec"`
+	Seed    uint64 `json:"seed"`
+	Workers int    `json:"workers"`
+}
+
+// CompressResponse reports one compression (fresh or cached).
+type CompressResponse struct {
+	Graph string `json:"graph"`
+	// Spec is the canonical spec the variant is cached under.
+	Spec          string  `json:"spec"`
+	Seed          uint64  `json:"seed"`
+	Cached        bool    `json:"cached"`
+	N             int     `json:"n"`
+	M             int     `json:"m"`
+	InputM        int     `json:"inputM"`
+	EdgeReduction float64 `json:"edgeReduction"`
+	ElapsedMS     float64 `json:"elapsedMs"`
+}
+
+// BFSResponse is the body of GET /v1/graphs/{name}/bfs.
+type BFSResponse struct {
+	Graph   string  `json:"graph"`
+	Spec    string  `json:"spec,omitempty"`
+	Root    int32   `json:"root"`
+	Reached int     `json:"reached"`
+	Ecc     int32   `json:"ecc"`
+	Dist    []int32 `json:"dist"`
+}
+
+// RankedVertex is one entry of a PageRank top-k list.
+type RankedVertex struct {
+	Node  int32   `json:"node"`
+	Score float64 `json:"score"`
+}
+
+// PageRankResponse is the body of GET /v1/graphs/{name}/pagerank.
+type PageRankResponse struct {
+	Graph string         `json:"graph"`
+	Spec  string         `json:"spec,omitempty"`
+	K     int            `json:"k"`
+	Top   []RankedVertex `json:"top"`
+}
+
+// TrianglesResponse is the body of GET /v1/graphs/{name}/triangles.
+type TrianglesResponse struct {
+	Graph string `json:"graph"`
+	Spec  string `json:"spec,omitempty"`
+	Mode  string `json:"mode"`
+	// Count is the exact count (mode=exact); Estimate the DOULION
+	// estimate (mode=approx).
+	Count    *int64   `json:"count,omitempty"`
+	Estimate *float64 `json:"estimate,omitempty"`
+}
+
+// DegreesResponse is the body of GET /v1/graphs/{name}/degrees.
+type DegreesResponse struct {
+	Graph string    `json:"graph"`
+	Spec  string    `json:"spec,omitempty"`
+	Dist  []float64 `json:"dist"`
+	Slope float64   `json:"slope"`
+	R2    float64   `json:"r2"`
+}
+
+// CompareResponse is the body of GET /v1/graphs/{name}/compare.
+type CompareResponse struct {
+	Graph   string           `json:"graph"`
+	Spec    string           `json:"spec"`
+	Seed    uint64           `json:"seed"`
+	Quality *metrics.Quality `json:"quality"`
+}
+
+// ShardStats is one shard's contribution to an aggregated StatsResponse.
+type ShardStats struct {
+	Shard  int        `json:"shard"`
+	Addr   string     `json:"addr"`
+	Cache  CacheStats `json:"cache"`
+	Graphs int        `json:"graphs"`
+}
+
+// StatsResponse is the body of GET /v1/stats. A single node reports its own
+// cache and catalog; a coordinator reports field-wise sums with the
+// per-shard breakdown attached.
+type StatsResponse struct {
+	Cache    CacheStats   `json:"cache"`
+	Graphs   int          `json:"graphs"`
+	PerShard []ShardStats `json:"perShard,omitempty"`
+}

@@ -148,6 +148,36 @@ func (c *cache) purgeGraph(name string) int {
 	return dropped
 }
 
+// purgeKey drops one resident variant, reporting whether it was there.
+// An in-flight execution of the key is untouched: it completes and inserts,
+// which is why callers that need "gone for sure" purge after joining or
+// failing the flight, never concurrently with one they started.
+func (c *cache) purgeKey(key Key) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return false
+	}
+	c.ll.Remove(el)
+	delete(c.entries, key)
+	return true
+}
+
+// GetOrCompute implements VariantStore.
+func (c *cache) GetOrCompute(key Key, compute func() (*schemes.Result, error)) (*schemes.Result, bool, error) {
+	return c.get(key, compute)
+}
+
+// PurgeGraph implements VariantStore.
+func (c *cache) PurgeGraph(name string) int { return c.purgeGraph(name) }
+
+// PurgeKey implements VariantStore.
+func (c *cache) PurgeKey(key Key) bool { return c.purgeKey(key) }
+
+// Stats implements VariantStore.
+func (c *cache) Stats() CacheStats { return c.snapshot() }
+
 // snapshot returns the current counters.
 func (c *cache) snapshot() CacheStats {
 	c.mu.Lock()

@@ -148,9 +148,11 @@ func (c *catalog) size() int {
 	return len(c.graphs)
 }
 
-// generate builds a graph from the generator request, mirroring the
-// slimgraph CLI's -gen dispatch. Every generator is deterministic per seed.
-func generate(kind string, scale, ef, n int, seed uint64, weighted bool) (*graph.Graph, string, error) {
+// Generate builds a graph from the generator request, mirroring the
+// slimgraph CLI's -gen dispatch. Every generator is deterministic per seed,
+// which is what lets a cluster coordinator generate once and replicate
+// identical bytes to every shard.
+func Generate(kind string, scale, ef, n int, seed uint64, weighted bool) (*graph.Graph, string, error) {
 	if ef <= 0 {
 		ef = 8
 	}

@@ -1,0 +1,389 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"sort"
+	"strings"
+
+	"slimgraph/internal/centrality"
+	"slimgraph/internal/graph"
+	"slimgraph/internal/metrics"
+	"slimgraph/internal/schemes"
+	"slimgraph/internal/traverse"
+	"slimgraph/internal/triangles"
+)
+
+// Local is the in-process engine: a catalog of resident graphs plus a
+// single-flight variant cache, implementing Catalog and QueryBackend for a
+// single node. A cluster shard embeds a Local and exposes a few extra
+// methods (Target, PurgeVariant) so the coordinator can drive partial
+// computations and replicate cache keys.
+type Local struct {
+	opts    Options
+	catalog *catalog
+	cache   *cache
+}
+
+// NewLocal returns an empty Local engine.
+func NewLocal(opts Options) *Local {
+	o := opts.withDefaults()
+	return &Local{opts: o, catalog: newCatalog(), cache: newCache(o.CacheCapacity)}
+}
+
+// clampWorkers resolves a requested worker budget: <= 0 means the
+// deterministic default of one worker, and the result never exceeds
+// MaxWorkers.
+func (l *Local) clampWorkers(workers int) int {
+	if workers <= 0 {
+		return 1
+	}
+	if workers > l.opts.MaxWorkers {
+		return l.opts.MaxWorkers
+	}
+	return workers
+}
+
+// --- Catalog ---------------------------------------------------------------
+
+// Create implements Catalog.
+func (l *Local) Create(_ context.Context, name, memory, source string, g *graph.Graph, workers int) (*GraphInfo, error) {
+	e, err := l.catalog.put(name, memory, source, g, l.clampWorkers(workers))
+	if err != nil {
+		code := http.StatusBadRequest
+		if errors.Is(err, errExists) {
+			code = http.StatusConflict
+		}
+		return nil, Errf(code, "%v", err)
+	}
+	info := infoOf(e)
+	return &info, nil
+}
+
+// Info implements Catalog.
+func (l *Local) Info(_ context.Context, name string) (*GraphInfo, error) {
+	e, ok := l.catalog.get(name)
+	if !ok {
+		return nil, Errf(http.StatusNotFound, "no graph %q", name)
+	}
+	info := infoOf(e)
+	return &info, nil
+}
+
+// List implements Catalog.
+func (l *Local) List(_ context.Context) ([]GraphInfo, error) {
+	out := []GraphInfo{}
+	for _, e := range l.catalog.list() {
+		out = append(out, infoOf(e))
+	}
+	return out, nil
+}
+
+// Drop implements Catalog.
+func (l *Local) Drop(_ context.Context, name string) (*DeleteResponse, error) {
+	if !l.catalog.remove(name) {
+		return nil, Errf(http.StatusNotFound, "no graph %q", name)
+	}
+	dropped := l.cache.PurgeGraph(name)
+	return &DeleteResponse{Deleted: name, VariantsDropped: dropped}, nil
+}
+
+// --- variant resolution ----------------------------------------------------
+
+// variantOf resolves (graph, spec, seed) through the single-flight cache,
+// executing the scheme on a miss. The returned canonical spec is the
+// registry round trip Spec(Parse(spec)) that also keys the cache, so
+// syntactic spelling differences coalesce on one entry.
+func (l *Local) variantOf(e *entry, spec string, seed uint64, workers int) (res *schemes.Result, canonical string, cached bool, err error) {
+	// In-spec seed/workers overrides are rejected: the canonical spec does
+	// not carry them, so two different in-spec values would collide on one
+	// cache Key. The request-level parameters are the only way to set them,
+	// and those do key the cache.
+	if strings.Contains(spec, "seed=") || strings.Contains(spec, "workers=") {
+		return nil, "", false, Errf(http.StatusUnprocessableEntity,
+			"spec %q may not set seed or workers; use the request's seed/workers parameters", spec)
+	}
+	sch, err := schemes.Parse(spec, schemes.WithSeed(seed), schemes.WithWorkers(workers))
+	if err != nil {
+		return nil, "", false, Errf(http.StatusUnprocessableEntity, "%v", err)
+	}
+	canonical = schemes.Spec(sch)
+	key := Key{Graph: e.name, Gen: e.gen, Spec: canonical, Seed: seed, Workers: workers}
+	res, cached, err = l.cache.GetOrCompute(key, func() (*schemes.Result, error) {
+		g := e.materialize(workers)
+		r, err := sch.Apply(g)
+		if err == nil && e.packed != nil {
+			trimInputs(r, g)
+		}
+		return r, err
+	})
+	if err != nil {
+		var se *Error
+		if !errors.As(err, &se) {
+			err = Errf(http.StatusUnprocessableEntity, "%v", err)
+		}
+	}
+	return res, canonical, cached, err
+}
+
+// trimInputs drops references to the transient unpacked CSR of a packed
+// catalog entry before the Result enters the cache; otherwise every cached
+// variant would pin a full raw copy of the graph the packed memory policy
+// exists to avoid keeping resident.
+func trimInputs(res *schemes.Result, g *graph.Graph) {
+	if res.Input == g {
+		res.Input = nil
+	}
+	for _, st := range res.Stages {
+		if st.Input == g {
+			st.Input = nil
+		}
+	}
+}
+
+// queryTarget returns the graph a query should run on: the original when
+// spec is empty, otherwise the (possibly freshly computed) cached variant.
+func (l *Local) queryTarget(e *entry, spec string, seed uint64, workers int) (*graph.Graph, string, error) {
+	if spec == "" {
+		return e.materialize(workers), "", nil
+	}
+	res, canonical, _, err := l.variantOf(e, spec, seed, workers)
+	if err != nil {
+		return nil, "", err
+	}
+	return res.Output, canonical, nil
+}
+
+// Target resolves the adjacency a query runs on without materializing a raw
+// CSR for packed originals: the resident adjacency when p.Spec is empty,
+// otherwise the cached variant. The canonical spec ("" for the original)
+// rides along. This is the entry point cluster shards use for partial
+// computations over their vertex range.
+func (l *Local) Target(name string, p QueryParams) (graph.Adjacency, string, error) {
+	e, ok := l.catalog.get(name)
+	if !ok {
+		return nil, "", Errf(http.StatusNotFound, "no graph %q", name)
+	}
+	if p.Spec == "" {
+		return e.adjacency(), "", nil
+	}
+	res, canonical, _, err := l.variantOf(e, p.Spec, p.Seed, l.clampWorkers(p.Workers))
+	if err != nil {
+		return nil, "", err
+	}
+	return res.Output, canonical, nil
+}
+
+// PurgeVariant drops the cached variant for the canonical
+// (spec, seed, workers) key, reporting whether it was resident. The
+// coordinator scatters this after a partial cluster failure so no replica
+// keeps a variant the client was told failed.
+func (l *Local) PurgeVariant(name, spec string, seed uint64, workers int) (bool, error) {
+	e, ok := l.catalog.get(name)
+	if !ok {
+		return false, Errf(http.StatusNotFound, "no graph %q", name)
+	}
+	sch, err := schemes.Parse(spec, schemes.WithSeed(seed), schemes.WithWorkers(workers))
+	if err != nil {
+		return false, Errf(http.StatusUnprocessableEntity, "%v", err)
+	}
+	key := Key{Graph: e.name, Gen: e.gen, Spec: schemes.Spec(sch), Seed: seed, Workers: workers}
+	return l.cache.PurgeKey(key), nil
+}
+
+// lookup fetches a catalog entry or a 404 Error.
+func (l *Local) lookup(name string) (*entry, error) {
+	e, ok := l.catalog.get(name)
+	if !ok {
+		return nil, Errf(http.StatusNotFound, "no graph %q", name)
+	}
+	return e, nil
+}
+
+// --- QueryBackend ----------------------------------------------------------
+
+// Compress implements QueryBackend. p.Workers must already be clamped.
+func (l *Local) Compress(_ context.Context, name, spec string, p QueryParams) (*CompressResponse, error) {
+	e, err := l.lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	res, canonical, cached, err := l.variantOf(e, spec, p.Seed, l.clampWorkers(p.Workers))
+	if err != nil {
+		return nil, err
+	}
+	// Input counts come from the catalog entry: a cached Result of a packed
+	// graph no longer references its (trimmed) input CSR.
+	reduction := 0.0
+	if e.m > 0 {
+		reduction = 1 - float64(res.Output.M())/float64(e.m)
+	}
+	return &CompressResponse{
+		Graph:         e.name,
+		Spec:          canonical,
+		Seed:          p.Seed,
+		Cached:        cached,
+		N:             res.Output.N(),
+		M:             res.Output.M(),
+		InputM:        e.m,
+		EdgeReduction: reduction,
+		ElapsedMS:     float64(res.Elapsed.Microseconds()) / 1000,
+	}, nil
+}
+
+// BFS implements QueryBackend.
+func (l *Local) BFS(_ context.Context, name string, root int32, p QueryParams) (*BFSResponse, error) {
+	e, err := l.lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	workers := l.clampWorkers(p.Workers)
+	var res *traverse.BFSResult
+	spec := ""
+	if p.Spec == "" {
+		// The original traverses through Adjacency, so a packed entry is
+		// walked in place without unpacking.
+		adj := e.adjacency()
+		if root < 0 || int(root) >= adj.N() {
+			return nil, Errf(http.StatusBadRequest, "root %d outside [0, %d)", root, adj.N())
+		}
+		res = traverse.BFSOn(adj, root, workers)
+	} else {
+		g, canonical, err := l.queryTarget(e, p.Spec, p.Seed, workers)
+		if err != nil {
+			return nil, err
+		}
+		if root < 0 || int(root) >= g.N() {
+			return nil, Errf(http.StatusBadRequest, "root %d outside [0, %d)", root, g.N())
+		}
+		spec = canonical
+		res = traverse.BFS(g, root, workers)
+	}
+	return &BFSResponse{
+		Graph: e.name, Spec: spec, Root: root,
+		Reached: res.Reached(), Ecc: res.Ecc(), Dist: res.Dist,
+	}, nil
+}
+
+// PageRank implements QueryBackend.
+func (l *Local) PageRank(_ context.Context, name string, k int, p QueryParams) (*PageRankResponse, error) {
+	e, err := l.lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	workers := l.clampWorkers(p.Workers)
+	var ranks []float64
+	spec := ""
+	if p.Spec == "" {
+		ranks = centrality.PageRankOn(e.adjacency(), centrality.PageRankOptions{Workers: workers})
+	} else {
+		g, canonical, err := l.queryTarget(e, p.Spec, p.Seed, workers)
+		if err != nil {
+			return nil, err
+		}
+		spec = canonical
+		ranks = centrality.PageRank(g, centrality.PageRankOptions{Workers: workers})
+	}
+	return &PageRankResponse{Graph: e.name, Spec: spec, K: k, Top: TopK(ranks, k)}, nil
+}
+
+// Triangles implements QueryBackend. mode and prob must already be
+// validated by the transport layer.
+func (l *Local) Triangles(_ context.Context, name, mode string, prob float64, p QueryParams) (*TrianglesResponse, error) {
+	e, err := l.lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	if e.directed {
+		return nil, Errf(http.StatusUnprocessableEntity, "triangle counting is defined for undirected graphs")
+	}
+	workers := l.clampWorkers(p.Workers)
+	g, spec, err := l.queryTarget(e, p.Spec, p.Seed, workers)
+	if err != nil {
+		return nil, err
+	}
+	resp := &TrianglesResponse{Graph: e.name, Spec: spec, Mode: mode}
+	if mode == "exact" {
+		c := triangles.Count(g, workers)
+		resp.Count = &c
+	} else {
+		est := triangles.CountApprox(g, prob, p.Seed, workers)
+		resp.Estimate = &est
+	}
+	return resp, nil
+}
+
+// Degrees implements QueryBackend.
+func (l *Local) Degrees(_ context.Context, name string, p QueryParams) (*DegreesResponse, error) {
+	e, err := l.lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	g, spec, err := l.queryTarget(e, p.Spec, p.Seed, l.clampWorkers(p.Workers))
+	if err != nil {
+		return nil, err
+	}
+	dist := metrics.DegreeDistribution(g)
+	slope, r2 := metrics.PowerLawSlope(dist)
+	return &DegreesResponse{Graph: e.name, Spec: spec, Dist: dist, Slope: slope, R2: r2}, nil
+}
+
+// Compare implements QueryBackend. p.Spec must be non-empty.
+func (l *Local) Compare(_ context.Context, name string, p QueryParams) (*CompareResponse, error) {
+	e, err := l.lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	workers := l.clampWorkers(p.Workers)
+	res, canonical, _, err := l.variantOf(e, p.Spec, p.Seed, workers)
+	if err != nil {
+		return nil, err
+	}
+	q, err := metrics.CompareGraphs(e.materialize(workers), res.Output, workers)
+	if err != nil {
+		return nil, Errf(http.StatusUnprocessableEntity, "%v", err)
+	}
+	return &CompareResponse{Graph: e.name, Spec: canonical, Seed: p.Seed, Quality: q}, nil
+}
+
+// Stats implements QueryBackend.
+func (l *Local) Stats(_ context.Context) (*StatsResponse, error) {
+	return &StatsResponse{Cache: l.cache.Stats(), Graphs: l.catalog.size()}, nil
+}
+
+// CacheStats snapshots the variant-cache counters.
+func (l *Local) CacheStats() CacheStats { return l.cache.Stats() }
+
+// TopK returns the k highest-scoring vertices, score descending with vertex
+// ID as the deterministic tie-break.
+func TopK(ranks []float64, k int) []RankedVertex {
+	if k < 0 {
+		k = 0
+	}
+	if k > len(ranks) {
+		k = len(ranks)
+	}
+	order := make([]int32, len(ranks))
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		a, b := order[i], order[j]
+		if ranks[a] != ranks[b] {
+			return ranks[a] > ranks[b]
+		}
+		return a < b
+	})
+	top := make([]RankedVertex, k)
+	for i := 0; i < k; i++ {
+		top[i] = RankedVertex{Node: order[i], Score: ranks[order[i]]}
+	}
+	return top
+}
+
+var (
+	_ Catalog      = (*Local)(nil)
+	_ QueryBackend = (*Local)(nil)
+	_ VariantStore = (*cache)(nil)
+)

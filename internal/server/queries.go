@@ -2,141 +2,50 @@ package server
 
 import (
 	"encoding/json"
-	"fmt"
 	"net/http"
-	"sort"
 	"strconv"
-	"strings"
-
-	"slimgraph/internal/centrality"
-	"slimgraph/internal/graph"
-	"slimgraph/internal/metrics"
-	"slimgraph/internal/schemes"
-	"slimgraph/internal/traverse"
-	"slimgraph/internal/triangles"
 )
 
-// variantOf resolves (graph, spec, seed) through the single-flight cache,
-// executing the scheme on a miss. The returned canonical spec is the
-// registry round trip Spec(Parse(spec)) that also keys the cache, so
-// syntactic spelling differences coalesce on one entry.
-func (s *Server) variantOf(e *entry, spec string, seed uint64, workers int) (res *schemes.Result, canonical string, cached bool, err error) {
-	// In-spec seed/workers overrides are rejected: the canonical spec does
-	// not carry them, so two different in-spec values would collide on one
-	// cache Key. The request-level parameters are the only way to set them,
-	// and those do key the cache.
-	if strings.Contains(spec, "seed=") || strings.Contains(spec, "workers=") {
-		return nil, "", false, fmt.Errorf(
-			"spec %q may not set seed or workers; use the request's seed/workers parameters", spec)
-	}
-	sch, err := schemes.Parse(spec, schemes.WithSeed(seed), schemes.WithWorkers(workers))
-	if err != nil {
-		return nil, "", false, err
-	}
-	canonical = schemes.Spec(sch)
-	key := Key{Graph: e.name, Gen: e.gen, Spec: canonical, Seed: seed, Workers: workers}
-	res, cached, err = s.cache.get(key, func() (*schemes.Result, error) {
-		g := e.materialize(workers)
-		r, err := sch.Apply(g)
-		if err == nil && e.packed != nil {
-			trimInputs(r, g)
-		}
-		return r, err
-	})
-	return res, canonical, cached, err
-}
+// This file holds the query-endpoint HTTP handlers: parameter parsing and
+// the validation that must not cost a scheme execution, with the actual
+// work delegated to the QueryBackend (Local in one process, the cluster
+// coordinator across shards).
 
-// trimInputs drops references to the transient unpacked CSR of a packed
-// catalog entry before the Result enters the cache; otherwise every cached
-// variant would pin a full raw copy of the graph the packed memory policy
-// exists to avoid keeping resident.
-func trimInputs(res *schemes.Result, g *graph.Graph) {
-	if res.Input == g {
-		res.Input = nil
-	}
-	for _, st := range res.Stages {
-		if st.Input == g {
-			st.Input = nil
-		}
-	}
-}
-
-// queryTarget returns the graph a query should run on: the original when
-// spec is empty, otherwise the (possibly freshly computed) cached variant.
-func (s *Server) queryTarget(e *entry, spec string, seed uint64, workers int) (*graph.Graph, string, error) {
-	if spec == "" {
-		return e.materialize(workers), "", nil
-	}
-	res, canonical, _, err := s.variantOf(e, spec, seed, workers)
-	if err != nil {
-		return nil, "", err
-	}
-	return res.Output, canonical, nil
-}
-
-// queryParams are the common query-endpoint parameters.
-type queryParams struct {
-	spec    string
-	seed    uint64
-	workers int
-}
-
-func (s *Server) params(r *http.Request) (queryParams, error) {
+func (s *Server) params(r *http.Request) (QueryParams, error) {
 	q := r.URL.Query()
-	p := queryParams{spec: q.Get("spec")}
+	p := QueryParams{Spec: q.Get("spec")}
 	if v := q.Get("seed"); v != "" {
 		seed, err := strconv.ParseUint(v, 10, 64)
 		if err != nil {
 			return p, err
 		}
-		p.seed = seed
+		p.Seed = seed
 	}
 	workers, err := intParam(q, "workers", 0)
 	if err != nil {
 		return p, err
 	}
-	p.workers = s.clampWorkers(workers)
+	p.Workers = s.clampWorkers(workers)
 	return p, nil
 }
 
-// lookup fetches the catalog entry for the request's {name}.
-func (s *Server) lookup(w http.ResponseWriter, r *http.Request) (*entry, bool) {
-	name := r.PathValue("name")
-	e, ok := s.catalog.get(name)
-	if !ok {
-		writeErr(w, http.StatusNotFound, "no graph %q", name)
+// lookup resolves the request's {name} against the catalog so handlers
+// preserve the 404-before-body-parse error order of the single-node server.
+func (s *Server) lookup(w http.ResponseWriter, r *http.Request) (*GraphInfo, bool) {
+	info, err := s.cat.Info(r.Context(), r.PathValue("name"))
+	if err != nil {
+		writeBackendErr(w, err)
+		return nil, false
 	}
-	return e, ok
-}
-
-// --- compress --------------------------------------------------------------
-
-type compressRequest struct {
-	Spec    string `json:"spec"`
-	Seed    uint64 `json:"seed"`
-	Workers int    `json:"workers"`
-}
-
-type compressResponse struct {
-	Graph string `json:"graph"`
-	// Spec is the canonical spec the variant is cached under.
-	Spec          string  `json:"spec"`
-	Seed          uint64  `json:"seed"`
-	Cached        bool    `json:"cached"`
-	N             int     `json:"n"`
-	M             int     `json:"m"`
-	InputM        int     `json:"inputM"`
-	EdgeReduction float64 `json:"edgeReduction"`
-	ElapsedMS     float64 `json:"elapsedMs"`
+	return info, true
 }
 
 func (s *Server) handleCompress(w http.ResponseWriter, r *http.Request) {
 	defer s.acquire()()
-	e, ok := s.lookup(w, r)
-	if !ok {
+	if _, ok := s.lookup(w, r); !ok {
 		return
 	}
-	var req compressRequest
+	var req CompressRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeErr(w, http.StatusBadRequest, "bad JSON body: %v", err)
 		return
@@ -145,46 +54,18 @@ func (s *Server) handleCompress(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "missing \"spec\"")
 		return
 	}
-	workers := s.clampWorkers(req.Workers)
-	res, canonical, cached, err := s.variantOf(e, req.Spec, req.Seed, workers)
+	p := QueryParams{Seed: req.Seed, Workers: s.clampWorkers(req.Workers)}
+	resp, err := s.backend.Compress(r.Context(), r.PathValue("name"), req.Spec, p)
 	if err != nil {
-		writeErr(w, http.StatusUnprocessableEntity, "%v", err)
+		writeBackendErr(w, err)
 		return
 	}
-	// Input counts come from the catalog entry: a cached Result of a packed
-	// graph no longer references its (trimmed) input CSR.
-	reduction := 0.0
-	if e.m > 0 {
-		reduction = 1 - float64(res.Output.M())/float64(e.m)
-	}
-	writeJSON(w, http.StatusOK, compressResponse{
-		Graph:         e.name,
-		Spec:          canonical,
-		Seed:          req.Seed,
-		Cached:        cached,
-		N:             res.Output.N(),
-		M:             res.Output.M(),
-		InputM:        e.m,
-		EdgeReduction: reduction,
-		ElapsedMS:     float64(res.Elapsed.Microseconds()) / 1000,
-	})
-}
-
-// --- BFS -------------------------------------------------------------------
-
-type bfsResponse struct {
-	Graph   string  `json:"graph"`
-	Spec    string  `json:"spec,omitempty"`
-	Root    int32   `json:"root"`
-	Reached int     `json:"reached"`
-	Ecc     int32   `json:"ecc"`
-	Dist    []int32 `json:"dist"`
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleBFS(w http.ResponseWriter, r *http.Request) {
 	defer s.acquire()()
-	e, ok := s.lookup(w, r)
-	if !ok {
+	if _, ok := s.lookup(w, r); !ok {
 		return
 	}
 	p, err := s.params(r)
@@ -197,55 +78,17 @@ func (s *Server) handleBFS(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	root := int32(rootInt)
-	var res *traverse.BFSResult
-	spec := ""
-	if p.spec == "" {
-		// The original traverses through Adjacency, so a packed entry is
-		// walked in place without unpacking.
-		adj := e.adjacency()
-		if root < 0 || int(root) >= adj.N() {
-			writeErr(w, http.StatusBadRequest, "root %d outside [0, %d)", root, adj.N())
-			return
-		}
-		res = traverse.BFSOn(adj, root, p.workers)
-	} else {
-		g, canonical, err := s.queryTarget(e, p.spec, p.seed, p.workers)
-		if err != nil {
-			writeErr(w, http.StatusUnprocessableEntity, "%v", err)
-			return
-		}
-		if root < 0 || int(root) >= g.N() {
-			writeErr(w, http.StatusBadRequest, "root %d outside [0, %d)", root, g.N())
-			return
-		}
-		spec = canonical
-		res = traverse.BFS(g, root, p.workers)
+	resp, err := s.backend.BFS(r.Context(), r.PathValue("name"), int32(rootInt), p)
+	if err != nil {
+		writeBackendErr(w, err)
+		return
 	}
-	writeJSON(w, http.StatusOK, bfsResponse{
-		Graph: e.name, Spec: spec, Root: root,
-		Reached: res.Reached(), Ecc: res.Ecc(), Dist: res.Dist,
-	})
-}
-
-// --- PageRank top-k --------------------------------------------------------
-
-type rankedVertex struct {
-	Node  int32   `json:"node"`
-	Score float64 `json:"score"`
-}
-
-type pagerankResponse struct {
-	Graph string         `json:"graph"`
-	Spec  string         `json:"spec,omitempty"`
-	K     int            `json:"k"`
-	Top   []rankedVertex `json:"top"`
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handlePageRank(w http.ResponseWriter, r *http.Request) {
 	defer s.acquire()()
-	e, ok := s.lookup(w, r)
-	if !ok {
+	if _, ok := s.lookup(w, r); !ok {
 		return
 	}
 	p, err := s.params(r)
@@ -258,66 +101,17 @@ func (s *Server) handlePageRank(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	var ranks []float64
-	spec := ""
-	if p.spec == "" {
-		ranks = centrality.PageRankOn(e.adjacency(), centrality.PageRankOptions{Workers: p.workers})
-	} else {
-		g, canonical, err := s.queryTarget(e, p.spec, p.seed, p.workers)
-		if err != nil {
-			writeErr(w, http.StatusUnprocessableEntity, "%v", err)
-			return
-		}
-		spec = canonical
-		ranks = centrality.PageRank(g, centrality.PageRankOptions{Workers: p.workers})
+	resp, err := s.backend.PageRank(r.Context(), r.PathValue("name"), k, p)
+	if err != nil {
+		writeBackendErr(w, err)
+		return
 	}
-	writeJSON(w, http.StatusOK, pagerankResponse{
-		Graph: e.name, Spec: spec, K: k, Top: topK(ranks, k),
-	})
-}
-
-// topK returns the k highest-scoring vertices, score descending with vertex
-// ID as the deterministic tie-break.
-func topK(ranks []float64, k int) []rankedVertex {
-	if k < 0 {
-		k = 0
-	}
-	if k > len(ranks) {
-		k = len(ranks)
-	}
-	order := make([]int32, len(ranks))
-	for i := range order {
-		order[i] = int32(i)
-	}
-	sort.Slice(order, func(i, j int) bool {
-		a, b := order[i], order[j]
-		if ranks[a] != ranks[b] {
-			return ranks[a] > ranks[b]
-		}
-		return a < b
-	})
-	top := make([]rankedVertex, k)
-	for i := 0; i < k; i++ {
-		top[i] = rankedVertex{Node: order[i], Score: ranks[order[i]]}
-	}
-	return top
-}
-
-// --- triangles -------------------------------------------------------------
-
-type trianglesResponse struct {
-	Graph string `json:"graph"`
-	Spec  string `json:"spec,omitempty"`
-	Mode  string `json:"mode"`
-	// Count is the exact count (mode=exact); Estimate the DOULION
-	// estimate (mode=approx).
-	Count    *int64   `json:"count,omitempty"`
-	Estimate *float64 `json:"estimate,omitempty"`
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleTriangles(w http.ResponseWriter, r *http.Request) {
 	defer s.acquire()()
-	e, ok := s.lookup(w, r)
+	info, ok := s.lookup(w, r)
 	if !ok {
 		return
 	}
@@ -326,7 +120,7 @@ func (s *Server) handleTriangles(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	// Validate every cheap parameter before queryTarget: a bad mode must
+	// Validate every cheap parameter before dispatching: a bad mode must
 	// not cost (and cache) a full scheme execution first.
 	q := r.URL.Query()
 	mode := q.Get("mode")
@@ -349,40 +143,21 @@ func (s *Server) handleTriangles(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "unknown mode %q (exact or approx)", mode)
 		return
 	}
-	if e.directed {
+	if info.Directed {
 		writeErr(w, http.StatusUnprocessableEntity, "triangle counting is defined for undirected graphs")
 		return
 	}
-	g, spec, err := s.queryTarget(e, p.spec, p.seed, p.workers)
+	resp, err := s.backend.Triangles(r.Context(), r.PathValue("name"), mode, prob, p)
 	if err != nil {
-		writeErr(w, http.StatusUnprocessableEntity, "%v", err)
+		writeBackendErr(w, err)
 		return
-	}
-	resp := trianglesResponse{Graph: e.name, Spec: spec, Mode: mode}
-	if mode == "exact" {
-		c := triangles.Count(g, p.workers)
-		resp.Count = &c
-	} else {
-		est := triangles.CountApprox(g, prob, p.seed, p.workers)
-		resp.Estimate = &est
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// --- degree distribution ---------------------------------------------------
-
-type degreesResponse struct {
-	Graph string    `json:"graph"`
-	Spec  string    `json:"spec,omitempty"`
-	Dist  []float64 `json:"dist"`
-	Slope float64   `json:"slope"`
-	R2    float64   `json:"r2"`
-}
-
 func (s *Server) handleDegrees(w http.ResponseWriter, r *http.Request) {
 	defer s.acquire()()
-	e, ok := s.lookup(w, r)
-	if !ok {
+	if _, ok := s.lookup(w, r); !ok {
 		return
 	}
 	p, err := s.params(r)
@@ -390,33 +165,19 @@ func (s *Server) handleDegrees(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	g, spec, err := s.queryTarget(e, p.spec, p.seed, p.workers)
+	resp, err := s.backend.Degrees(r.Context(), r.PathValue("name"), p)
 	if err != nil {
-		writeErr(w, http.StatusUnprocessableEntity, "%v", err)
+		writeBackendErr(w, err)
 		return
 	}
-	dist := metrics.DegreeDistribution(g)
-	slope, r2 := metrics.PowerLawSlope(dist)
-	writeJSON(w, http.StatusOK, degreesResponse{
-		Graph: e.name, Spec: spec, Dist: dist, Slope: slope, R2: r2,
-	})
-}
-
-// --- compare ---------------------------------------------------------------
-
-type compareResponse struct {
-	Graph   string           `json:"graph"`
-	Spec    string           `json:"spec"`
-	Seed    uint64           `json:"seed"`
-	Quality *metrics.Quality `json:"quality"`
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // handleCompare computes the §5 quality metrics of a cached (or freshly
 // computed) variant against its original.
 func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 	defer s.acquire()()
-	e, ok := s.lookup(w, r)
-	if !ok {
+	if _, ok := s.lookup(w, r); !ok {
 		return
 	}
 	p, err := s.params(r)
@@ -424,22 +185,14 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	if p.spec == "" {
+	if p.Spec == "" {
 		writeErr(w, http.StatusBadRequest, "compare needs a spec parameter")
 		return
 	}
-	res, canonical, _, err := s.variantOf(e, p.spec, p.seed, p.workers)
+	resp, err := s.backend.Compare(r.Context(), r.PathValue("name"), p)
 	if err != nil {
-		writeErr(w, http.StatusUnprocessableEntity, "%v", err)
+		writeBackendErr(w, err)
 		return
 	}
-	q, err := metrics.CompareGraphs(e.materialize(p.workers), res.Output, p.workers)
-	if err != nil {
-		writeErr(w, http.StatusUnprocessableEntity, "%v", err)
-		return
-	}
-	writeJSON(w, http.StatusOK, compareResponse{
-		Graph: e.name, Spec: canonical,
-		Seed: p.seed, Quality: q,
-	})
+	writeJSON(w, http.StatusOK, resp)
 }

@@ -22,17 +22,23 @@
 // Requests default to a one-worker budget, which makes every query response
 // byte-identical for a fixed seed; a higher budget is an explicit opt-in
 // (responses stay correct but float reductions may round differently).
+//
+// The HTTP layer is decoupled from execution by the Catalog / QueryBackend
+// / VariantStore interfaces (backend.go): New wires the in-process Local
+// engine, NewWithBackend accepts any implementation — internal/cluster's
+// coordinator serves the same API by scatter/gathering over shards.
 package server
 
 import (
+	"context"
 	"encoding/json"
-	"errors"
 	"fmt"
 	"net/http"
 	"net/url"
 	"runtime"
 	"strconv"
 	"strings"
+	"sync"
 
 	"slimgraph/internal/graph"
 	"slimgraph/internal/graphio"
@@ -65,25 +71,41 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// Server is the slimgraphd service: a catalog of resident graphs, a
-// single-flight variant cache, and the HTTP handler tying them together.
+// Server is the slimgraphd HTTP surface: request parsing, validation,
+// concurrency bounding, and liveness/readiness, delegating execution to a
+// Catalog and a QueryBackend.
 type Server struct {
 	opts    Options
-	catalog *catalog
-	cache   *cache
+	cat     Catalog
+	backend QueryBackend
+	local   *Local        // non-nil when backed by the in-process engine
 	sem     chan struct{} // MaxConcurrent slots for heavy requests
 	mux     *http.ServeMux
+
+	readyMu    sync.RWMutex
+	notReady   string       // non-empty while explicitly not ready
+	readyCheck func() error // optional dynamic readiness probe
 }
 
-// New returns a Server with an empty catalog.
+// New returns a Server backed by an in-process Local engine with an empty
+// catalog.
 func New(opts Options) *Server {
+	local := NewLocal(opts)
+	s := NewWithBackend(local, local, opts)
+	s.local = local
+	return s
+}
+
+// NewWithBackend returns a Server serving the /v1 API through the given
+// catalog and query backend — the seam internal/cluster's coordinator plugs
+// into.
+func NewWithBackend(cat Catalog, backend QueryBackend, opts Options) *Server {
 	s := &Server{
 		opts:    opts.withDefaults(),
-		catalog: newCatalog(),
-		sem:     nil,
+		cat:     cat,
+		backend: backend,
 		mux:     http.NewServeMux(),
 	}
-	s.cache = newCache(s.opts.CacheCapacity)
 	s.sem = make(chan struct{}, s.opts.MaxConcurrent)
 	s.routes()
 	return s
@@ -92,21 +114,72 @@ func New(opts Options) *Server {
 // Handler returns the HTTP handler serving the slimgraphd API.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// CacheStats returns a snapshot of the variant cache counters.
-func (s *Server) CacheStats() CacheStats { return s.cache.snapshot() }
+// Local returns the in-process engine backing this server, or nil when the
+// server was built over a remote backend.
+func (s *Server) Local() *Local { return s.local }
+
+// CacheStats returns a snapshot of the variant cache counters (zero when
+// the server is not backed by a local engine).
+func (s *Server) CacheStats() CacheStats {
+	if s.local == nil {
+		return CacheStats{}
+	}
+	return s.local.CacheStats()
+}
+
+// SetNotReady marks the server not ready with the given reason; /readyz
+// answers 503 until SetReady. Liveness (/healthz) is unaffected.
+func (s *Server) SetNotReady(reason string) {
+	s.readyMu.Lock()
+	defer s.readyMu.Unlock()
+	if reason == "" {
+		reason = "not ready"
+	}
+	s.notReady = reason
+}
+
+// SetReady marks the server ready.
+func (s *Server) SetReady() {
+	s.readyMu.Lock()
+	defer s.readyMu.Unlock()
+	s.notReady = ""
+}
+
+// SetReadyCheck installs a dynamic readiness probe consulted by /readyz
+// after the explicit SetReady/SetNotReady state — the coordinator uses it
+// to report ready only when every shard is.
+func (s *Server) SetReadyCheck(fn func() error) {
+	s.readyMu.Lock()
+	defer s.readyMu.Unlock()
+	s.readyCheck = fn
+}
+
+// readyErr returns nil when the server should answer /readyz with 200.
+func (s *Server) readyErr() error {
+	s.readyMu.RLock()
+	notReady, check := s.notReady, s.readyCheck
+	s.readyMu.RUnlock()
+	if notReady != "" {
+		return fmt.Errorf("%s", notReady)
+	}
+	if check != nil {
+		return check()
+	}
+	return nil
+}
 
 // AddGraph inserts g into the catalog programmatically — the preload path
 // of cmd/slimgraphd and of in-process embedders. memory is MemoryRaw or
 // MemoryPacked ("" means raw); source is free-form provenance.
 func (s *Server) AddGraph(name, memory, source string, g *graph.Graph, workers int) error {
-	_, err := s.catalog.put(name, memory, source, g, s.clampWorkers(workers))
+	_, err := s.cat.Create(context.Background(), name, memory, source, g, workers)
 	return err
 }
 
 // AddGenerated generates a graph and inserts it, mirroring the JSON body of
 // POST /v1/graphs.
 func (s *Server) AddGenerated(name, kind string, scale, edgeFactor, n int, seed uint64, weighted bool, memory string, workers int) error {
-	g, source, err := generate(kind, scale, edgeFactor, n, seed, weighted)
+	g, source, err := Generate(kind, scale, edgeFactor, n, seed, weighted)
 	if err != nil {
 		return err
 	}
@@ -116,6 +189,13 @@ func (s *Server) AddGenerated(name, kind string, scale, edgeFactor, n int, seed 
 func (s *Server) routes() {
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	s.mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		if err := s.readyErr(); err != nil {
+			writeErr(w, http.StatusServiceUnavailable, "%v", err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 	})
 	s.mux.HandleFunc("GET /v1/schemes", s.handleSchemes)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
@@ -151,21 +231,15 @@ func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
 	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
-// --- catalog endpoints -----------------------------------------------------
-
-// graphInfo is the JSON shape of one catalog entry.
-type graphInfo struct {
-	Name     string `json:"name"`
-	N        int    `json:"n"`
-	M        int    `json:"m"`
-	Directed bool   `json:"directed"`
-	Weighted bool   `json:"weighted"`
-	Memory   string `json:"memory"`
-	Source   string `json:"source"`
+// writeBackendErr surfaces a backend error with its embedded status.
+func writeBackendErr(w http.ResponseWriter, err error) {
+	writeErr(w, StatusOf(err), "%v", err)
 }
 
-func infoOf(e *entry) graphInfo {
-	return graphInfo{
+// --- catalog endpoints -----------------------------------------------------
+
+func infoOf(e *entry) GraphInfo {
+	return GraphInfo{
 		Name: e.name, N: e.n, M: e.m,
 		Directed: e.directed, Weighted: e.weighted,
 		Memory: e.memory, Source: e.source,
@@ -187,36 +261,21 @@ func (s *Server) handleSchemes(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, struct {
-		Cache  CacheStats `json:"cache"`
-		Graphs int        `json:"graphs"`
-	}{s.cache.snapshot(), s.catalog.size()})
+	st, err := s.backend.Stats(r.Context())
+	if err != nil {
+		writeBackendErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
 }
 
 func (s *Server) handleListGraphs(w http.ResponseWriter, r *http.Request) {
-	out := []graphInfo{}
-	for _, e := range s.catalog.list() {
-		out = append(out, infoOf(e))
+	out, err := s.cat.List(r.Context())
+	if err != nil {
+		writeBackendErr(w, err)
+		return
 	}
 	writeJSON(w, http.StatusOK, out)
-}
-
-// createRequest is the JSON body of POST /v1/graphs when generating a graph
-// on demand. Uploads instead send the graph bytes as the body (any format
-// graphio.ReadAuto sniffs) with name/memory/directed as query parameters.
-type createRequest struct {
-	Name string `json:"name"`
-	// Gen selects the generator: rmat, er, ba, grid, communities,
-	// smallworld.
-	Gen         string `json:"gen"`
-	Scale       int    `json:"scale"`      // rmat: n = 2^scale
-	EdgeFactor  int    `json:"edgeFactor"` // edges per vertex
-	NumVertices int    `json:"numVertices"`
-	Seed        uint64 `json:"seed"`
-	Weighted    bool   `json:"weighted"`
-	// Memory is the residency policy: "raw" (default) or "packed".
-	Memory  string `json:"memory"`
-	Workers int    `json:"workers"`
 }
 
 func (s *Server) handleCreateGraph(w http.ResponseWriter, r *http.Request) {
@@ -233,7 +292,7 @@ func isJSON(r *http.Request) bool {
 }
 
 func (s *Server) createGenerated(w http.ResponseWriter, r *http.Request) {
-	var req createRequest
+	var req CreateRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeErr(w, http.StatusBadRequest, "bad JSON body: %v", err)
 		return
@@ -243,17 +302,17 @@ func (s *Server) createGenerated(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	workers := s.clampWorkers(req.Workers)
-	g, source, err := generate(req.Gen, req.Scale, req.EdgeFactor, req.NumVertices, req.Seed, req.Weighted)
+	g, source, err := Generate(req.Gen, req.Scale, req.EdgeFactor, req.NumVertices, req.Seed, req.Weighted)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	e, err := s.catalog.put(req.Name, req.Memory, source, g, workers)
+	info, err := s.cat.Create(r.Context(), req.Name, req.Memory, source, g, workers)
 	if err != nil {
-		writeErr(w, statusForPut(err), "%v", err)
+		writeBackendErr(w, err)
 		return
 	}
-	writeJSON(w, http.StatusCreated, infoOf(e))
+	writeJSON(w, http.StatusCreated, info)
 }
 
 func (s *Server) createUploaded(w http.ResponseWriter, r *http.Request) {
@@ -270,44 +329,30 @@ func (s *Server) createUploaded(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	workers := s.clampWorkers(rawWorkers)
-	e, err := s.catalog.put(name, q.Get("memory"), "upload", g, workers)
+	info, err := s.cat.Create(r.Context(), name, q.Get("memory"), "upload", g, s.clampWorkers(rawWorkers))
 	if err != nil {
-		writeErr(w, statusForPut(err), "%v", err)
+		writeBackendErr(w, err)
 		return
 	}
-	writeJSON(w, http.StatusCreated, infoOf(e))
-}
-
-// statusForPut distinguishes the name-collision error (409) from
-// validation errors (400).
-func statusForPut(err error) int {
-	if errors.Is(err, errExists) {
-		return http.StatusConflict
-	}
-	return http.StatusBadRequest
+	writeJSON(w, http.StatusCreated, info)
 }
 
 func (s *Server) handleGetGraph(w http.ResponseWriter, r *http.Request) {
-	e, ok := s.catalog.get(r.PathValue("name"))
-	if !ok {
-		writeErr(w, http.StatusNotFound, "no graph %q", r.PathValue("name"))
+	info, err := s.cat.Info(r.Context(), r.PathValue("name"))
+	if err != nil {
+		writeBackendErr(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, infoOf(e))
+	writeJSON(w, http.StatusOK, info)
 }
 
 func (s *Server) handleDeleteGraph(w http.ResponseWriter, r *http.Request) {
-	name := r.PathValue("name")
-	if !s.catalog.remove(name) {
-		writeErr(w, http.StatusNotFound, "no graph %q", name)
+	resp, err := s.cat.Drop(r.Context(), r.PathValue("name"))
+	if err != nil {
+		writeBackendErr(w, err)
 		return
 	}
-	dropped := s.cache.purgeGraph(name)
-	writeJSON(w, http.StatusOK, struct {
-		Deleted         string `json:"deleted"`
-		VariantsDropped int    `json:"variantsDropped"`
-	}{name, dropped})
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // --- request parameter helpers ---------------------------------------------

@@ -137,7 +137,7 @@ func TestEndToEndMixedWorkload(t *testing.T) {
 				return
 			}
 			// Compress the private graph and query the variant.
-			comp, _ := json.Marshal(compressRequest{Spec: "uniform:p=0.5", Seed: uint64(i % 3)})
+			comp, _ := json.Marshal(CompressRequest{Spec: "uniform:p=0.5", Seed: uint64(i % 3)})
 			code, body = send("POST", ts.URL+"/v1/graphs/"+name+"/compress", comp)
 			if code != http.StatusOK {
 				fail("compress %s: %d %s", name, code, body)
@@ -256,13 +256,13 @@ func TestCachedVariantMatchesOffline(t *testing.T) {
 	createCommunities(t, ts.URL, "acc", 400, 7, MemoryRaw)
 
 	// Warm the cache through the compress endpoint, then query it.
-	code, body := postJSON(t, ts.URL+"/v1/graphs/acc/compress", compressRequest{Spec: "tr-eo:p=0.8", Seed: 3})
+	code, body := postJSON(t, ts.URL+"/v1/graphs/acc/compress", CompressRequest{Spec: "tr-eo:p=0.8", Seed: 3})
 	mustStatus(t, http.StatusOK, code, body)
 	code, served := get(t, ts.URL+"/v1/graphs/acc/pagerank?k=10&spec=tr-eo:p=0.8&seed=3")
 	mustStatus(t, http.StatusOK, code, served)
 
 	// Offline: same generator, scheme, seed, and one-worker budget.
-	g, _, err := generate("communities", 0, 0, 400, 7, false)
+	g, _, err := Generate("communities", 0, 0, 400, 7, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -275,8 +275,8 @@ func TestCachedVariantMatchesOffline(t *testing.T) {
 		t.Fatal(err)
 	}
 	ranks := centrality.PageRank(res.Output, centrality.PageRankOptions{Workers: 1})
-	want, err := json.Marshal(pagerankResponse{
-		Graph: "acc", Spec: "tr-eo:p=0.8", K: 10, Top: topK(ranks, 10),
+	want, err := json.Marshal(PageRankResponse{
+		Graph: "acc", Spec: "tr-eo:p=0.8", K: 10, Top: TopK(ranks, 10),
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -287,9 +287,9 @@ func TestCachedVariantMatchesOffline(t *testing.T) {
 	}
 
 	// The query must have been answered from the compress-warmed cache.
-	code, body = postJSON(t, ts.URL+"/v1/graphs/acc/compress", compressRequest{Spec: "tr-eo:p=0.8", Seed: 3})
+	code, body = postJSON(t, ts.URL+"/v1/graphs/acc/compress", CompressRequest{Spec: "tr-eo:p=0.8", Seed: 3})
 	mustStatus(t, http.StatusOK, code, body)
-	var cr compressResponse
+	var cr CompressResponse
 	if err := json.Unmarshal(body, &cr); err != nil {
 		t.Fatal(err)
 	}
@@ -340,11 +340,11 @@ func TestUploadFormats(t *testing.T) {
 func TestPackedVariantDoesNotPinRawInput(t *testing.T) {
 	s, ts := newTestServer(t, Options{})
 	createCommunities(t, ts.URL, "pk", 200, 1, MemoryPacked)
-	e, ok := s.catalog.get("pk")
+	e, ok := s.local.catalog.get("pk")
 	if !ok {
 		t.Fatal("missing catalog entry")
 	}
-	res, _, _, err := s.variantOf(e, "uniform:p=0.5", 1, 1)
+	res, _, _, err := s.local.variantOf(e, "uniform:p=0.5", 1, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -354,11 +354,11 @@ func TestPackedVariantDoesNotPinRawInput(t *testing.T) {
 
 	// Raw entries keep Input: it aliases the resident graph anyway.
 	createCommunities(t, ts.URL, "rw", 200, 1, MemoryRaw)
-	e, ok = s.catalog.get("rw")
+	e, ok = s.local.catalog.get("rw")
 	if !ok {
 		t.Fatal("missing catalog entry")
 	}
-	res, _, _, err = s.variantOf(e, "uniform:p=0.5", 1, 1)
+	res, _, _, err = s.local.variantOf(e, "uniform:p=0.5", 1, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -386,7 +386,7 @@ func TestEmptyGraphCompare(t *testing.T) {
 func TestDeleteInvalidatesVariants(t *testing.T) {
 	s, ts := newTestServer(t, Options{})
 	createCommunities(t, ts.URL, "d", 200, 1, MemoryRaw)
-	code, body := postJSON(t, ts.URL+"/v1/graphs/d/compress", compressRequest{Spec: "uniform:p=0.5"})
+	code, body := postJSON(t, ts.URL+"/v1/graphs/d/compress", CompressRequest{Spec: "uniform:p=0.5"})
 	mustStatus(t, http.StatusOK, code, body)
 
 	code, body = do(t, "DELETE", ts.URL+"/v1/graphs/d", "", nil)
@@ -398,7 +398,7 @@ func TestDeleteInvalidatesVariants(t *testing.T) {
 	// Same name, different seed: must recompute, not alias the old variant.
 	createCommunities(t, ts.URL, "d", 200, 2, MemoryRaw)
 	before := s.CacheStats().Executions
-	code, body = postJSON(t, ts.URL+"/v1/graphs/d/compress", compressRequest{Spec: "uniform:p=0.5"})
+	code, body = postJSON(t, ts.URL+"/v1/graphs/d/compress", CompressRequest{Spec: "uniform:p=0.5"})
 	mustStatus(t, http.StatusOK, code, body)
 	if got := s.CacheStats().Executions; got != before+1 {
 		t.Errorf("recreated graph reused a stale variant (executions %d -> %d)", before, got)

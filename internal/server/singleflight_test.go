@@ -65,7 +65,7 @@ func TestSingleFlightExactlyOnce(t *testing.T) {
 	createCommunities(t, ts.URL, "sf", 100, 1, MemoryRaw)
 
 	applyCount.Store(0)
-	body, _ := json.Marshal(compressRequest{Spec: "test-count", Seed: 42})
+	body, _ := json.Marshal(CompressRequest{Spec: "test-count", Seed: 42})
 	start := make(chan struct{})
 	var wg sync.WaitGroup
 	codes := make([]int, concurrent)
@@ -103,7 +103,7 @@ func TestSingleFlightExactlyOnce(t *testing.T) {
 	}
 
 	// A different seed is a different Key and must execute again.
-	code, respBody := postJSON(t, ts.URL+"/v1/graphs/sf/compress", compressRequest{Spec: "test-count", Seed: 43})
+	code, respBody := postJSON(t, ts.URL+"/v1/graphs/sf/compress", CompressRequest{Spec: "test-count", Seed: 43})
 	mustStatus(t, http.StatusOK, code, respBody)
 	if got := applyCount.Load(); got != 2 {
 		t.Errorf("distinct seed reused the cached variant (executions %d, want 2)", got)
@@ -112,7 +112,7 @@ func TestSingleFlightExactlyOnce(t *testing.T) {
 	// So is a different worker budget: some schemes are only deterministic
 	// at workers=1, so budgets must never share a variant.
 	code, respBody = postJSON(t, ts.URL+"/v1/graphs/sf/compress",
-		compressRequest{Spec: "test-count", Seed: 42, Workers: 2})
+		CompressRequest{Spec: "test-count", Seed: 42, Workers: 2})
 	mustStatus(t, http.StatusOK, code, respBody)
 	if got := applyCount.Load(); got != 3 {
 		t.Errorf("distinct worker budget reused the cached variant (executions %d, want 3)", got)
@@ -127,7 +127,7 @@ func TestFailureNotCachedNegatively(t *testing.T) {
 	createCommunities(t, ts.URL, "nf", 100, 1, MemoryRaw)
 
 	failCount.Store(0)
-	body, _ := json.Marshal(compressRequest{Spec: "test-fail", Seed: 1})
+	body, _ := json.Marshal(CompressRequest{Spec: "test-fail", Seed: 1})
 	for i := 0; i < 3; i++ {
 		code, resp := do(t, "POST", ts.URL+"/v1/graphs/nf/compress", "application/json", body)
 		mustStatus(t, http.StatusUnprocessableEntity, code, resp)
@@ -144,7 +144,7 @@ func TestFailureNotCachedNegatively(t *testing.T) {
 	}
 
 	// The failure did not poison the graph: a valid spec still computes.
-	code, resp := postJSON(t, ts.URL+"/v1/graphs/nf/compress", compressRequest{Spec: "uniform:p=0.5", Seed: 1})
+	code, resp := postJSON(t, ts.URL+"/v1/graphs/nf/compress", CompressRequest{Spec: "uniform:p=0.5", Seed: 1})
 	mustStatus(t, http.StatusOK, code, resp)
 }
 
