@@ -147,9 +147,63 @@ type PackedStats = succinct.Stats
 // restores a graph.Equal copy.
 func PackGraph(g *Graph, workers int) *PackedGraph { return succinct.Pack(g, workers) }
 
+// Order selects the locality-ordering a pack relabels vertices by: OrderNone
+// keeps original IDs; OrderDegree, OrderBFS, and OrderWindow compute
+// gap-minimizing permutations of increasing effort. Ordered packs record the
+// permutation, so Unpack and the snapshot round trip restore original IDs.
+type Order = succinct.Order
+
+// Locality orderings for PackGraphOrdered and WritePackedOrder.
+const (
+	OrderNone   = succinct.OrderNone
+	OrderDegree = succinct.OrderDegree
+	OrderBFS    = succinct.OrderBFS
+	OrderWindow = succinct.OrderWindow
+)
+
+// ParseOrder maps an ordering name (none, degree, bfs, window;
+// case-insensitive) to its Order.
+func ParseOrder(s string) (Order, error) { return succinct.ParseOrder(s) }
+
+// PackGraphOrdered is PackGraph under a locality ordering: vertices are
+// relabeled by the computed permutation during the encode, shrinking the
+// gap-encoded payload; accessors expose the relabeled space, OriginalID and
+// Unpack translate back.
+func PackGraphOrdered(g *Graph, order Order, workers int) *PackedGraph {
+	return succinct.Pack(g, workers, succinct.WithOrder(order))
+}
+
+// ComputeOrder returns the permutation (perm[old] = new) of the given
+// ordering, or nil for OrderNone. Deterministic for any worker count.
+func ComputeOrder(g *Graph, order Order, workers int) []NodeID {
+	return succinct.ComputeOrder(g, order, workers)
+}
+
+// GapHist is the distribution of encoded gap widths of a graph's adjacency
+// payload under a permutation — the quantity a locality ordering shrinks.
+type GapHist = succinct.GapHist
+
+// GapHistogram measures g's gap stream under perm (nil = identity) without
+// building a payload: encoded-value widths plus the exact payload byte size.
+func GapHistogram(g *Graph, perm []NodeID, workers int) GapHist {
+	return succinct.GapHistogram(g, perm, workers)
+}
+
+// WritePackedOrder is WritePacked under a locality ordering: the snapshot
+// stores the relabeled payload plus the permutation, and reading restores
+// the graph with original IDs (lossless for every ordering).
+func WritePackedOrder(w io.Writer, g *Graph, order Order) (int64, error) {
+	return graphio.WritePackedOrder(w, g, order)
+}
+
 // Adjacency is the neighborhood view shared by *Graph and *PackedGraph;
 // algorithms written against it traverse either representation.
 type Adjacency = graph.Adjacency
+
+// AdjacencyEdges extends Adjacency with canonical-edge enumeration — the
+// view the packed-form kernels (triangles, degrees, compare, MST) consume,
+// implemented by *Graph and *PackedGraph alike.
+type AdjacencyEdges = graph.AdjacencyEdges
 
 // Generators (deterministic per seed). See internal/gen for the analog
 // mapping to the paper's datasets.
@@ -263,6 +317,10 @@ func WithIterations(n int) SchemeOption { return schemes.WithIterations(n) }
 // WithRho sets the cut sparsifier's sampling density (<= 0 means auto).
 func WithRho(rho float64) SchemeOption { return schemes.WithRho(rho) }
 
+// WithOrderName selects the relabel scheme's locality ordering by name
+// (degree, bfs, or window).
+func WithOrderName(name string) SchemeOption { return schemes.WithOrderName(name) }
+
 // Scheme constructors (functional options; see each internal/schemes
 // constructor for defaults).
 
@@ -294,6 +352,10 @@ func NewCutSparsify(opts ...SchemeOption) (Scheme, error) { return schemes.NewCu
 
 // NewSummarize builds the lossy ε-summarization scheme (§4.5.4).
 func NewSummarize(opts ...SchemeOption) (Scheme, error) { return schemes.NewSummarize(opts...) }
+
+// NewRelabel builds the lossless gap-minimizing relabel scheme; its
+// Result's VertexMap carries the permutation.
+func NewRelabel(opts ...SchemeOption) (Scheme, error) { return schemes.NewRelabel(opts...) }
 
 // NewPipeline chains schemes into one Scheme applied left to right.
 func NewPipeline(stages ...Scheme) (*Pipeline, error) { return schemes.NewPipeline(stages...) }
@@ -528,6 +590,19 @@ func TriangleCountApprox(g *Graph, p float64, seed uint64, workers int) float64 
 	return triangles.CountApprox(g, p, seed, workers)
 }
 
+// TriangleCountOn is TriangleCount over any canonical-edge view — in
+// particular a PackedGraph counted in place, bit-identical to the raw CSR.
+func TriangleCountOn(a AdjacencyEdges, workers int) int64 {
+	return triangles.CountOn(a, workers)
+}
+
+// TriangleCountApproxOn is TriangleCountApprox over any canonical-edge
+// view; the DOULION coin flips key on canonical edge IDs, so the estimate is
+// identical for every representation of the same graph.
+func TriangleCountApproxOn(a AdjacencyEdges, p float64, seed uint64, workers int) float64 {
+	return triangles.CountApproxOn(a, p, seed, workers)
+}
+
 // TriangleEngine is the reusable triangle-enumeration substrate: a
 // rank-oriented forward CSR built once per graph, shared by counting,
 // per-element counting, and triangle-kernel runs. The package-level
@@ -539,6 +614,13 @@ type TriangleEngine = triangles.Engine
 // only; workers <= 0 uses all CPUs).
 func NewTriangleEngine(g *Graph, workers int) *TriangleEngine {
 	return triangles.NewEngine(g, workers)
+}
+
+// NewTriangleEngineOn builds the engine over any canonical-edge view — a
+// PackedGraph's edges feed the oriented CSR directly, no unpack — with
+// structure identical to the raw CSR's engine.
+func NewTriangleEngineOn(a AdjacencyEdges, workers int) *TriangleEngine {
+	return triangles.NewEngineOn(a, workers)
 }
 
 // MSTWeight returns the weight of a minimum spanning forest (Kruskal).
@@ -586,6 +668,13 @@ type Quality = metrics.Quality
 // all CPUs.
 func CompareGraphs(orig, comp *Graph, workers int) (*Quality, error) {
 	return metrics.CompareGraphs(orig, comp, workers)
+}
+
+// CompareGraphsOn is CompareGraphs over any pair of canonical-edge views
+// (raw, packed, or mixed), with bit-identical Quality for the same logical
+// graphs.
+func CompareGraphsOn(orig, comp AdjacencyEdges, workers int) (*Quality, error) {
+	return metrics.CompareGraphsOn(orig, comp, workers)
 }
 
 // DegreeDistribution returns the fraction of vertices per degree.

@@ -17,6 +17,7 @@ import (
 	"slimgraph/internal/gen"
 	"slimgraph/internal/graph"
 	"slimgraph/internal/graphio"
+	"slimgraph/internal/metrics"
 	"slimgraph/internal/rng"
 	"slimgraph/internal/succinct"
 	"slimgraph/internal/traverse"
@@ -52,6 +53,7 @@ func BenchmarkWeightedTR(b *testing.B)            { runTable(b, experiments.Weig
 func BenchmarkCompressionTiming(b *testing.B)     { runTable(b, experiments.Timing) }
 func BenchmarkLowRankBaseline(b *testing.B)       { runTable(b, experiments.LowRank) }
 func BenchmarkCutPreservation(b *testing.B)       { runTable(b, experiments.CutPreservation) }
+func BenchmarkPackedKernelsTable(b *testing.B)    { runTable(b, experiments.PackedKernels) }
 func BenchmarkAblationEO(b *testing.B)            { runTable(b, experiments.AblationEO) }
 func BenchmarkAblationSpanner(b *testing.B)       { runTable(b, experiments.AblationSpanner) }
 func BenchmarkAblationUpsilon(b *testing.B)       { runTable(b, experiments.AblationUpsilon) }
@@ -190,6 +192,63 @@ func BenchmarkPackedBFS(b *testing.B) {
 		// bar is within 4x of raw-csr above.
 		for i := 0; i < b.N; i++ {
 			traverse.BFSOn(pg, 0, 0)
+		}
+	})
+}
+
+// PR 7 pairs: relabel-on-pack orderings and packed-form kernel execution
+// against their raw-CSR twins on the same R-MAT graph. The acceptance bar
+// (BENCH_pr7.json) is packed triangle Count within 2x of the raw engine.
+
+func BenchmarkOrderedPack(b *testing.B) {
+	g, _ := coreBenchGraph(b)
+	orders := []succinct.Order{
+		succinct.OrderNone, succinct.OrderDegree, succinct.OrderBFS, succinct.OrderWindow,
+	}
+	for _, o := range orders {
+		b.Run(o.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				succinct.Pack(g, 0, succinct.WithOrder(o))
+			}
+		})
+	}
+}
+
+func BenchmarkPackedTriangles(b *testing.B) {
+	g, _ := coreBenchGraph(b)
+	pg := succinct.Pack(g, 0)
+	b.Run("raw-csr", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			triangles.Count(g, 0)
+		}
+	})
+	b.Run("packed", func(b *testing.B) {
+		// Engine build from the packed canonical edge columns + count.
+		for i := 0; i < b.N; i++ {
+			triangles.CountOn(pg, 0)
+		}
+	})
+	en := triangles.NewEngineOn(pg, 0)
+	b.Run("packed-prebuilt", func(b *testing.B) {
+		// The server's steady state: the per-entry engine arena is built
+		// once, queries only enumerate.
+		for i := 0; i < b.N; i++ {
+			en.Count()
+		}
+	})
+}
+
+func BenchmarkPackedDegrees(b *testing.B) {
+	g, _ := coreBenchGraph(b)
+	pg := succinct.Pack(g, 0)
+	b.Run("raw-csr", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			metrics.DegreeDistribution(g)
+		}
+	})
+	b.Run("packed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			metrics.DegreeDistributionOn(pg)
 		}
 	})
 }

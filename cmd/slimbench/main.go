@@ -48,6 +48,7 @@ var drivers = []struct {
 	{"core", experiments.CoreBench, "Engine core: rebuild-free CSR construction vs sort-based reference"},
 	{"triangles", experiments.TriangleBench, "Triangle engine: oriented forward CSR vs pre-engine reference"},
 	{"storage", experiments.Storage, "§5 storage: packed (v2) snapshots + in-place packed-BFS slowdown"},
+	{"packed", experiments.PackedKernels, "Packed kernels: locality orderings × packed-vs-raw runtime (no Unpack)"},
 	{"abl-eo", experiments.AblationEO, "Ablation: Edge-Once semantics"},
 	{"abl-spanner", experiments.AblationSpanner, "Ablation: spanner inter-cluster rule"},
 	{"abl-upsilon", experiments.AblationUpsilon, "Ablation: spectral Υ sweep"},

@@ -18,28 +18,39 @@ import (
 // Labels assigns every vertex a component label via repeated BFS. Labels
 // are the smallest vertex ID in each component, so output is deterministic.
 func Labels(g *graph.Graph) []graph.NodeID {
-	n := g.N()
+	return LabelsOn(g)
+}
+
+// LabelsOn is Labels over any adjacency view — the raw CSR or a packed
+// graph traversed in place — with identical output: the sweep only depends
+// on neighbor visit order, which Adjacency fixes to increasing ID.
+func LabelsOn(a graph.Adjacency) []graph.NodeID {
+	n := a.N()
 	label := make([]graph.NodeID, n)
 	for i := range label {
 		label[i] = -1
 	}
 	queue := make([]graph.NodeID, 0, 1024)
+	// One visit closure for the whole sweep, rebinding root per component,
+	// so the per-vertex neighbor scan allocates nothing.
+	var root graph.NodeID
+	visit := func(v graph.NodeID) {
+		if label[v] < 0 {
+			label[v] = root
+			queue = append(queue, v)
+		}
+	}
 	for s := 0; s < n; s++ {
 		if label[s] >= 0 {
 			continue
 		}
-		root := graph.NodeID(s)
+		root = graph.NodeID(s)
 		label[s] = root
 		queue = append(queue[:0], root)
 		for len(queue) > 0 {
 			u := queue[len(queue)-1]
 			queue = queue[:len(queue)-1]
-			for _, v := range g.Neighbors(u) {
-				if label[v] < 0 {
-					label[v] = root
-					queue = append(queue, v)
-				}
-			}
+			a.ForNeighbors(u, visit)
 		}
 	}
 	return label
@@ -100,6 +111,11 @@ func LabelsPropagation(g *graph.Graph, workers int) []graph.NodeID {
 // edges of a vertex adds a component).
 func Count(g *graph.Graph) int {
 	return CountLabels(Labels(g))
+}
+
+// CountOn is Count over any adjacency view.
+func CountOn(a graph.Adjacency) int {
+	return CountLabels(LabelsOn(a))
 }
 
 // CountLabels returns the number of distinct labels.

@@ -21,7 +21,52 @@ type Adjacency interface {
 	ForInNeighbors(v NodeID, fn func(w NodeID))
 }
 
-var _ Adjacency = (*Graph)(nil)
+// AdjacencyEdges extends Adjacency with the canonical edge list: the view a
+// whole-graph kernel (triangle counting, quality metrics, MST) needs beyond
+// per-vertex neighborhoods. Both *Graph and succinct.PackedGraph implement
+// it, which is what lets the server run every query path on the resident
+// representation without materializing a raw CSR.
+//
+// Edge IDs are the canonical ones: undirected edges appear once with
+// u <= v, sorted by (u, v); directed edges are the out-arcs in (u, v)
+// order. ForEdges visits them in increasing EdgeID order.
+type AdjacencyEdges interface {
+	Adjacency
+	// M returns the number of canonical edges.
+	M() int
+	// Directed reports whether the graph is directed.
+	Directed() bool
+	// Weighted reports whether canonical edge weights are stored.
+	Weighted() bool
+	// ForEdges invokes fn for every canonical edge in increasing EdgeID
+	// order with its endpoints (u <= v for undirected graphs) and weight
+	// (1 when unweighted).
+	ForEdges(fn func(e EdgeID, u, v NodeID, w float64))
+}
+
+var (
+	_ Adjacency      = (*Graph)(nil)
+	_ AdjacencyEdges = (*Graph)(nil)
+)
+
+// ForEdges invokes fn for every canonical edge in increasing EdgeID order,
+// satisfying AdjacencyEdges.
+func (g *Graph) ForEdges(fn func(e EdgeID, u, v NodeID, w float64)) {
+	for e := range g.edgeU {
+		w := 1.0
+		if g.edgeW != nil {
+			w = g.edgeW[e]
+		}
+		fn(EdgeID(e), g.edgeU[e], g.edgeV[e], w)
+	}
+}
+
+// EdgeColumns returns read-only views of the canonical edge columns
+// (endpoints of edge e are eu[e], ev[e]). Callers must not modify them.
+// This is the zero-copy input of the triangle engine's edge-centric build.
+func (g *Graph) EdgeColumns() (eu, ev []NodeID) {
+	return g.edgeU, g.edgeV
+}
 
 // ForNeighbors invokes fn for every out-neighbor of v in increasing order,
 // satisfying Adjacency.

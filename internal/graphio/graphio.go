@@ -171,6 +171,7 @@ type snapshotHeader struct {
 	version  uint8
 	directed bool
 	weighted bool
+	permuted bool // v2 only: a vertex permutation section follows the directory
 	n, m     int
 }
 
@@ -181,6 +182,9 @@ func (h snapshotHeader) flags() uint8 {
 	}
 	if h.weighted {
 		f |= 2
+	}
+	if h.permuted {
+		f |= 4
 	}
 	return f
 }
@@ -212,6 +216,7 @@ func readHeader(br *bufio.Reader) (snapshotHeader, error) {
 	}
 	h.directed = flags&1 != 0
 	h.weighted = flags&2 != 0
+	h.permuted = flags&4 != 0
 	h.n, h.m = int(n), int(m)
 	return h, nil
 }
@@ -305,15 +310,30 @@ func readBinaryBody(br *bufio.Reader, h snapshotHeader) (*graph.Graph, error) {
 //
 // Layout after the shared 16-byte header: blockVertices u32, numBlocks u32,
 // payloadLen u64, blockOff (numBlocks+1)×u64, edgeStart (numBlocks+1)×u64,
-// payload bytes, then m float64 canonical weights when weighted.
+// then — when flag bit 4 is set — the pack-time vertex permutation as n
+// little-endian i32, then the payload bytes, then m float64 canonical
+// weights (in the stored ID space) when weighted.
 func WritePacked(w io.Writer, g *graph.Graph) (int64, error) {
+	return WritePackedOrder(w, g, succinct.OrderNone)
+}
+
+// WritePackedOrder is WritePacked under a locality ordering: the graph is
+// relabeled by the order's gap-minimizing permutation before encoding
+// (usually shrinking the payload) and the permutation is stored in the
+// snapshot, so reading restores the original IDs losslessly. OrderNone is
+// identical to WritePacked — no permutation section is written, keeping the
+// format backward compatible.
+func WritePackedOrder(w io.Writer, g *graph.Graph, order succinct.Order) (int64, error) {
 	cw := &countingWriter{w: w}
 	bw := bufio.NewWriter(cw)
-	h := snapshotHeader{version: packedVersion, directed: g.Directed(), weighted: g.Weighted(), n: g.N(), m: g.M()}
+	s, weights := succinct.EncodeStoredOrder(g, order, 0)
+	h := snapshotHeader{
+		version: packedVersion, directed: g.Directed(), weighted: g.Weighted(),
+		permuted: s.Perm != nil, n: g.N(), m: g.M(),
+	}
 	if err := writeHeader(bw, h); err != nil {
 		return 0, err
 	}
-	s := succinct.EncodeStored(g, 0)
 	for _, v := range []any{uint32(s.BlockVertices), uint32(s.NumBlocks()), uint64(len(s.Payload))} {
 		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
 			return 0, err
@@ -325,14 +345,15 @@ func WritePacked(w io.Writer, g *graph.Graph) (int64, error) {
 	if err := binary.Write(bw, binary.LittleEndian, s.EdgeStart); err != nil {
 		return 0, err
 	}
+	if s.Perm != nil {
+		if err := binary.Write(bw, binary.LittleEndian, s.Perm); err != nil {
+			return 0, err
+		}
+	}
 	if _, err := bw.Write(s.Payload); err != nil {
 		return 0, err
 	}
 	if h.weighted {
-		weights := make([]float64, g.M())
-		for e := range weights {
-			weights[e] = g.EdgeWeight(graph.EdgeID(e))
-		}
 		if err := binary.Write(bw, binary.LittleEndian, weights); err != nil {
 			return 0, err
 		}
@@ -396,6 +417,12 @@ func readPackedBody(br *bufio.Reader, h snapshotHeader) (*graph.Graph, error) {
 	}
 	if err := binary.Read(br, binary.LittleEndian, s.EdgeStart); err != nil {
 		return nil, err
+	}
+	if h.permuted {
+		s.Perm = make([]graph.NodeID, h.n)
+		if err := binary.Read(br, binary.LittleEndian, s.Perm); err != nil {
+			return nil, err
+		}
 	}
 	if _, err := io.ReadFull(br, s.Payload); err != nil {
 		return nil, err

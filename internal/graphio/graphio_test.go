@@ -7,6 +7,7 @@ import (
 
 	"slimgraph/internal/gen"
 	"slimgraph/internal/graph"
+	"slimgraph/internal/succinct"
 )
 
 func TestEdgeListRoundTrip(t *testing.T) {
@@ -250,6 +251,53 @@ func TestPackedRoundTrip(t *testing.T) {
 		}
 		if !h.Equal(g) {
 			t.Fatalf("packed round trip not bit-identical for %v", g)
+		}
+	}
+}
+
+// An ordered packed snapshot relabels on write and restores original IDs on
+// read: the round trip is lossless for every ordering, through ReadPacked
+// and the Read dispatcher alike, and OrderNone emits bytes identical to
+// WritePacked so the v2 format stays backward compatible.
+func TestPackedOrderRoundTrip(t *testing.T) {
+	graphs := []*graph.Graph{
+		gen.ErdosRenyi(80, 400, 21),
+		gen.WithUniformWeights(gen.Grid2D(6, 7, true), 1, 9, 22),
+		gen.RMATDirected(6, 4, 0.57, 0.19, 0.19, 23),
+		gen.WithUniformWeights(gen.RMATDirected(6, 4, 0.57, 0.19, 0.19, 24), 1, 3, 25),
+		graph.FromEdges(5, false, nil), // isolated vertices only
+	}
+	orders := []succinct.Order{
+		succinct.OrderNone, succinct.OrderDegree, succinct.OrderBFS, succinct.OrderWindow,
+	}
+	for _, g := range graphs {
+		var plain bytes.Buffer
+		if _, err := WritePacked(&plain, g); err != nil {
+			t.Fatal(err)
+		}
+		for _, o := range orders {
+			var buf bytes.Buffer
+			n, err := WritePackedOrder(&buf, g, o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n != int64(buf.Len()) {
+				t.Fatalf("order %s: reported %d bytes, wrote %d", o, n, buf.Len())
+			}
+			if o == succinct.OrderNone && !bytes.Equal(buf.Bytes(), plain.Bytes()) {
+				t.Fatal("OrderNone snapshot differs from WritePacked")
+			}
+			raw := buf.Bytes()
+			h, err := ReadPacked(bytes.NewReader(raw))
+			if err != nil {
+				t.Fatalf("order %s: %v", o, err)
+			}
+			if !h.Equal(g) {
+				t.Fatalf("order %s: packed round trip not bit-identical for %v", o, g)
+			}
+			if h, err = Read(bytes.NewReader(raw)); err != nil || !h.Equal(g) {
+				t.Fatalf("order %s: Read dispatch round trip differs (%v)", o, err)
+			}
 		}
 	}
 }

@@ -21,6 +21,32 @@ func DegreeDistribution(g *graph.Graph) []float64 {
 	return out
 }
 
+// DegreeDistributionOn is DegreeDistribution over any adjacency view, with
+// identical output for the same graph: degrees agree by contract, and the
+// histogram shape (max degree + 1 bins, one for degree 0) matches
+// graph.DegreeHistogram. Packed graphs pay one varint decode per vertex.
+func DegreeDistributionOn(a graph.Adjacency) []float64 {
+	n := a.N()
+	maxDeg := 0
+	for v := 0; v < n; v++ {
+		if d := a.Degree(graph.NodeID(v)); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	h := make([]int64, maxDeg+1)
+	for v := 0; v < n; v++ {
+		h[a.Degree(graph.NodeID(v))]++
+	}
+	out := make([]float64, len(h))
+	if n == 0 {
+		return out
+	}
+	for d, c := range h {
+		out[d] = float64(c) / float64(n)
+	}
+	return out
+}
+
 // PowerLawSlope fits log(fraction) = a + slope*log(degree) by least squares
 // over degrees >= 1 with nonzero mass, returning the slope and the fit's
 // R^2. The paper's Fig. 7 observation — "spanners strengthen the power law"

@@ -48,6 +48,44 @@ func Kruskal(g *graph.Graph) *Result {
 	return res
 }
 
+// KruskalOn is Kruskal over any canonical-edge view. Edge IDs, the (weight,
+// EdgeID) tie-break, and the union order all agree with the raw CSR, so the
+// forest — edges, weight sum, and tree count — is identical for every
+// representation of the same graph.
+func KruskalOn(a graph.AdjacencyEdges) *Result {
+	if g, ok := a.(*graph.Graph); ok {
+		return Kruskal(g)
+	}
+	m := a.M()
+	eu := make([]graph.NodeID, m)
+	ev := make([]graph.NodeID, m)
+	ew := make([]float64, m)
+	a.ForEdges(func(e graph.EdgeID, u, v graph.NodeID, w float64) {
+		eu[e], ev[e], ew[e] = u, v, w
+	})
+	order := make([]graph.EdgeID, m)
+	for e := range order {
+		order[e] = graph.EdgeID(e)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		wi, wj := ew[order[i]], ew[order[j]]
+		if wi != wj {
+			return wi < wj
+		}
+		return order[i] < order[j]
+	})
+	uf := unionfind.New(a.N())
+	res := &Result{}
+	for _, e := range order {
+		if uf.Union(eu[e], ev[e]) {
+			res.Edges = append(res.Edges, e)
+			res.Weight += ew[e]
+		}
+	}
+	res.Trees = uf.Sets()
+	return res
+}
+
 // Boruvka computes a minimum spanning forest with Borůvka rounds: each
 // component repeatedly selects its lightest outgoing edge. Ties are broken
 // by EdgeID, which guarantees termination and a forest identical in weight

@@ -3,8 +3,10 @@ package schemes
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"slimgraph/internal/graph"
+	"slimgraph/internal/succinct"
 	"slimgraph/internal/summarize"
 )
 
@@ -362,6 +364,55 @@ func (s *summarizeScheme) Apply(g *graph.Graph) (*Result, error) {
 	return res, nil
 }
 
+// relabelScheme implements Scheme for locality relabeling: the same graph
+// under a gap-minimizing vertex permutation. It removes nothing —
+// EdgeReduction is 0 and every query answer is the original's after ID
+// translation — but it shrinks the succinct encoding, so it composes as a
+// storage stage, e.g. "uniform:p=0.5|relabel:order=bfs". The permutation
+// rides in Result.VertexMap exactly like a vertex-renumbering scheme's
+// (VertexMap[old] = new, never -1: no vertex is dropped).
+type relabelScheme struct {
+	order   succinct.Order
+	workers int
+}
+
+// NewRelabel builds the relabel scheme. Options: WithOrderName (degree, bfs,
+// or window; default degree — order=none is rejected as a no-op),
+// WithWorkers (WithSeed is accepted and ignored: every ordering is
+// deterministic).
+func NewRelabel(opts ...Option) (Scheme, error) {
+	c := buildConfig(opts)
+	if err := c.allow("relabel", "order"); err != nil {
+		return nil, err
+	}
+	o := succinct.OrderDegree
+	if c.set["order"] {
+		var err error
+		o, err = succinct.ParseOrder(c.order)
+		if err != nil {
+			return nil, fmt.Errorf("schemes: %w", err)
+		}
+		if o == succinct.OrderNone {
+			return nil, fmt.Errorf("schemes: relabel with order=none is a no-op; use degree, bfs, or window")
+		}
+	}
+	return &relabelScheme{order: o, workers: c.workers}, nil
+}
+
+func (s *relabelScheme) Name() string   { return "relabel" }
+func (s *relabelScheme) Params() string { return "order=" + s.order.String() }
+func (s *relabelScheme) Apply(g *graph.Graph) (*Result, error) {
+	start := time.Now()
+	perm := succinct.ComputeOrder(g, s.order, s.workers)
+	out, err := g.Permute(perm, s.workers)
+	if err != nil {
+		return nil, err
+	}
+	res := finish(s.Name(), s.Params(), g, out, start)
+	res.VertexMap = perm
+	return res, nil
+}
+
 func init() {
 	Register(Registration{Name: "uniform", New: NewUniform,
 		About: "uniform edge sampling: keep each edge w.p. p (p=0.5)"})
@@ -400,4 +451,6 @@ func init() {
 		About: "Benczur-Karger cut sparsifier (rho=auto)"})
 	Register(Registration{Name: "summarize", New: NewSummarize,
 		About: "SWeG-style lossy eps-summary, decoded (eps=0.1, iters=10)"})
+	Register(Registration{Name: "relabel", New: NewRelabel,
+		About: "lossless gap-minimizing vertex relabel (order=degree|bfs|window)"})
 }

@@ -180,6 +180,8 @@ func paramOption(key, val string) (Option, error) {
 		return withVariantName(val), nil
 	case "mode":
 		return withModeName(val), nil
+	case "order":
+		return WithOrderName(val), nil
 	case "seed":
 		s, err := strconv.ParseUint(val, 10, 64)
 		if err != nil {

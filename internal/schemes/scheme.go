@@ -71,6 +71,7 @@ type config struct {
 	reweight bool
 	variant  string // raw variant name; the scheme interprets it
 	mode     string // raw inter-cluster mode name (spanner)
+	order    string // raw locality-ordering name (relabel)
 }
 
 func buildConfig(opts []Option) *config {
@@ -187,4 +188,10 @@ func withVariantName(name string) Option {
 // withModeName is the parser's untyped inter-cluster mode option.
 func withModeName(name string) Option {
 	return option("mode", func(c *config) { c.mode = name })
+}
+
+// WithOrderName selects the relabel scheme's locality ordering by name
+// (degree, bfs, or window — a succinct.Order name other than none).
+func WithOrderName(name string) Option {
+	return option("order", func(c *config) { c.order = name })
 }

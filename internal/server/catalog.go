@@ -10,6 +10,7 @@ import (
 	"slimgraph/internal/gen"
 	"slimgraph/internal/graph"
 	"slimgraph/internal/succinct"
+	"slimgraph/internal/triangles"
 )
 
 // Memory policies for catalog entries.
@@ -18,15 +19,18 @@ const (
 	// compress from.
 	MemoryRaw = "raw"
 	// MemoryPacked keeps only the succinct PackedGraph resident
-	// (typically 3-5x smaller). BFS and PageRank over the original run on
-	// the packed form in place; operations that need the raw CSR
-	// (compression, triangles, compare) unpack a transient copy per
-	// request and drop it afterwards — the documented memory/CPU trade.
+	// (typically 3-5x smaller). Every query over the original — BFS,
+	// PageRank, triangles, degrees, and the original side of compare —
+	// runs on the packed form in place; only compression (computing a
+	// variant) unpacks a transient copy that is dropped once the variant
+	// is cached. Answers are byte-identical to MemoryRaw.
 	MemoryPacked = "packed"
 )
 
 // entry is one named graph in the catalog. Entries are immutable after
-// insertion, so concurrent readers need no locking beyond the catalog map.
+// insertion (the triangle-engine arena below is lazily built exactly once
+// under its sync.Once), so concurrent readers need no locking beyond the
+// catalog map.
 type entry struct {
 	name   string
 	memory string
@@ -39,6 +43,13 @@ type entry struct {
 	n, m     int
 	directed bool
 	weighted bool
+
+	// Triangle-engine arena: the rank-oriented forward CSR is a pure
+	// function of the graph, so it is built once per entry on the first
+	// exact triangle query and reused by every later one instead of being
+	// rebuilt per request.
+	engineOnce sync.Once
+	engine     *triangles.Engine
 }
 
 // adjacency returns the resident neighborhood view: the raw CSR or the
@@ -50,9 +61,32 @@ func (e *entry) adjacency() graph.Adjacency {
 	return e.packed
 }
 
+// adjacencyEdges returns the resident canonical-edge view: the raw CSR or
+// the packed form decoded in place. Query handlers consume this (never a
+// transient unpack), which is what keeps packed entries packed on every
+// query path.
+func (e *entry) adjacencyEdges() graph.AdjacencyEdges {
+	if e.raw != nil {
+		return e.raw
+	}
+	return e.packed
+}
+
+// triangleEngine returns the entry's oriented triangle engine, building it
+// on first use. The engine's structure is deterministic and worker-count
+// independent, so the cached build is shared and only the enumeration
+// worker budget varies per request.
+func (e *entry) triangleEngine(workers int) *triangles.Engine {
+	e.engineOnce.Do(func() {
+		e.engine = triangles.NewEngineOn(e.adjacencyEdges(), workers)
+	})
+	return e.engine.WithWorkers(workers)
+}
+
 // materialize returns the entry as a raw *graph.Graph. Under MemoryRaw this
 // is the resident graph; under MemoryPacked it unpacks a transient copy the
-// caller must not retain beyond the request.
+// caller must not retain beyond the request. Only variant computation
+// (variantOf) may call this: every query handler runs on adjacencyEdges.
 func (e *entry) materialize(workers int) *graph.Graph {
 	if e.raw != nil {
 		return e.raw

@@ -142,12 +142,11 @@ func trimInputs(res *schemes.Result, g *graph.Graph) {
 	}
 }
 
-// queryTarget returns the graph a query should run on: the original when
-// spec is empty, otherwise the (possibly freshly computed) cached variant.
-func (l *Local) queryTarget(e *entry, spec string, seed uint64, workers int) (*graph.Graph, string, error) {
-	if spec == "" {
-		return e.materialize(workers), "", nil
-	}
+// variantTarget returns the cached (possibly freshly computed) variant's
+// output graph for a non-empty spec. Queries over the original never come
+// here: they run on the entry's resident adjacency — packed or raw — in
+// place, so no query path unpacks a packed graph.
+func (l *Local) variantTarget(e *entry, spec string, seed uint64, workers int) (*graph.Graph, string, error) {
 	res, canonical, _, err := l.variantOf(e, spec, seed, workers)
 	if err != nil {
 		return nil, "", err
@@ -250,7 +249,7 @@ func (l *Local) BFS(_ context.Context, name string, root int32, p QueryParams) (
 		}
 		res = traverse.BFSOn(adj, root, workers)
 	} else {
-		g, canonical, err := l.queryTarget(e, p.Spec, p.Seed, workers)
+		g, canonical, err := l.variantTarget(e, p.Spec, p.Seed, workers)
 		if err != nil {
 			return nil, err
 		}
@@ -278,7 +277,7 @@ func (l *Local) PageRank(_ context.Context, name string, k int, p QueryParams) (
 	if p.Spec == "" {
 		ranks = centrality.PageRankOn(e.adjacency(), centrality.PageRankOptions{Workers: workers})
 	} else {
-		g, canonical, err := l.queryTarget(e, p.Spec, p.Seed, workers)
+		g, canonical, err := l.variantTarget(e, p.Spec, p.Seed, workers)
 		if err != nil {
 			return nil, err
 		}
@@ -299,11 +298,25 @@ func (l *Local) Triangles(_ context.Context, name, mode string, prob float64, p 
 		return nil, Errf(http.StatusUnprocessableEntity, "triangle counting is defined for undirected graphs")
 	}
 	workers := l.clampWorkers(p.Workers)
-	g, spec, err := l.queryTarget(e, p.Spec, p.Seed, workers)
+	resp := &TrianglesResponse{Graph: e.name, Mode: mode}
+	if p.Spec == "" {
+		// The original counts on the resident form in place: exact counting
+		// reuses the entry's cached oriented engine, and DOULION samples by
+		// canonical edge ID, which packed and raw forms share.
+		if mode == "exact" {
+			c := e.triangleEngine(workers).Count()
+			resp.Count = &c
+		} else {
+			est := triangles.CountApproxOn(e.adjacencyEdges(), prob, p.Seed, workers)
+			resp.Estimate = &est
+		}
+		return resp, nil
+	}
+	g, spec, err := l.variantTarget(e, p.Spec, p.Seed, workers)
 	if err != nil {
 		return nil, err
 	}
-	resp := &TrianglesResponse{Graph: e.name, Spec: spec, Mode: mode}
+	resp.Spec = spec
 	if mode == "exact" {
 		c := triangles.Count(g, workers)
 		resp.Count = &c
@@ -320,11 +333,18 @@ func (l *Local) Degrees(_ context.Context, name string, p QueryParams) (*Degrees
 	if err != nil {
 		return nil, err
 	}
-	g, spec, err := l.queryTarget(e, p.Spec, p.Seed, l.clampWorkers(p.Workers))
-	if err != nil {
-		return nil, err
+	var dist []float64
+	spec := ""
+	if p.Spec == "" {
+		dist = metrics.DegreeDistributionOn(e.adjacency())
+	} else {
+		g, canonical, err := l.variantTarget(e, p.Spec, p.Seed, l.clampWorkers(p.Workers))
+		if err != nil {
+			return nil, err
+		}
+		spec = canonical
+		dist = metrics.DegreeDistribution(g)
 	}
-	dist := metrics.DegreeDistribution(g)
 	slope, r2 := metrics.PowerLawSlope(dist)
 	return &DegreesResponse{Graph: e.name, Spec: spec, Dist: dist, Slope: slope, R2: r2}, nil
 }
@@ -340,7 +360,10 @@ func (l *Local) Compare(_ context.Context, name string, p QueryParams) (*Compare
 	if err != nil {
 		return nil, err
 	}
-	q, err := metrics.CompareGraphs(e.materialize(workers), res.Output, workers)
+	// The original side runs on the resident view (packed in place under
+	// MemoryPacked); every Quality sub-metric is representation-independent,
+	// so the report is byte-identical to comparing against the raw CSR.
+	q, err := metrics.CompareGraphsOn(e.adjacencyEdges(), res.Output, workers)
 	if err != nil {
 		return nil, Errf(http.StatusUnprocessableEntity, "%v", err)
 	}

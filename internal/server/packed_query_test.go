@@ -1,0 +1,75 @@
+package server
+
+import (
+	"bytes"
+	"net/http"
+	"sync/atomic"
+	"testing"
+
+	"slimgraph/internal/succinct"
+)
+
+// TestPackedQueryPathsNeverUnpack pins the serving-layer guarantee that no
+// /v1/graphs query path unpacks a packed catalog entry: BFS, PageRank,
+// triangles (exact and approximate), degrees, and the original side of
+// compare all run on the packed form in place. The packed server's answers
+// must also be byte-identical to a raw-policy twin serving the same graph —
+// the packed memory policy changes residency, never results.
+func TestPackedQueryPathsNeverUnpack(t *testing.T) {
+	opts := Options{CacheCapacity: 16, MaxConcurrent: 4, MaxWorkers: 4}
+	_, rawTS := newTestServer(t, opts)
+	_, packedTS := newTestServer(t, opts)
+
+	create := func(base, memory string) {
+		code, body := postJSON(t, base+"/v1/graphs", map[string]any{
+			"name": "g", "gen": "communities", "numVertices": 400, "seed": 11,
+			"weighted": true, "memory": memory,
+		})
+		mustStatus(t, http.StatusCreated, code, body)
+	}
+	create(rawTS.URL, MemoryRaw)
+	create(packedTS.URL, MemoryPacked)
+
+	// Warm the variant cache on both servers. Computing a variant of a
+	// packed entry is the one operation that legitimately unpacks (a
+	// transient copy, dropped once the variant is cached), so it happens
+	// BEFORE the Unpack tripwire is armed; the spec'd queries below then
+	// resolve through the cache.
+	const spec = "uniform:p=0.5"
+	for _, base := range []string{rawTS.URL, packedTS.URL} {
+		code, body := postJSON(t, base+"/v1/graphs/g/compress", map[string]any{
+			"spec": spec, "seed": 3, "workers": 2,
+		})
+		mustStatus(t, http.StatusOK, code, body)
+	}
+
+	var unpacks atomic.Int64
+	succinct.UnpackHook = func(*succinct.PackedGraph) { unpacks.Add(1) }
+	defer func() { succinct.UnpackHook = nil }()
+
+	queries := []string{
+		"/v1/graphs/g/bfs?root=0&workers=2",
+		"/v1/graphs/g/pagerank?k=8&workers=2",
+		"/v1/graphs/g/triangles?workers=2",
+		"/v1/graphs/g/triangles?mode=approx&p=0.5&seed=9&workers=2",
+		// A second exact count reuses the entry's cached oriented engine.
+		"/v1/graphs/g/triangles?workers=2",
+		"/v1/graphs/g/degrees?workers=2",
+		"/v1/graphs/g/bfs?root=0&spec=" + spec + "&seed=3&workers=2",
+		"/v1/graphs/g/degrees?spec=" + spec + "&seed=3&workers=2",
+		"/v1/graphs/g/triangles?spec=" + spec + "&seed=3&workers=2",
+		"/v1/graphs/g/compare?spec=" + spec + "&seed=3&workers=2",
+	}
+	for _, q := range queries {
+		rawCode, rawBody := get(t, rawTS.URL+q)
+		mustStatus(t, http.StatusOK, rawCode, rawBody)
+		packedCode, packedBody := get(t, packedTS.URL+q)
+		mustStatus(t, http.StatusOK, packedCode, packedBody)
+		if !bytes.Equal(rawBody, packedBody) {
+			t.Errorf("%s: packed response differs from raw\nraw:    %s\npacked: %s", q, rawBody, packedBody)
+		}
+		if n := unpacks.Load(); n != 0 {
+			t.Fatalf("%s: unpacked the packed graph %d time(s); query paths must run packed in place", q, n)
+		}
+	}
+}

@@ -20,6 +20,12 @@ type Sections struct {
 	BlockOff      []uint64 // payload byte offset per block (numBlocks+1)
 	EdgeStart     []uint64 // canonical edges before each block (numBlocks+1)
 	Payload       []byte   // gap-encoded canonical lists, block order
+
+	// Perm is the pack-time vertex relabeling (Perm[original] = stored),
+	// or nil when the snapshot keeps original IDs. When present, the
+	// payload and any weight section are in the relabeled ID space, and
+	// decode maps them back.
+	Perm []graph.NodeID
 }
 
 // NumBlocks returns the number of vertex blocks.
@@ -30,7 +36,7 @@ func (s *Sections) NumBlocks() int { return len(s.BlockOff) - 1 }
 // CPUs): blocks are encoded independently and concatenated in block order.
 func EncodeStored(g *graph.Graph, workers int) *Sections {
 	shift := shiftFor(DefaultBlockVertices)
-	canonical := func(v int) []graph.NodeID {
+	canonical := func(v int, _ []graph.NodeID) []graph.NodeID {
 		nb := g.Neighbors(graph.NodeID(v))
 		if g.Directed() {
 			return nb
@@ -51,10 +57,42 @@ func EncodeStored(g *graph.Graph, workers int) *Sections {
 	}
 }
 
+// EncodeStoredOrder is EncodeStored under a locality ordering: the graph is
+// relabeled by ComputeOrder(g, order) before encoding and the permutation is
+// recorded in the sections, so DecodeStored restores the original IDs. It
+// also returns the canonical edge weights of the encoded (relabeled) graph —
+// the weight section a snapshot writer must emit — or nil when g is
+// unweighted. OrderNone degrades to plain EncodeStored.
+func EncodeStoredOrder(g *graph.Graph, order Order, workers int) (*Sections, []float64) {
+	perm := ComputeOrder(g, order, workers)
+	enc := g
+	if perm != nil {
+		var err error
+		if enc, err = g.Permute(perm, workers); err != nil {
+			panic(fmt.Sprintf("succinct: ComputeOrder produced an invalid permutation: %v", err))
+		}
+	}
+	s := EncodeStored(enc, workers)
+	s.Perm = perm
+	var weights []float64
+	if enc.Weighted() {
+		weights = make([]float64, enc.M())
+		parallel.ForChunks(enc.M(), workers, func(lo, hi int) {
+			for e := lo; e < hi; e++ {
+				weights[e] = enc.EdgeWeight(graph.EdgeID(e))
+			}
+		})
+	}
+	return s, weights
+}
+
 // DecodeStored rebuilds the graph from snapshot sections, block-parallel.
-// weights must hold the canonical edge weights when weighted is true (nil
-// otherwise). Corrupt sections return an error rather than panicking; the
-// final canonical-order validation is delegated to graph.FromCanonicalEdges.
+// weights must hold the canonical edge weights of the stored graph when
+// weighted is true (nil otherwise) — for a relabeled snapshot (s.Perm set)
+// that is the relabeled canonical order EncodeStoredOrder returned, and the
+// decoded graph is mapped back to original IDs. Corrupt sections — including
+// a non-bijective or truncated permutation — return an error rather than
+// panicking.
 func DecodeStored(n, m int, directed, weighted bool, s *Sections, weights []float64, workers int) (*graph.Graph, error) {
 	numBlocks := s.NumBlocks()
 	if numBlocks < 0 || len(s.EdgeStart) != numBlocks+1 {
@@ -138,6 +176,46 @@ func DecodeStored(n, m int, directed, weighted bool, s *Sections, weights []floa
 	})
 	if firstErr != nil {
 		return nil, firstErr
+	}
+	if s.Perm != nil {
+		if err := graph.ValidatePermutation(n, s.Perm); err != nil {
+			return nil, fmt.Errorf("succinct: stored permutation: %w", err)
+		}
+		inv := graph.InvertPermutation(s.Perm, workers)
+		// On the canonical path below FromCanonicalEdges bounds-checks the
+		// decoded endpoints; here they index inv first, so check now.
+		bad := parallel.SumInt64(m, workers, func(e int) int64 {
+			if v := edges[e].V; v < 0 || int(v) >= n {
+				return 1
+			}
+			return 0
+		})
+		if bad != 0 {
+			return nil, fmt.Errorf("succinct: %d decoded edges with out-of-range endpoints", bad)
+		}
+		parallel.ForChunks(m, workers, func(lo, hi int) {
+			for e := lo; e < hi; e++ {
+				edges[e].U = inv[edges[e].U]
+				edges[e].V = inv[edges[e].V]
+			}
+		})
+		// The inverse mapping scrambles canonical order, so rebuild through
+		// the full builder. The builder silently normalizes self-loops and
+		// duplicates a corrupt payload might decode to — re-check the edge
+		// count to keep corruption loud.
+		bld := graph.NewBuilder(n, directed)
+		bld.AddEdges(edges)
+		if weighted {
+			bld.SetWeighted()
+		}
+		g, err := bld.Build()
+		if err != nil {
+			return nil, err
+		}
+		if g.M() != m {
+			return nil, fmt.Errorf("succinct: payload decodes to %d edges after normalization, want %d", g.M(), m)
+		}
+		return g, nil
 	}
 	return graph.FromCanonicalEdges(n, directed, weighted, edges)
 }

@@ -3,6 +3,7 @@ package succinct
 import (
 	"fmt"
 	"math/bits"
+	"slices"
 	"sort"
 
 	"slimgraph/internal/graph"
@@ -46,48 +47,140 @@ type PackedGraph struct {
 
 	edgeStart []int64   // canonical edges owned by vertices before each block
 	weights   []float64 // canonical edge weights; nil when unweighted
+
+	order Order          // relabeling applied at pack time
+	perm  []graph.NodeID // original ID -> packed ID; nil when OrderNone
+	inv   []graph.NodeID // packed ID -> original ID; nil when OrderNone
 }
 
-// PackedGraph implements graph.Adjacency, so BFSOn/PageRankOn traverse it
-// in place.
-var _ graph.Adjacency = (*PackedGraph)(nil)
+// PackedGraph implements graph.Adjacency and graph.AdjacencyEdges, so both
+// per-vertex traversals (BFSOn, PageRankOn) and whole-graph kernels
+// (triangle counting, quality metrics) run on it in place.
+var (
+	_ graph.Adjacency      = (*PackedGraph)(nil)
+	_ graph.AdjacencyEdges = (*PackedGraph)(nil)
+)
 
-// Pack encodes g with the default block size. The output is deterministic:
-// identical bytes for every worker count (workers <= 0 means all CPUs).
-func Pack(g *graph.Graph, workers int) *PackedGraph {
-	return PackWithBlock(g, DefaultBlockVertices, workers)
+// PackOption configures Pack.
+type PackOption func(*packConfig)
+
+type packConfig struct {
+	blockVertices int
+	order         Order
 }
 
-// PackWithBlock is Pack with an explicit vertex-block size, rounded up to a
-// power of two (<= 0 selects the default).
+// WithOrder selects a gap-minimizing vertex relabeling applied while
+// packing: the graph is relabeled during the block-parallel encode, so the
+// accessors and Unpack see the permuted ID space while OriginalID/PackedID
+// translate back. OrderNone (the default) keeps original IDs and original
+// canonical edge IDs.
+func WithOrder(o Order) PackOption {
+	return func(c *packConfig) { c.order = o }
+}
+
+// WithBlockVertices overrides the vertex-block size of the offset directory,
+// rounded up to a power of two (<= 0 selects the default).
+func WithBlockVertices(blockVertices int) PackOption {
+	return func(c *packConfig) { c.blockVertices = blockVertices }
+}
+
+// Pack encodes g. The output is deterministic: identical bytes for every
+// worker count (workers <= 0 means all CPUs), for any fixed option set.
+func Pack(g *graph.Graph, workers int, opts ...PackOption) *PackedGraph {
+	cfg := packConfig{blockVertices: DefaultBlockVertices}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return pack(g, cfg, workers)
+}
+
+// PackWithBlock is Pack with an explicit vertex-block size.
 func PackWithBlock(g *graph.Graph, blockVertices, workers int) *PackedGraph {
-	shift := shiftFor(blockVertices)
+	return Pack(g, workers, WithBlockVertices(blockVertices))
+}
+
+func pack(g *graph.Graph, cfg packConfig, workers int) *PackedGraph {
+	shift := shiftFor(cfg.blockVertices)
 	pg := &PackedGraph{
 		n: g.N(), m: g.M(),
 		directed: g.Directed(), weighted: g.Weighted(),
 		shift: shift,
+		order: cfg.order,
+	}
+	outList := func(v int, _ []graph.NodeID) []graph.NodeID { return g.Neighbors(graph.NodeID(v)) }
+	inList := func(v int, _ []graph.NodeID) []graph.NodeID { return g.InNeighbors(graph.NodeID(v)) }
+	pg.perm = ComputeOrder(g, cfg.order, workers)
+	if pg.perm != nil {
+		pg.inv = graph.InvertPermutation(pg.perm, workers)
+		perm, inv := pg.perm, pg.inv
+		outList = func(v int, buf []graph.NodeID) []graph.NodeID {
+			return relabeledList(g.Neighbors(inv[v]), perm, buf)
+		}
+		inList = func(v int, buf []graph.NodeID) []graph.NodeID {
+			return relabeledList(g.InNeighbors(inv[v]), perm, buf)
+		}
 	}
 	var itemStart []int64
-	pg.payload, pg.blockOff, itemStart, pg.rel = encodeLists(pg.n, shift, workers, true,
-		func(v int) []graph.NodeID { return g.Neighbors(graph.NodeID(v)) })
+	pg.payload, pg.blockOff, itemStart, pg.rel = encodeLists(pg.n, shift, workers, true, outList)
 	pg.arcs = itemStart[len(itemStart)-1]
 	if pg.directed {
-		pg.inPayload, pg.inBlockOff, _, pg.inRel = encodeLists(pg.n, shift, workers, true,
-			func(v int) []graph.NodeID { return g.InNeighbors(graph.NodeID(v)) })
+		pg.inPayload, pg.inBlockOff, _, pg.inRel = encodeLists(pg.n, shift, workers, true, inList)
 		// Directed out-lists are the canonical edge list itself.
 		pg.edgeStart = itemStart
 	} else {
-		pg.edgeStart = forwardStarts(g, shift, workers)
+		pg.edgeStart = forwardStarts(pg.n, shift, workers, outList)
 	}
 	if pg.weighted {
-		pg.weights = make([]float64, pg.m)
-		parallel.ForChunks(pg.m, workers, func(lo, hi int) {
-			for e := lo; e < hi; e++ {
-				pg.weights[e] = g.EdgeWeight(graph.EdgeID(e))
-			}
-		})
+		if pg.perm != nil {
+			pg.weights = permutedWeights(g, pg.perm, workers)
+		} else {
+			pg.weights = make([]float64, pg.m)
+			parallel.ForChunks(pg.m, workers, func(lo, hi int) {
+				for e := lo; e < hi; e++ {
+					pg.weights[e] = g.EdgeWeight(graph.EdgeID(e))
+				}
+			})
+		}
 	}
 	return pg
+}
+
+// permutedWeights re-sorts g's canonical edge weights into the canonical
+// order of the relabeled graph: endpoints map through perm (swapped back
+// into u <= v for undirected graphs) and edges re-sort by (u, v). Simple
+// graphs have unique (u, v) pairs, so the order — and the weight array — is
+// fully determined.
+func permutedWeights(g *graph.Graph, perm []graph.NodeID, workers int) []float64 {
+	type permEdge struct {
+		u, v graph.NodeID
+		w    float64
+	}
+	m := g.M()
+	edges := make([]permEdge, m)
+	parallel.ForChunks(m, workers, func(lo, hi int) {
+		for e := lo; e < hi; e++ {
+			u, v := g.EdgeEndpoints(graph.EdgeID(e))
+			nu, nv := perm[u], perm[v]
+			if !g.Directed() && nu > nv {
+				nu, nv = nv, nu
+			}
+			edges[e] = permEdge{u: nu, v: nv, w: g.EdgeWeight(graph.EdgeID(e))}
+		}
+	})
+	slices.SortFunc(edges, func(a, b permEdge) int {
+		switch {
+		case a.u != b.u:
+			return int(a.u) - int(b.u)
+		case a.v != b.v:
+			return int(a.v) - int(b.v)
+		}
+		return 0
+	})
+	weights := make([]float64, m)
+	for e := range edges {
+		weights[e] = edges[e].w
+	}
+	return weights
 }
 
 // shiftFor rounds blockVertices up to a power of two and returns its log2.
@@ -112,7 +205,11 @@ func numBlocksFor(n int, shift uint) int {
 // per-block byte offsets (numBlocks+1), the exclusive prefix sums of list
 // lengths per block (numBlocks+1), and — when withRel — the bit-packed
 // per-vertex offsets relative to the block starts.
-func encodeLists(n int, shift uint, workers int, withRel bool, list func(v int) []graph.NodeID) ([]byte, []uint64, []int64, bitArray) {
+//
+// list receives a scratch slice it may reuse (relabeling closures build the
+// permuted list in it); the returned slice becomes the next call's scratch.
+// list must be safe for concurrent calls on distinct scratches.
+func encodeLists(n int, shift uint, workers int, withRel bool, list func(v int, buf []graph.NodeID) []graph.NodeID) ([]byte, []uint64, []int64, bitArray) {
 	numBlocks := numBlocksFor(n, shift)
 	bufs := make([][]byte, numBlocks)
 	var relOf [][]uint32
@@ -129,11 +226,13 @@ func encodeLists(n int, shift uint, workers int, withRel bool, list func(v int) 
 		var buf []byte
 		var rels []uint32
 		var items int64
+		var scratch []graph.NodeID
 		for v := lo; v < hi; v++ {
 			if withRel {
 				rels = append(rels, uint32(len(buf)))
 			}
-			nb := list(v)
+			nb := list(v, scratch)
+			scratch = nb
 			items += int64(len(nb))
 			buf = AppendList(buf, graph.NodeID(v), nb)
 		}
@@ -179,8 +278,9 @@ func encodeLists(n int, shift uint, workers int, withRel bool, list func(v int) 
 // forwardStarts returns, per vertex block, the number of canonical edges
 // owned by earlier blocks. An undirected vertex owns its forward arcs
 // (neighbors greater than itself) — exactly the canonical (U <= V) list.
-func forwardStarts(g *graph.Graph, shift uint, workers int) []int64 {
-	n := g.N()
+// list follows the encodeLists scratch contract, so the same (possibly
+// relabeling) closure feeds both.
+func forwardStarts(n int, shift uint, workers int, list func(v int, buf []graph.NodeID) []graph.NodeID) []int64 {
 	numBlocks := numBlocksFor(n, shift)
 	starts := make([]int64, numBlocks+1)
 	parallel.ForBlocks(numBlocks, numBlocks, workers, func(b, _, _ int) {
@@ -190,8 +290,10 @@ func forwardStarts(g *graph.Graph, shift uint, workers int) []int64 {
 			hi = n
 		}
 		var c int64
+		var scratch []graph.NodeID
 		for v := lo; v < hi; v++ {
-			nb := g.Neighbors(graph.NodeID(v))
+			nb := list(v, scratch)
+			scratch = nb
 			i := sort.Search(len(nb), func(i int) bool { return nb[i] > graph.NodeID(v) })
 			c += int64(len(nb) - i)
 		}
@@ -330,39 +432,131 @@ func (pg *PackedGraph) EdgeWeight(e graph.EdgeID) float64 {
 	return pg.weights[e]
 }
 
-// Unpack restores the full CSR graph. Pack followed by Unpack is lossless:
-// the result is graph.Equal to the packed input. workers <= 0 means all
-// CPUs; the output never depends on the worker count.
+// Order returns the vertex relabeling applied at pack time.
+func (pg *PackedGraph) Order() Order { return pg.order }
+
+// Perm returns the pack-time permutation with Perm()[original] = packed, or
+// nil when no relabeling was applied. Callers must not modify it. It
+// composes into a scheme pipeline's vertex map exactly like a relabel stage.
+func (pg *PackedGraph) Perm() []graph.NodeID { return pg.perm }
+
+// OriginalID maps a packed vertex ID back to the graph it was packed from
+// (the identity when unordered).
+func (pg *PackedGraph) OriginalID(v graph.NodeID) graph.NodeID {
+	if pg.inv == nil {
+		return v
+	}
+	return pg.inv[v]
+}
+
+// PackedID maps an original vertex ID to its packed ID (the identity when
+// unordered).
+func (pg *PackedGraph) PackedID(v graph.NodeID) graph.NodeID {
+	if pg.perm == nil {
+		return v
+	}
+	return pg.perm[v]
+}
+
+// forCanonicalBlock decodes the canonical arcs of block b in edge-ID order,
+// invoking fn with each edge's ID and endpoints (in the packed ID space).
+func (pg *PackedGraph) forCanonicalBlock(b int, fn func(e int64, u, v graph.NodeID)) {
+	lo := b << pg.shift
+	hi := lo + 1<<pg.shift
+	if hi > pg.n {
+		hi = pg.n
+	}
+	ei := pg.edgeStart[b]
+	pos := int(pg.blockOff[b])
+	for v := lo; v < hi; v++ {
+		d, p := Uvarint(pg.payload, pos)
+		cur := int64(v)
+		for i := uint64(0); i < d; i++ {
+			raw, q := Uvarint(pg.payload, p)
+			if i == 0 {
+				cur += UnZigZag(raw)
+			} else {
+				cur += int64(raw) + 1
+			}
+			p = q
+			if pg.directed || cur > int64(v) {
+				fn(ei, graph.NodeID(v), graph.NodeID(cur))
+				ei++
+			}
+		}
+		pos = p
+	}
+}
+
+// ForEdges invokes fn for every canonical edge in increasing EdgeID order
+// with its endpoints and weight, decoding the payload on the fly — the
+// graph.AdjacencyEdges view whole-graph kernels consume. IDs are in the
+// packed space; map through OriginalID for relabeled packs.
+func (pg *PackedGraph) ForEdges(fn func(e graph.EdgeID, u, v graph.NodeID, w float64)) {
+	numBlocks := numBlocksFor(pg.n, pg.shift)
+	for b := 0; b < numBlocks; b++ {
+		pg.forCanonicalBlock(b, func(e int64, u, v graph.NodeID) {
+			fn(graph.EdgeID(e), u, v, pg.EdgeWeight(graph.EdgeID(e)))
+		})
+	}
+}
+
+// FillEdgeColumns decodes the canonical edge endpoints into eu and ev (len
+// M() each), block-parallel — the bulk edge fetch behind the packed triangle
+// engine build. workers <= 0 means all CPUs.
+func (pg *PackedGraph) FillEdgeColumns(eu, ev []graph.NodeID, workers int) {
+	numBlocks := numBlocksFor(pg.n, pg.shift)
+	parallel.ForBlocks(numBlocks, numBlocks, workers, func(b, _, _ int) {
+		pg.forCanonicalBlock(b, func(e int64, u, v graph.NodeID) {
+			eu[e], ev[e] = u, v
+		})
+	})
+}
+
+// UnpackHook, when non-nil, observes every Unpack call before any decoding
+// happens. It exists for tests that pin the serving-layer guarantee that no
+// query path unpacks a packed graph: installing a failing hook turns a
+// regression into a loud test failure. Production code leaves it nil; it is
+// not synchronized and must only be set before concurrent use.
+var UnpackHook func(*PackedGraph)
+
+// Unpack restores the full CSR graph in the ORIGINAL ID space. Pack followed
+// by Unpack is lossless for every ordering: the result is graph.Equal to the
+// packed input. workers <= 0 means all CPUs; the output never depends on the
+// worker count.
 func (pg *PackedGraph) Unpack(workers int) *graph.Graph {
+	if UnpackHook != nil {
+		UnpackHook(pg)
+	}
 	numBlocks := numBlocksFor(pg.n, pg.shift)
 	edges := make([]graph.Edge, pg.m)
 	parallel.ForBlocks(numBlocks, numBlocks, workers, func(b, _, _ int) {
-		lo := b << pg.shift
-		hi := lo + 1<<pg.shift
-		if hi > pg.n {
-			hi = pg.n
-		}
-		ei := pg.edgeStart[b]
-		pos := int(pg.blockOff[b])
-		for v := lo; v < hi; v++ {
-			d, p := Uvarint(pg.payload, pos)
-			cur := int64(v)
-			for i := uint64(0); i < d; i++ {
-				raw, q := Uvarint(pg.payload, p)
-				if i == 0 {
-					cur += UnZigZag(raw)
-				} else {
-					cur += int64(raw) + 1
-				}
-				p = q
-				if pg.directed || cur > int64(v) {
-					edges[ei] = graph.Edge{U: graph.NodeID(v), V: graph.NodeID(cur), W: pg.EdgeWeight(graph.EdgeID(ei))}
-					ei++
-				}
-			}
-			pos = p
-		}
+		pg.forCanonicalBlock(b, func(e int64, u, v graph.NodeID) {
+			edges[e] = graph.Edge{U: u, V: v, W: pg.EdgeWeight(graph.EdgeID(e))}
+		})
 	})
+	if pg.inv != nil {
+		// Relabeled pack: map endpoints back to original IDs. The mapping
+		// scrambles canonical order, so rebuild through the deterministic
+		// counting-sort path instead of FromCanonicalEdges.
+		inv := pg.inv
+		parallel.ForChunks(pg.m, workers, func(lo, hi int) {
+			for e := lo; e < hi; e++ {
+				edges[e].U = inv[edges[e].U]
+				edges[e].V = inv[edges[e].V]
+			}
+		})
+		bld := graph.NewBuilder(pg.n, pg.directed)
+		bld.AddEdges(edges)
+		if pg.weighted {
+			bld.SetWeighted()
+		}
+		g, err := bld.Build()
+		if err != nil {
+			panic(fmt.Sprintf("succinct: corrupt packed graph: %v", err))
+		}
+		return g
+	}
 	g, err := graph.FromCanonicalEdges(pg.n, pg.directed, pg.weighted, edges)
 	if err != nil {
 		panic(fmt.Sprintf("succinct: corrupt packed graph: %v", err))
@@ -373,18 +567,20 @@ func (pg *PackedGraph) Unpack(workers int) *graph.Graph {
 // Stats breaks down a PackedGraph's footprint.
 type Stats struct {
 	PayloadBytes  int64 // gap-encoded adjacency stream(s)
-	DirectoryBits int64 // block offsets + bit-packed relative offsets + edge starts
+	DirectoryBits int64 // block offsets + relative offsets + edge starts + pack-time permutation
 	WeightBytes   int64
 	SizeBits      int64   // total
 	BitsPerEdge   float64 // SizeBits / M
 	RawCSRBits    int64   // footprint of the graph.Graph arrays it replaces
 }
 
-// SizeBits returns the total in-memory footprint in bits.
+// SizeBits returns the total in-memory footprint in bits. A relabeled pack
+// honestly counts its permutation and inverse at 32 bits per vertex each.
 func (pg *PackedGraph) SizeBits() int64 {
 	payload := int64(len(pg.payload)+len(pg.inPayload)) * 8
 	dir := int64(len(pg.blockOff)+len(pg.inBlockOff)+len(pg.edgeStart)) * 64
 	dir += pg.rel.sizeBits() + pg.inRel.sizeBits()
+	dir += int64(len(pg.perm)+len(pg.inv)) * 32
 	return payload + dir + int64(len(pg.weights))*64
 }
 

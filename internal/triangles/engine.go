@@ -27,10 +27,14 @@ import (
 // (ascending lowest edge, then ascending third vertex), which keeps
 // Edge-Once kernels bit-identical to the pre-engine implementation.
 type Engine struct {
-	g       *graph.Graph
+	g       graph.AdjacencyEdges
 	workers int
 
 	key []uint64 // rank key per vertex: degree<<32 | ID
+
+	// Canonical edge columns: zero-copy views into the raw CSR when the
+	// representation exposes them, otherwise decoded once at build time.
+	eu, ev []graph.NodeID
 
 	// Forward CSR: off has length n+1; nbr/eid hold, for each vertex, its
 	// higher-ranked neighbors in increasing ID order with canonical EdgeIDs.
@@ -43,60 +47,62 @@ type Engine struct {
 	work []int64
 }
 
-// NewEngine builds the enumeration substrate for g. workers <= 0 uses all
-// CPUs; the same value drives every subsequent enumeration on the engine.
-// Directed graphs are not supported: callers must symmetrize first.
+// NewEngine builds the enumeration substrate for a raw CSR graph. workers
+// <= 0 uses all CPUs; the same value drives every subsequent enumeration on
+// the engine. Directed graphs are not supported: callers must symmetrize
+// first.
 func NewEngine(g *graph.Graph, workers int) *Engine {
-	if g.Directed() {
+	return NewEngineOn(g, workers)
+}
+
+// NewEngineOn builds the enumeration substrate for any canonical-edge view —
+// *graph.Graph or succinct.PackedGraph alike, which is how the server counts
+// triangles on packed graphs without materializing a raw CSR. For a fixed
+// logical graph the built structure and every result are bit-identical
+// across representations and worker counts.
+func NewEngineOn(a graph.AdjacencyEdges, workers int) *Engine {
+	if a.Directed() {
 		panic("triangles: directed graphs are not supported; symmetrize first")
 	}
-	n, m := g.N(), g.M()
-	en := &Engine{g: g, workers: workers}
+	n, m := a.N(), a.M()
+	en := &Engine{g: a, workers: workers}
 
 	en.key = make([]uint64, n)
 	parallel.For(n, workers, func(v int) {
-		en.key[v] = uint64(g.Degree(graph.NodeID(v)))<<32 | uint64(uint32(v))
+		en.key[v] = uint64(a.Degree(graph.NodeID(v)))<<32 | uint64(uint32(v))
 	})
 
-	// Forward degrees, offsets, and the filtered fill. Each vertex owns its
-	// own slot and output range, so both passes are trivially deterministic.
-	en.off = make([]int64, n+1)
-	blocks := parallel.Blocks(n, 0, workers)
-	parallel.ForBlocks(n, blocks, workers, func(_, lo, hi int) {
-		for v := lo; v < hi; v++ {
-			kv := en.key[v]
-			var c int64
-			for _, b := range g.Neighbors(graph.NodeID(v)) {
-				if en.key[b] > kv {
-					c++
-				}
-			}
-			en.off[v] = c
+	en.eu, en.ev = edgeColumns(a, workers)
+
+	// Edge-centric forward fill: stably scatter every canonical edge to its
+	// lower-rank endpoint. Edges arrive in canonical (u, v) order, so the
+	// arcs landing at vertex v are its lower-ID neighbors ascending (edges
+	// (w, v), sorted by w) followed by its higher-ID neighbors ascending
+	// (edges (v, w), sorted by w) — overall ascending by neighbor ID, with
+	// canonical EdgeIDs. That is bit-identical to a per-vertex rank-filtered
+	// fill of the raw CSR, without needing per-vertex edge views.
+	en.nbr = make([]graph.NodeID, m)
+	en.eid = make([]graph.EdgeID, m)
+	lowRank := func(e int) int {
+		u, v := en.eu[e], en.ev[e]
+		if en.key[v] < en.key[u] {
+			return int(v)
 		}
-	})
-	total := parallel.ExclusiveScan(en.off[:n], workers)
-	en.off[n] = total
-	en.nbr = make([]graph.NodeID, total)
-	en.eid = make([]graph.EdgeID, total)
-	parallel.ForBlocks(n, blocks, workers, func(_, lo, hi int) {
-		for v := lo; v < hi; v++ {
-			kv := en.key[v]
-			pos := en.off[v]
-			ns, es := g.NeighborEdges(graph.NodeID(v))
-			for i, b := range ns {
-				if en.key[b] > kv {
-					en.nbr[pos] = b
-					en.eid[pos] = es[i]
-					pos++
-				}
-			}
+		return int(u)
+	}
+	en.off = parallel.CountingScatter(m, n, workers, lowRank, func(e int, pos int64) {
+		u, v := en.eu[e], en.ev[e]
+		if en.key[v] < en.key[u] {
+			u, v = v, u
 		}
+		en.nbr[pos] = v
+		en.eid[pos] = graph.EdgeID(e)
 	})
 
 	en.work = make([]int64, m+1)
 	parallel.ForBlocks(m, parallel.Blocks(m, 0, workers), workers, func(_, lo, hi int) {
 		for e := lo; e < hi; e++ {
-			u, v := g.EdgeEndpoints(graph.EdgeID(e))
+			u, v := en.eu[e], en.ev[e]
 			en.work[e] = (en.off[u+1] - en.off[u]) + (en.off[v+1] - en.off[v]) + 1
 		}
 	})
@@ -104,11 +110,46 @@ func NewEngine(g *graph.Graph, workers int) *Engine {
 	return en
 }
 
-// Graph returns the graph the engine was built for.
-func (en *Engine) Graph() *graph.Graph { return en.g }
+// edgeColumns fetches the canonical edge columns of a: zero-copy views when
+// the representation exposes them (raw CSR), a block-parallel bulk decode
+// when it supports one (packed), and a serial ForEdges sweep otherwise.
+func edgeColumns(a graph.AdjacencyEdges, workers int) (eu, ev []graph.NodeID) {
+	if t, ok := a.(interface {
+		EdgeColumns() (eu, ev []graph.NodeID)
+	}); ok {
+		return t.EdgeColumns()
+	}
+	m := a.M()
+	eu = make([]graph.NodeID, m)
+	ev = make([]graph.NodeID, m)
+	if t, ok := a.(interface {
+		FillEdgeColumns(eu, ev []graph.NodeID, workers int)
+	}); ok {
+		t.FillEdgeColumns(eu, ev, workers)
+		return eu, ev
+	}
+	a.ForEdges(func(e graph.EdgeID, u, v graph.NodeID, _ float64) {
+		eu[e], ev[e] = u, v
+	})
+	return eu, ev
+}
+
+// Graph returns the canonical-edge view the engine was built for.
+func (en *Engine) Graph() graph.AdjacencyEdges { return en.g }
 
 // Workers returns the configured parallelism.
 func (en *Engine) Workers() int { return en.workers }
+
+// WithWorkers returns a copy of the engine that enumerates with the given
+// parallelism while sharing the built structure. The structure never depends
+// on the worker count, so results from the copy are identical to rebuilding
+// the engine with that count — this is what lets a server cache one engine
+// per graph and serve queries with per-request worker settings.
+func (en *Engine) WithWorkers(workers int) *Engine {
+	c := *en
+	c.workers = workers
+	return &c
+}
 
 // forward returns F(v) as parallel neighbor/edge views.
 func (en *Engine) forward(v graph.NodeID) ([]graph.NodeID, []graph.EdgeID) {
@@ -118,7 +159,7 @@ func (en *Engine) forward(v graph.NodeID) ([]graph.NodeID, []graph.EdgeID) {
 
 // orient returns the endpoints of e ordered by rank: rank(u) < rank(v).
 func (en *Engine) orient(e graph.EdgeID) (u, v graph.NodeID) {
-	u, v = en.g.EdgeEndpoints(e)
+	u, v = en.eu[e], en.ev[e]
 	if en.key[v] < en.key[u] {
 		u, v = v, u
 	}
