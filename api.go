@@ -17,6 +17,7 @@ import (
 	"slimgraph/internal/mincut"
 	"slimgraph/internal/mis"
 	"slimgraph/internal/mst"
+	"slimgraph/internal/obs"
 	"slimgraph/internal/rng"
 	"slimgraph/internal/schemes"
 	"slimgraph/internal/server"
@@ -692,11 +693,49 @@ func PowerLawSlope(dist []float64) (slope, r2 float64) { return metrics.PowerLaw
 type Server = server.Server
 
 // ServerOptions configures NewServer: variant-cache capacity, the
-// heavy-request concurrency bound, and the per-request worker-budget cap.
+// heavy-request concurrency bound, the per-request worker-budget cap, and
+// the observability hooks (metrics Registry, request Logger).
 type ServerOptions = server.Options
 
 // ServerCacheStats is a snapshot of the variant cache counters.
 type ServerCacheStats = server.CacheStats
+
+// Observability: the dependency-free metrics and request-tracing core
+// behind GET /metrics and the X-Slimgraph-Request header. See internal/obs.
+
+// MetricsRegistry holds named metric families (counters, gauges,
+// fixed-bucket histograms) and renders Prometheus text exposition; every
+// server records into one and serves it on GET /metrics.
+type MetricsRegistry = obs.Registry
+
+// NewMetricsRegistry returns an empty metrics registry — pass it via
+// ServerOptions.Registry to share one exposition across components, or let
+// each server create its own.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// MetricLabel is one key=value dimension of a metric.
+type MetricLabel = obs.Label
+
+// HistogramSnapshot is a point-in-time histogram copy: per-bucket counts
+// over fixed bounds, mergeable exactly when bounds match — the type the
+// cluster's per-shard latency stats travel as.
+type HistogramSnapshot = obs.HistogramSnapshot
+
+// RequestLogger receives one structured record per HTTP request.
+type RequestLogger = obs.Logger
+
+// NewTextRequestLogger returns a RequestLogger writing one key=value line
+// per request to w, safe for concurrent use.
+func NewTextRequestLogger(w io.Writer) RequestLogger { return obs.NewTextLogger(w) }
+
+// RequestIDHeader is the HTTP header carrying the request ID, assigned by
+// the server when absent and forwarded verbatim on every coordinator→shard
+// sub-request.
+const RequestIDHeader = obs.RequestIDHeader
+
+// ServerBuildInfo identifies a serving binary (module version, Go
+// toolchain, VCS revision); it rides on /v1/stats.
+type ServerBuildInfo = obs.BuildInfo
 
 // Memory policies for graphs in the server catalog: raw CSR or the
 // succinct packed form traversed in place.

@@ -11,13 +11,19 @@
 //
 // A coordinator serves the same /v1/graphs API as a standalone server by
 // scatter/gathering over its -peers shards (see internal/cluster). All
-// roles expose /healthz (process liveness) and /readyz (traffic
-// readiness: preloads finished; for a coordinator, every shard ready) and
-// shut down gracefully on SIGINT/SIGTERM, draining in-flight requests up
-// to -drain before exiting.
+// roles expose /healthz (process liveness), /readyz (traffic readiness:
+// preloads finished; for a coordinator, every shard ready), and /metrics
+// (Prometheus text exposition: per-endpoint latency histograms, variant
+// cache counters, catalog residency, per-shard sub-request timing on a
+// coordinator). Every request carries an X-Slimgraph-Request ID — assigned
+// if absent, forwarded on coordinator→shard sub-requests — and emits one
+// structured key=value log line on stderr. -debug-addr starts a second
+// listener with /debug/pprof and a /metrics mirror for live profiling.
+// All roles shut down gracefully on SIGINT/SIGTERM, draining in-flight
+// requests up to -drain before exiting.
 //
-// See the README "Serving" and "Running a cluster" sections for endpoint
-// walkthroughs.
+// See the README "Serving", "Running a cluster", and "Observability"
+// sections for endpoint walkthroughs.
 package main
 
 import (
@@ -25,8 +31,10 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -35,42 +43,80 @@ import (
 
 	"slimgraph/internal/cluster"
 	"slimgraph/internal/graphio"
+	"slimgraph/internal/obs"
 	"slimgraph/internal/server"
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the whole daemon behind a testable seam: it parses args, wires the
+// role, and serves until a signal. Flag-validation failures return 2 and
+// runtime failures 1, so the exit paths golden tests pin are ordinary
+// returns rather than log.Fatalf process exits.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("slimgraphd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		role    = flag.String("role", "standalone", "process role: standalone | coordinator | shard")
-		peers   = flag.String("peers", "", "comma-separated shard base URLs (coordinator only)")
-		shardTO = flag.Duration("shard-timeout", 15*time.Second, "per-shard sub-request deadline (coordinator only)")
-		drain   = flag.Duration("drain", 10*time.Second, "graceful-shutdown deadline for in-flight requests")
-		cacheN  = flag.Int("cache", 64, "max resident compressed variants (LRU)")
-		maxConc = flag.Int("max-concurrent", 0, "max heavy requests in flight (0 = 2x CPUs)")
-		maxWork = flag.Int("max-workers", 0, "per-request worker-budget cap (0 = all CPUs)")
-		memory  = flag.String("memory", server.MemoryRaw, "residency policy for -load/-demo graphs: raw | packed")
-		demo    = flag.Int("demo", 0, "preload a demo R-MAT graph named \"demo\" at this scale (0 = off)")
+		addr      = fs.String("addr", ":8080", "listen address")
+		role      = fs.String("role", "standalone", "process role: standalone | coordinator | shard")
+		peers     = fs.String("peers", "", "comma-separated shard base URLs (coordinator only)")
+		shardTO   = fs.Duration("shard-timeout", 15*time.Second, "per-shard sub-request deadline (coordinator only)")
+		drain     = fs.Duration("drain", 10*time.Second, "graceful-shutdown deadline for in-flight requests")
+		cacheN    = fs.Int("cache", 64, "max resident compressed variants (LRU)")
+		maxConc   = fs.Int("max-concurrent", 0, "max heavy requests in flight (0 = 2x CPUs)")
+		maxWork   = fs.Int("max-workers", 0, "per-request worker-budget cap (0 = all CPUs)")
+		memory    = fs.String("memory", server.MemoryRaw, "residency policy for -load/-demo graphs: raw | packed")
+		demo      = fs.Int("demo", 0, "preload a demo R-MAT graph named \"demo\" at this scale (0 = off)")
+		debugAddr = fs.String("debug-addr", "", "serve /debug/pprof and a /metrics mirror on this extra address (empty = off)")
+		version   = fs.Bool("version", false, "print build/version info and exit")
 	)
 	var loads []string
-	flag.Func("load", "preload name=path (edge list or snapshot; repeatable)", func(v string) error {
+	fs.Func("load", "preload name=path (edge list or snapshot; repeatable)", func(v string) error {
 		if !strings.Contains(v, "=") {
 			return fmt.Errorf("want name=path, got %q", v)
 		}
 		loads = append(loads, v)
 		return nil
 	})
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+	if *version {
+		b := obs.Build()
+		rev := b.Revision
+		if rev == "" {
+			rev = "unknown"
+		}
+		if b.Modified {
+			rev += "+dirty"
+		}
+		fmt.Fprintf(stdout, "slimgraphd %s (%s, revision %s)\n", b.Version, b.GoVersion, rev)
+		return 0
+	}
 
+	// Operational messages go through lg; per-request structured logging
+	// goes through the obs logger the server options carry.
+	lg := log.New(stderr, "", log.LstdFlags)
 	opts := server.Options{
 		CacheCapacity: *cacheN,
 		MaxConcurrent: *maxConc,
 		MaxWorkers:    *maxWork,
+		Logger:        obs.NewTextLogger(stderr),
 	}
 
 	var srv *server.Server
 	var handler http.Handler
 	switch *role {
 	case "standalone", "shard":
+		if *peers != "" {
+			fmt.Fprintln(stderr, "slimgraphd: -peers applies only to -role coordinator")
+			return 2
+		}
 		srv = server.New(opts)
 		// Hold traffic off until the preloads finish; a load balancer
 		// watching /readyz won't route to a shard still parsing graphs.
@@ -79,58 +125,84 @@ func main() {
 		if *role == "shard" {
 			handler = cluster.WrapShard(srv).Handler()
 		}
-		if *peers != "" {
-			log.Fatalf("slimgraphd: -peers applies only to -role coordinator")
-		}
 	case "coordinator":
 		shards := splitPeers(*peers)
 		if len(shards) == 0 {
-			log.Fatalf("slimgraphd: -role coordinator needs -peers")
+			fmt.Fprintln(stderr, "slimgraphd: -role coordinator needs -peers")
+			return 2
 		}
 		coord, err := cluster.NewCoordinator(cluster.Options{Shards: shards, ShardTimeout: *shardTO})
 		if err != nil {
-			log.Fatalf("slimgraphd: %v", err)
+			fmt.Fprintf(stderr, "slimgraphd: %v\n", err)
+			return 2
 		}
 		srv = server.NewWithBackend(coord, coord, opts)
+		coord.Instrument(srv.Registry())
 		srv.SetNotReady("loading graphs")
 		srv.SetReadyCheck(coord.Ready)
 		handler = srv.Handler()
-		log.Printf("coordinating %d shards: %s", len(shards), strings.Join(shards, ", "))
+		lg.Printf("coordinating %d shards: %s", len(shards), strings.Join(shards, ", "))
 	default:
-		log.Fatalf("slimgraphd: unknown -role %q (standalone | coordinator | shard)", *role)
+		fmt.Fprintf(stderr, "slimgraphd: unknown -role %q (standalone | coordinator | shard)\n", *role)
+		return 2
 	}
 
 	for _, nv := range loads {
 		name, path, _ := strings.Cut(nv, "=")
 		if err := preload(srv, name, path, *memory); err != nil {
-			log.Fatalf("slimgraphd: -load %s: %v", nv, err)
+			fmt.Fprintf(stderr, "slimgraphd: -load %s: %v\n", nv, err)
+			return 1
 		}
-		log.Printf("loaded %q from %s", name, path)
+		lg.Printf("loaded %q from %s", name, path)
 	}
 	if *demo > 0 {
 		if err := srv.AddGenerated("demo", "rmat", *demo, 8, 0, 1, false, *memory, 0); err != nil {
-			log.Fatalf("slimgraphd: -demo: %v", err)
+			fmt.Fprintf(stderr, "slimgraphd: -demo: %v\n", err)
+			return 1
 		}
-		log.Printf("generated demo graph at scale %d", *demo)
+		lg.Printf("generated demo graph at scale %d", *demo)
 	}
 	srv.SetReady()
 
-	if err := serve(*addr, *role, logging(handler), *drain); err != nil {
-		log.Fatalf("slimgraphd: %v", err)
+	if *debugAddr != "" {
+		go serveDebug(lg, *debugAddr, srv.Registry())
+	}
+	if err := serve(lg, *addr, *role, handler, *drain); err != nil {
+		fmt.Fprintf(stderr, "slimgraphd: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// serveDebug runs the introspection listener: the pprof surface (explicitly
+// registered — slimgraphd never touches http.DefaultServeMux) plus a mirror
+// of the metrics registry. Keeping it on its own address means profiling
+// endpoints are never exposed on the public port.
+func serveDebug(lg *log.Logger, addr string, reg *obs.Registry) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/metrics", reg.Handler())
+	lg.Printf("debug listener (pprof, metrics) on %s", addr)
+	if err := http.ListenAndServe(addr, mux); err != nil {
+		lg.Printf("debug listener: %v", err)
 	}
 }
 
 // serve runs the HTTP server until SIGINT/SIGTERM, then drains: new
 // connections stop, in-flight requests get up to the drain deadline, and
 // the exit is clean so orchestrators don't log a crash on every deploy.
-func serve(addr, role string, handler http.Handler, drain time.Duration) error {
+func serve(lg *log.Logger, addr, role string, handler http.Handler, drain time.Duration) error {
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
 	hs := &http.Server{Addr: addr, Handler: handler}
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("slimgraphd %s listening on %s", role, addr)
+		lg.Printf("slimgraphd %s listening on %s", role, addr)
 		errc <- hs.ListenAndServe()
 	}()
 
@@ -139,7 +211,7 @@ func serve(addr, role string, handler http.Handler, drain time.Duration) error {
 		return err
 	case <-ctx.Done():
 	}
-	log.Printf("slimgraphd shutting down (draining up to %v)", drain)
+	lg.Printf("slimgraphd shutting down (draining up to %v)", drain)
 	sctx, cancel := context.WithTimeout(context.Background(), drain)
 	defer cancel()
 	if err := hs.Shutdown(sctx); err != nil {
@@ -148,7 +220,7 @@ func serve(addr, role string, handler http.Handler, drain time.Duration) error {
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}
-	log.Printf("slimgraphd stopped")
+	lg.Printf("slimgraphd stopped")
 	return nil
 }
 
@@ -177,13 +249,4 @@ func preload(srv *server.Server, name, path, memory string) error {
 		return err
 	}
 	return srv.AddGraph(name, memory, "file:"+path, g, 0)
-}
-
-// logging is a minimal request log: method, path, and wall time.
-func logging(next http.Handler) http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		start := time.Now()
-		next.ServeHTTP(w, r)
-		log.Printf("%s %s %v", r.Method, r.URL.Path, time.Since(start).Round(time.Microsecond))
-	})
 }

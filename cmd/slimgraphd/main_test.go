@@ -1,0 +1,84 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// runCapture invokes run with captured stdout/stderr.
+func runCapture(args ...string) (code int, stdout, stderr string) {
+	var out, errb strings.Builder
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+// TestRunFlagValidation pins the exit codes and messages of every
+// flag-validation path: 2 for usage errors, 1 for runtime failures, 0 for
+// informational exits.
+func TestRunFlagValidation(t *testing.T) {
+	cases := []struct {
+		name       string
+		args       []string
+		wantCode   int
+		wantStderr string // substring; "" means don't check
+	}{
+		{"peers without coordinator role", []string{"-peers", "http://x:1"},
+			2, "-peers applies only to -role coordinator"},
+		{"peers with shard role", []string{"-role", "shard", "-peers", "http://x:1"},
+			2, "-peers applies only to -role coordinator"},
+		{"coordinator without peers", []string{"-role", "coordinator"},
+			2, "-role coordinator needs -peers"},
+		{"unknown role", []string{"-role", "replica"},
+			2, `unknown -role "replica"`},
+		{"load without equals", []string{"-load", "justapath"},
+			2, "want name=path"},
+		{"unknown flag", []string{"-no-such-flag"},
+			2, "flag provided but not defined"},
+		{"load missing file", []string{"-load", "g=/nonexistent/graph.el"},
+			1, "no such file"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, _, stderr := runCapture(tc.args...)
+			if code != tc.wantCode {
+				t.Fatalf("exit code %d, want %d; stderr:\n%s", code, tc.wantCode, stderr)
+			}
+			if tc.wantStderr != "" && !strings.Contains(stderr, tc.wantStderr) {
+				t.Fatalf("stderr missing %q:\n%s", tc.wantStderr, stderr)
+			}
+		})
+	}
+}
+
+func TestRunHelp(t *testing.T) {
+	code, _, stderr := runCapture("-h")
+	if code != 0 {
+		t.Fatalf("-h exit code %d, want 0", code)
+	}
+	if !strings.Contains(stderr, "-role") || !strings.Contains(stderr, "-debug-addr") {
+		t.Fatalf("usage text incomplete:\n%s", stderr)
+	}
+}
+
+func TestRunVersion(t *testing.T) {
+	code, stdout, stderr := runCapture("-version")
+	if code != 0 {
+		t.Fatalf("-version exit code %d, want 0; stderr: %s", code, stderr)
+	}
+	if !strings.HasPrefix(stdout, "slimgraphd ") || !strings.Contains(stdout, "go1.") {
+		t.Fatalf("version output %q", stdout)
+	}
+}
+
+func TestSplitPeers(t *testing.T) {
+	got := splitPeers(" http://a:1/, ,http://b:2 ,")
+	want := []string{"http://a:1", "http://b:2"}
+	if len(got) != len(want) {
+		t.Fatalf("splitPeers = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("splitPeers = %v, want %v", got, want)
+		}
+	}
+}

@@ -117,6 +117,22 @@
 // variant cache exactly once. A hung or dead shard fails requests fast
 // with a 502 and never leaves a partially replicated variant behind.
 //
+// # Observability
+//
+// Servers are instrumented end to end with a dependency-free metrics
+// registry (NewMetricsRegistry; share one via ServerOptions.Registry):
+// GET /metrics serves Prometheus text exposition with per-endpoint
+// latency histograms, variant-cache counters, catalog residency gauges,
+// per-scheme compression timing, and — on a coordinator — per-shard
+// sub-request histograms whose mergeable snapshots (HistogramSnapshot)
+// sum to exactly the cluster aggregate. Every request carries an
+// X-Slimgraph-Request ID (RequestIDHeader), forwarded on shard
+// sub-requests so one ID stitches a scatter/gather together, and emits
+// one structured log line through ServerOptions.Logger
+// (NewTextRequestLogger for key=value output). slimgraphd's -debug-addr
+// adds a pprof listener; /v1/stats reports uptime and build info
+// (ServerBuildInfo).
+//
 // # Quick start
 //
 //	g := slimgraph.GenerateRMAT(14, 8, 1) // 16k vertices, ~130k edges

@@ -40,6 +40,8 @@ import (
 	"net/http"
 	"net/url"
 	"time"
+
+	"slimgraph/internal/obs"
 )
 
 // Options configures a Coordinator.
@@ -55,6 +57,14 @@ type Options struct {
 	// Client is the HTTP client for shard calls (default: a dedicated
 	// client with keep-alives).
 	Client *http.Client
+	// Registry, when non-nil, is passed to Coordinator.Instrument by
+	// StartLocal and shared with the front server, so sub-request
+	// histograms and HTTP metrics land in one exposition. Nil lets the
+	// front server create its own (retrievable via Front.Registry()).
+	Registry *obs.Registry
+	// Logger receives the front server's structured request log in
+	// StartLocal-built clusters.
+	Logger obs.Logger
 }
 
 func (o Options) timeout() time.Duration {
@@ -98,6 +108,12 @@ func doJSON(ctx context.Context, client *http.Client, method, addr, path string,
 	}
 	if contentType != "" {
 		req.Header.Set("Content-Type", contentType)
+	}
+	// Forward the client request's ID verbatim so one ID stitches the whole
+	// scatter/gather fan-out: the coordinator's middleware put it in ctx,
+	// and each shard's middleware adopts it for its own log line.
+	if id := obs.RequestID(ctx); id != "" {
+		req.Header.Set(obs.RequestIDHeader, id)
 	}
 	resp, err := client.Do(req)
 	if err != nil {

@@ -11,11 +11,13 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"time"
 
 	"slimgraph/internal/distributed"
 	"slimgraph/internal/graph"
 	"slimgraph/internal/graphio"
 	"slimgraph/internal/metrics"
+	"slimgraph/internal/obs"
 	"slimgraph/internal/server"
 )
 
@@ -26,9 +28,28 @@ import (
 type Coordinator struct {
 	opts   Options
 	client *http.Client
+	start  time.Time
+	met    *coordMetrics // nil until Instrument; set before traffic
 
 	mu     sync.RWMutex
 	graphs map[string]server.GraphInfo
+}
+
+// coordMetrics is the coordinator's sub-request telemetry: one series set
+// per shard plus the aggregate histogram. The per-shard histograms share
+// the aggregate's bucket layout, so merging the per-shard snapshots yields
+// exactly the aggregate — the histogram analogue of MergeStats.
+type coordMetrics struct {
+	total    *obs.Histogram
+	perShard []shardMetrics
+}
+
+type shardMetrics struct {
+	requests *obs.Counter
+	failures *obs.Counter
+	latency  *obs.Histogram
+	inflight *obs.Gauge
+	up       *obs.Gauge
 }
 
 // NewCoordinator returns a coordinator over opts.Shards.
@@ -40,11 +61,68 @@ func NewCoordinator(opts Options) (*Coordinator, error) {
 	if client == nil {
 		client = &http.Client{}
 	}
-	return &Coordinator{opts: opts, client: client, graphs: map[string]server.GraphInfo{}}, nil
+	return &Coordinator{opts: opts, client: client, start: time.Now(), graphs: map[string]server.GraphInfo{}}, nil
 }
 
 // Shards returns the shard base URLs in rank order.
 func (c *Coordinator) Shards() []string { return append([]string(nil), c.opts.Shards...) }
+
+// Instrument registers the coordinator's sub-request telemetry on reg:
+// per-shard request/failure counters, latency histograms, in-flight and
+// up/down gauges, plus the cluster-wide aggregate histogram. Call it once
+// during wiring, before the coordinator serves traffic — StartLocal and
+// cmd/slimgraphd point it at the front server's registry so everything
+// exposes on one /metrics.
+func (c *Coordinator) Instrument(reg *obs.Registry) {
+	m := &coordMetrics{
+		total: reg.Histogram("slimgraph_cluster_subrequest_seconds",
+			"Coordinator→shard sub-request latency in seconds, all shards.", nil),
+	}
+	for i := range c.opts.Shards {
+		l := obs.Label{Key: "shard", Value: strconv.Itoa(i)}
+		m.perShard = append(m.perShard, shardMetrics{
+			requests: reg.Counter("slimgraph_shard_requests_total",
+				"Sub-requests sent to the shard.", l),
+			failures: reg.Counter("slimgraph_shard_failures_total",
+				"Sub-requests that failed at transport level or with a 5xx.", l),
+			latency: reg.Histogram("slimgraph_shard_request_seconds",
+				"Sub-request latency in seconds, per shard.", nil, l),
+			inflight: reg.Gauge("slimgraph_shard_inflight",
+				"Sub-requests to the shard outstanding right now.", l),
+			up: reg.Gauge("slimgraph_shard_up",
+				"1 when the shard's most recent sub-request succeeded (4xx counts as up: the shard answered).", l),
+		})
+	}
+	c.met = m
+}
+
+// observe wraps one sub-request to shard i with the telemetry: request
+// count, in-flight, latency (per shard and aggregate), and the up gauge. A
+// 4xx shard reply leaves the shard up — it answered; only transport
+// failures, timeouts, and 5xx mark it down and count as failures.
+func (c *Coordinator) observe(i int, fn func() error) error {
+	m := c.met
+	if m == nil {
+		return fn()
+	}
+	sm := &m.perShard[i]
+	sm.inflight.Add(1)
+	start := time.Now()
+	err := fn()
+	elapsed := time.Since(start).Seconds()
+	sm.inflight.Add(-1)
+	sm.requests.Inc()
+	sm.latency.Observe(elapsed)
+	m.total.Observe(elapsed)
+	var he *httpError
+	if err == nil || (errors.As(err, &he) && he.code < 500) {
+		sm.up.Set(1)
+	} else {
+		sm.failures.Inc()
+		sm.up.Set(0)
+	}
+	return err
+}
 
 // Ready probes every shard's /readyz, returning the first failure in shard
 // order — the readiness check cmd/slimgraphd installs on the coordinator's
@@ -72,7 +150,7 @@ func (c *Coordinator) scatter(ctx context.Context, fn func(ctx context.Context, 
 			defer wg.Done()
 			sctx, cancel := context.WithTimeout(ctx, c.opts.timeout())
 			defer cancel()
-			errs[i] = fn(sctx, i, addr)
+			errs[i] = c.observe(i, func() error { return fn(sctx, i, addr) })
 		}(i, addr)
 	}
 	wg.Wait()
@@ -509,7 +587,9 @@ func (c *Coordinator) Compare(ctx context.Context, name string, p server.QueryPa
 func (c *Coordinator) relay(ctx context.Context, path string, q url.Values, out any) error {
 	sctx, cancel := context.WithTimeout(ctx, c.opts.timeout())
 	defer cancel()
-	err := doJSON(sctx, c.client, http.MethodGet, c.opts.Shards[0], path, q, "", nil, out)
+	err := c.observe(0, func() error {
+		return doJSON(sctx, c.client, http.MethodGet, c.opts.Shards[0], path, q, "", nil, out)
+	})
 	if err == nil {
 		return nil
 	}
@@ -548,7 +628,26 @@ func (c *Coordinator) Stats(ctx context.Context) (*server.StatsResponse, error) 
 	c.mu.RLock()
 	graphs := len(c.graphs)
 	c.mu.RUnlock()
-	return MergeStats(graphs, per), nil
+	resp := MergeStats(graphs, per)
+	resp.UptimeSeconds = time.Since(c.start).Seconds()
+	build := obs.Build()
+	resp.Build = &build
+	// Attach the sub-request telemetry (which by now includes the stats
+	// gather itself). The per-shard latency snapshots merge to exactly the
+	// SubRequests aggregate — same bucket layout, observed pairwise.
+	if m := c.met; m != nil {
+		total := m.total.Snapshot()
+		resp.SubRequests = &total
+		for i := range resp.PerShard {
+			sm := &m.perShard[i]
+			lat := sm.latency.Snapshot()
+			resp.PerShard[i].Ready = sm.up.Value() == 1
+			resp.PerShard[i].Requests = sm.requests.Value()
+			resp.PerShard[i].InFlight = int64(sm.inflight.Value())
+			resp.PerShard[i].Latency = &lat
+		}
+	}
+	return resp, nil
 }
 
 // MergeStats combines per-shard stats into the aggregated cluster

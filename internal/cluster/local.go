@@ -54,7 +54,15 @@ func StartLocal(n int, shardOpts server.Options, copts Options) (*LocalCluster, 
 		return nil, err
 	}
 	lc.Coordinator = coord
-	lc.Front = server.NewWithBackend(coord, coord, server.Options{MaxWorkers: shardOpts.MaxWorkers})
+	lc.Front = server.NewWithBackend(coord, coord, server.Options{
+		MaxWorkers: shardOpts.MaxWorkers,
+		Registry:   copts.Registry,
+		Logger:     copts.Logger,
+	})
+	// Sub-request telemetry lands on the front server's registry, so the
+	// coordinator's per-shard histograms and the HTTP metrics expose on the
+	// same GET /metrics.
+	coord.Instrument(lc.Front.Registry())
 	lc.Front.SetReadyCheck(coord.Ready)
 	return lc, nil
 }

@@ -17,7 +17,6 @@ import (
 // /internal/v1 replication and partial-query protocol.
 type Shard struct {
 	srv *server.Server
-	mux *http.ServeMux
 }
 
 // NewShard builds a shard around a fresh local server.
@@ -27,26 +26,28 @@ func NewShard(opts server.Options) *Shard {
 
 // WrapShard extends an existing locally backed server (srv.Local() must be
 // non-nil) with the shard protocol — the path cmd/slimgraphd takes so
-// preloads and flags apply once.
+// preloads and flags apply once. The internal routes register on the
+// server's own mux (server.Handle) rather than a wrapper mux, so one
+// observability middleware covers the public and internal surfaces with
+// correct per-endpoint patterns and no double counting.
 func WrapShard(srv *server.Server) *Shard {
 	if srv.Local() == nil {
 		panic("cluster: shard requires a locally backed server")
 	}
-	s := &Shard{srv: srv, mux: http.NewServeMux()}
-	s.mux.Handle("/", srv.Handler())
-	s.mux.HandleFunc("POST /internal/v1/graphs", s.handleLoad)
-	s.mux.HandleFunc("DELETE /internal/v1/graphs/{name}", s.handleUnload)
-	s.mux.HandleFunc("POST /internal/v1/graphs/{name}/purge", s.handlePurge)
-	s.mux.HandleFunc("POST /internal/v1/graphs/{name}/part/bfs", s.handlePartBFS)
-	s.mux.HandleFunc("POST /internal/v1/graphs/{name}/part/pr-init", s.handlePartPRInit)
-	s.mux.HandleFunc("POST /internal/v1/graphs/{name}/part/pr-pull", s.handlePartPRPull)
-	s.mux.HandleFunc("POST /internal/v1/graphs/{name}/part/degrees", s.handlePartDegrees)
-	s.mux.HandleFunc("POST /internal/v1/graphs/{name}/part/triangles", s.handlePartTriangles)
+	s := &Shard{srv: srv}
+	srv.Handle("POST /internal/v1/graphs", s.handleLoad)
+	srv.Handle("DELETE /internal/v1/graphs/{name}", s.handleUnload)
+	srv.Handle("POST /internal/v1/graphs/{name}/purge", s.handlePurge)
+	srv.Handle("POST /internal/v1/graphs/{name}/part/bfs", s.handlePartBFS)
+	srv.Handle("POST /internal/v1/graphs/{name}/part/pr-init", s.handlePartPRInit)
+	srv.Handle("POST /internal/v1/graphs/{name}/part/pr-pull", s.handlePartPRPull)
+	srv.Handle("POST /internal/v1/graphs/{name}/part/degrees", s.handlePartDegrees)
+	srv.Handle("POST /internal/v1/graphs/{name}/part/triangles", s.handlePartTriangles)
 	return s
 }
 
 // Handler serves the public API plus the internal shard protocol.
-func (s *Shard) Handler() http.Handler { return s.mux }
+func (s *Shard) Handler() http.Handler { return s.srv.Handler() }
 
 // Server returns the wrapped public server (for readiness control and
 // programmatic preloads).

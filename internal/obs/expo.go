@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+)
+
+// WritePrometheus renders every family in Prometheus text exposition format
+// (version 0.0.4): families sorted by name, each preceded by its # HELP and
+// # TYPE lines, histogram series expanded into cumulative _bucket lines plus
+// _sum and _count. Func-backed series are evaluated here, at scrape time.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	// Copy the series lists under the lock; the metric values themselves are
+	// atomic (or func-backed) and read outside it, so a slow writer never
+	// blocks the hot path.
+	type fam struct {
+		f      *family
+		series []*series
+	}
+	fams := make([]fam, 0, len(names))
+	for _, name := range names {
+		f := r.families[name]
+		keys := make([]string, 0, len(f.series))
+		for k := range f.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		ss := make([]*series, len(keys))
+		for i, k := range keys {
+			ss[i] = f.series[k]
+		}
+		fams = append(fams, fam{f: f, series: ss})
+	}
+	r.mu.Unlock()
+
+	bw := bufio.NewWriter(w)
+	for _, fm := range fams {
+		fmt.Fprintf(bw, "# HELP %s %s\n", fm.f.name, escapeHelp(fm.f.help))
+		fmt.Fprintf(bw, "# TYPE %s %s\n", fm.f.name, fm.f.k)
+		for _, s := range fm.series {
+			writeSeries(bw, fm.f, s)
+		}
+	}
+	return bw.Flush()
+}
+
+func writeSeries(w io.Writer, f *family, s *series) {
+	switch {
+	case s.h != nil:
+		snap := s.h.Snapshot()
+		cum := int64(0)
+		for i, bound := range snap.Bounds {
+			cum += snap.Counts[i]
+			fmt.Fprintf(w, "%s_bucket{%sle=%q} %d\n",
+				f.name, bucketPrefix(s.labels), formatFloat(bound), cum)
+		}
+		fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n", f.name, bucketPrefix(s.labels), snap.Count)
+		fmt.Fprintf(w, "%s_sum%s %s\n", f.name, braced(s.labels), formatFloat(snap.Sum))
+		fmt.Fprintf(w, "%s_count%s %d\n", f.name, braced(s.labels), snap.Count)
+	case s.fn != nil:
+		fmt.Fprintf(w, "%s%s %s\n", f.name, braced(s.labels), formatFloat(s.fn()))
+	case s.c != nil:
+		fmt.Fprintf(w, "%s%s %d\n", f.name, braced(s.labels), s.c.Value())
+	case s.g != nil:
+		fmt.Fprintf(w, "%s%s %s\n", f.name, braced(s.labels), formatFloat(s.g.Value()))
+	}
+}
+
+// braced wraps a non-empty inner label string in {}.
+func braced(inner string) string {
+	if inner == "" {
+		return ""
+	}
+	return "{" + inner + "}"
+}
+
+// bucketPrefix renders the inner labels of a _bucket line so the le label
+// can be appended: `a="b",` or "".
+func bucketPrefix(inner string) string {
+	if inner == "" {
+		return ""
+	}
+	return inner + ","
+}
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// Handler serves the registry in text exposition format — mount it on
+// GET /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}

@@ -1,0 +1,220 @@
+package obs
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// RequestIDHeader carries the request ID. The middleware echoes it on the
+// response, and the cluster coordinator forwards it verbatim on every
+// shard sub-request, so one ID stitches a scatter/gather fan-out together
+// across process boundaries.
+const RequestIDHeader = "X-Slimgraph-Request"
+
+type requestIDKey struct{}
+
+// WithRequestID attaches a request ID to the context.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, requestIDKey{}, id)
+}
+
+// RequestID returns the request ID from the context, or "".
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}
+
+// NewRequestID returns a fresh 16-hex-character random ID. IDs need
+// uniqueness for log correlation, not unpredictability, so the generator is
+// math/rand/v2's process-seeded ChaCha8 stream — a few nanoseconds per ID
+// instead of a crypto/rand syscall on every request.
+func NewRequestID() string {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], rand.Uint64())
+	return hex.EncodeToString(b[:])
+}
+
+// Field is one key/value of a structured log line.
+type Field struct {
+	Key   string
+	Value any
+}
+
+// Logger receives one structured record per event. Implementations must be
+// safe for concurrent use; TextLogger is the built-in key=value one.
+type Logger interface {
+	Log(fields ...Field)
+}
+
+type textLogger struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewTextLogger returns a Logger that writes one key=value line per record,
+// serialized by a mutex so concurrent requests never interleave bytes.
+// Values containing spaces, quotes, or '=' are quoted.
+func NewTextLogger(w io.Writer) Logger { return &textLogger{w: w} }
+
+func (l *textLogger) Log(fields ...Field) {
+	var b strings.Builder
+	for i, f := range fields {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(f.Key)
+		b.WriteByte('=')
+		b.WriteString(formatValue(f.Value))
+	}
+	b.WriteByte('\n')
+	l.mu.Lock()
+	io.WriteString(l.w, b.String())
+	l.mu.Unlock()
+}
+
+func formatValue(v any) string {
+	var s string
+	switch t := v.(type) {
+	case string:
+		s = t
+	case float64:
+		s = strconv.FormatFloat(t, 'f', 3, 64)
+	default:
+		s = fmt.Sprint(v)
+	}
+	if s == "" || strings.ContainsAny(s, " \"=\n") {
+		return strconv.Quote(s)
+	}
+	return s
+}
+
+// MiddlewareOptions configures Middleware.
+type MiddlewareOptions struct {
+	// Registry receives the request metrics (slimgraph_http_requests_total,
+	// slimgraph_http_request_seconds, slimgraph_http_inflight). Nil disables
+	// metrics.
+	Registry *Registry
+	// Logger receives one record per request. Nil disables request logging.
+	Logger Logger
+	// PatternOf maps a request to its route pattern (the endpoint label),
+	// e.g. "GET /v1/graphs/{name}/bfs". http.ServeMux sets r.Pattern only on
+	// the clone it hands the handler, which an outer middleware never sees —
+	// so the server supplies mux.Handler-based matching here instead. Nil,
+	// or an empty return, falls back to the raw URL path.
+	PatternOf func(*http.Request) string
+}
+
+// statusWriter captures the status code and body size for the metrics and
+// the log line.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// Middleware wraps next with the tracing layer: it adopts the caller's
+// X-Slimgraph-Request ID or assigns a fresh one, echoes it on the response,
+// threads it through the request context (where the cluster client picks it
+// up for sub-requests), records per-endpoint/per-status counters and
+// latency histograms, and emits one structured log line per request.
+func Middleware(next http.Handler, o MiddlewareOptions) http.Handler {
+	var inflight *Gauge
+	if o.Registry != nil {
+		inflight = o.Registry.Gauge("slimgraph_http_inflight",
+			"HTTP requests currently being served.")
+	}
+	// Registry lookups render and sort label strings; at one lookup per
+	// request that is the dominant middleware cost. The route-pattern space
+	// is small and fixed, so resolved series are memoized here and the hot
+	// path is two lock-free map loads plus the atomic updates themselves.
+	type counterKey struct {
+		endpoint string
+		status   int
+	}
+	var counters sync.Map // counterKey -> *Counter
+	var histograms sync.Map
+	requestCounter := func(endpoint string, status int) *Counter {
+		k := counterKey{endpoint, status}
+		if c, ok := counters.Load(k); ok {
+			return c.(*Counter)
+		}
+		c := o.Registry.Counter("slimgraph_http_requests_total",
+			"HTTP requests served, by route pattern and status code.",
+			Label{Key: "endpoint", Value: endpoint},
+			Label{Key: "status", Value: strconv.Itoa(status)})
+		counters.Store(k, c)
+		return c
+	}
+	latencyHistogram := func(endpoint string) *Histogram {
+		if h, ok := histograms.Load(endpoint); ok {
+			return h.(*Histogram)
+		}
+		h := o.Registry.Histogram("slimgraph_http_request_seconds",
+			"HTTP request latency in seconds, by route pattern.", nil,
+			Label{Key: "endpoint", Value: endpoint})
+		histograms.Store(endpoint, h)
+		return h
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get(RequestIDHeader)
+		if id == "" {
+			id = NewRequestID()
+		}
+		w.Header().Set(RequestIDHeader, id)
+		r = r.WithContext(WithRequestID(r.Context(), id))
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+
+		if inflight != nil {
+			inflight.Add(1)
+		}
+		start := time.Now()
+		next.ServeHTTP(sw, r)
+		elapsed := time.Since(start)
+		if inflight != nil {
+			inflight.Add(-1)
+		}
+
+		endpoint := r.URL.Path
+		if o.PatternOf != nil {
+			if p := o.PatternOf(r); p != "" {
+				endpoint = p
+			}
+		}
+		if o.Registry != nil {
+			requestCounter(endpoint, sw.status).Inc()
+			latencyHistogram(endpoint).Observe(elapsed.Seconds())
+		}
+		if o.Logger != nil {
+			o.Logger.Log(
+				Field{Key: "ts", Value: time.Now().UTC().Format(time.RFC3339Nano)},
+				Field{Key: "request_id", Value: id},
+				Field{Key: "method", Value: r.Method},
+				Field{Key: "path", Value: r.URL.Path},
+				Field{Key: "endpoint", Value: endpoint},
+				Field{Key: "status", Value: sw.status},
+				Field{Key: "bytes", Value: sw.bytes},
+				Field{Key: "duration_ms", Value: float64(elapsed) / float64(time.Millisecond)},
+			)
+		}
+	})
+}

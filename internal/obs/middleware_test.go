@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// captureLogger records every log line for assertions.
+type captureLogger struct {
+	mu    sync.Mutex
+	lines []map[string]any
+}
+
+func (l *captureLogger) Log(fields ...Field) {
+	m := map[string]any{}
+	for _, f := range fields {
+		m[f.Key] = f.Value
+	}
+	l.mu.Lock()
+	l.lines = append(l.lines, m)
+	l.mu.Unlock()
+}
+
+func newTestHandler(t *testing.T) (*Registry, *captureLogger, http.Handler) {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/items/{id}", func(w http.ResponseWriter, r *http.Request) {
+		if RequestID(r.Context()) == "" {
+			t.Error("handler saw no request ID in context")
+		}
+		if r.PathValue("id") == "missing" {
+			http.Error(w, "nope", http.StatusNotFound)
+			return
+		}
+		w.Write([]byte("ok"))
+	})
+	reg := NewRegistry()
+	logger := &captureLogger{}
+	h := Middleware(mux, MiddlewareOptions{
+		Registry: reg,
+		Logger:   logger,
+		PatternOf: func(r *http.Request) string {
+			_, p := mux.Handler(r)
+			return p
+		},
+	})
+	return reg, logger, h
+}
+
+func TestMiddlewareAssignsAndEchoesRequestID(t *testing.T) {
+	_, logger, h := newTestHandler(t)
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/items/7", nil))
+	assigned := rec.Header().Get(RequestIDHeader)
+	if len(assigned) != 16 {
+		t.Fatalf("assigned ID %q, want 16 hex chars", assigned)
+	}
+
+	// A caller-provided ID is adopted verbatim, not replaced.
+	req := httptest.NewRequest("GET", "/v1/items/8", nil)
+	req.Header.Set(RequestIDHeader, "deadbeef00000001")
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if got := rec.Header().Get(RequestIDHeader); got != "deadbeef00000001" {
+		t.Fatalf("caller ID not adopted: got %q", got)
+	}
+
+	if len(logger.lines) != 2 {
+		t.Fatalf("got %d log lines, want 2", len(logger.lines))
+	}
+	if logger.lines[0]["request_id"] != assigned {
+		t.Fatalf("log line carries %v, response header said %q", logger.lines[0]["request_id"], assigned)
+	}
+	if logger.lines[1]["request_id"] != "deadbeef00000001" {
+		t.Fatalf("log line carries %v for caller-provided ID", logger.lines[1]["request_id"])
+	}
+	if logger.lines[0]["endpoint"] != "GET /v1/items/{id}" {
+		t.Fatalf("endpoint = %v, want route pattern", logger.lines[0]["endpoint"])
+	}
+	if logger.lines[0]["status"] != 200 {
+		t.Fatalf("status = %v, want 200", logger.lines[0]["status"])
+	}
+}
+
+func TestMiddlewareMetrics(t *testing.T) {
+	reg, _, h := newTestHandler(t)
+	for i := 0; i < 3; i++ {
+		h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/v1/items/1", nil))
+	}
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/v1/items/missing", nil))
+
+	okC := reg.Counter("slimgraph_http_requests_total", "",
+		Label{Key: "endpoint", Value: "GET /v1/items/{id}"}, Label{Key: "status", Value: "200"})
+	if okC.Value() != 3 {
+		t.Fatalf("200 counter = %d, want 3", okC.Value())
+	}
+	nfC := reg.Counter("slimgraph_http_requests_total", "",
+		Label{Key: "endpoint", Value: "GET /v1/items/{id}"}, Label{Key: "status", Value: "404"})
+	if nfC.Value() != 1 {
+		t.Fatalf("404 counter = %d, want 1", nfC.Value())
+	}
+	snap, ok := reg.HistogramSnapshotOf("slimgraph_http_request_seconds",
+		Label{Key: "endpoint", Value: "GET /v1/items/{id}"})
+	if !ok || snap.Count != 4 {
+		t.Fatalf("latency histogram count = %d (present=%v), want 4", snap.Count, ok)
+	}
+	if g := reg.Gauge("slimgraph_http_inflight", ""); g.Value() != 0 {
+		t.Fatalf("inflight = %v after all requests returned", g.Value())
+	}
+}
+
+func TestTextLoggerQuoting(t *testing.T) {
+	var sb strings.Builder
+	l := NewTextLogger(&sb)
+	l.Log(Field{Key: "endpoint", Value: "GET /v1/x"}, Field{Key: "status", Value: 200},
+		Field{Key: "empty", Value: ""})
+	line := sb.String()
+	if !strings.Contains(line, `endpoint="GET /v1/x"`) {
+		t.Fatalf("value with space not quoted: %q", line)
+	}
+	if !strings.Contains(line, "status=200") {
+		t.Fatalf("plain value quoted or missing: %q", line)
+	}
+	if !strings.Contains(line, `empty=""`) {
+		t.Fatalf("empty value not quoted: %q", line)
+	}
+	if !strings.HasSuffix(line, "\n") {
+		t.Fatalf("line not newline-terminated: %q", line)
+	}
+}
+
+func BenchmarkMiddlewareOnly(b *testing.B) {
+	reg := NewRegistry()
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) { w.Write([]byte("ok")) })
+	h := Middleware(inner, MiddlewareOptions{Registry: reg})
+	req := httptest.NewRequest("GET", "/x", nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.ServeHTTP(httptest.NewRecorder(), req)
+	}
+}

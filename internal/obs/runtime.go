@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+)
+
+// BuildInfo identifies the running binary: module version, Go toolchain,
+// and (when built from a VCS checkout) the revision. It rides on
+// /v1/stats and behind slimgraphd -version.
+type BuildInfo struct {
+	Version   string `json:"version"`
+	GoVersion string `json:"goVersion"`
+	Revision  string `json:"revision,omitempty"`
+	Modified  bool   `json:"modified,omitempty"`
+}
+
+var (
+	buildOnce sync.Once
+	buildInfo BuildInfo
+)
+
+// Build returns the binary's build info, read once from
+// debug.ReadBuildInfo.
+func Build() BuildInfo {
+	buildOnce.Do(func() {
+		buildInfo = BuildInfo{Version: "devel", GoVersion: runtime.Version()}
+		bi, ok := debug.ReadBuildInfo()
+		if !ok {
+			return
+		}
+		if bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+			buildInfo.Version = bi.Main.Version
+		}
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev := s.Value
+				if len(rev) > 12 {
+					rev = rev[:12]
+				}
+				buildInfo.Revision = rev
+			case "vcs.modified":
+				buildInfo.Modified = s.Value == "true"
+			}
+		}
+	})
+	return buildInfo
+}
+
+// memReader caches runtime.ReadMemStats — a stop-the-world operation — so a
+// burst of scrapes (each registry gauge evaluates independently) pays for
+// one read per second at most.
+type memReader struct {
+	mu   sync.Mutex
+	last time.Time
+	ms   runtime.MemStats
+}
+
+func (m *memReader) read() runtime.MemStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if now := time.Now(); now.Sub(m.last) > time.Second {
+		runtime.ReadMemStats(&m.ms)
+		m.last = now
+	}
+	return m.ms
+}
+
+// RegisterRuntimeGauges exposes process-level runtime introspection on the
+// registry: goroutine count, heap footprint, and GC activity. Values are
+// process-wide; registering on several registries in one process (as the
+// in-process LocalCluster does) just reads the same stats from each.
+func RegisterRuntimeGauges(r *Registry) {
+	mem := &memReader{}
+	r.GaugeFunc("slimgraph_goroutines",
+		"Goroutines currently live in the process.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	r.GaugeFunc("slimgraph_heap_alloc_bytes",
+		"Bytes of allocated heap objects (runtime.MemStats.HeapAlloc, cached up to 1s).",
+		func() float64 { return float64(mem.read().HeapAlloc) })
+	r.GaugeFunc("slimgraph_heap_sys_bytes",
+		"Bytes of heap obtained from the OS (runtime.MemStats.HeapSys, cached up to 1s).",
+		func() float64 { return float64(mem.read().HeapSys) })
+	r.CounterFunc("slimgraph_gc_runs_total",
+		"Completed GC cycles (runtime.MemStats.NumGC, cached up to 1s).",
+		func() float64 { return float64(mem.read().NumGC) })
+	r.CounterFunc("slimgraph_gc_pause_seconds_total",
+		"Cumulative GC stop-the-world pause time (cached up to 1s).",
+		func() float64 { return float64(mem.read().PauseTotalNs) / 1e9 })
+}

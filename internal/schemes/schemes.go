@@ -64,6 +64,34 @@ func (r *Result) String() string {
 		r.Scheme, r.Params, r.Input.M(), r.Output.M(), 100*r.EdgeReduction(), r.Elapsed)
 }
 
+// StageTiming is one stage's contribution to a Result: its spec, the edge
+// count its output retained, and its share of the elapsed time.
+type StageTiming struct {
+	Spec    string
+	M       int
+	Elapsed time.Duration
+}
+
+// Breakdown flattens the run into per-stage timings: one entry per leaf
+// stage (nested pipelines recurse), or a single entry covering the whole
+// run for a plain scheme. The Elapsed values sum exactly to r.Elapsed,
+// because Pipeline.Apply accumulates its total from the same per-stage
+// measurements.
+func (r *Result) Breakdown() []StageTiming {
+	if len(r.Stages) == 0 {
+		spec := r.Scheme
+		if r.Params != "" {
+			spec += ":" + r.Params
+		}
+		return []StageTiming{{Spec: spec, M: r.Output.M(), Elapsed: r.Elapsed}}
+	}
+	var out []StageTiming
+	for _, st := range r.Stages {
+		out = append(out, st.Breakdown()...)
+	}
+	return out
+}
+
 func finish(scheme, params string, in, out *graph.Graph, start time.Time) *Result {
 	return &Result{
 		Scheme: scheme, Params: params,

@@ -8,6 +8,7 @@ import (
 
 	"slimgraph/internal/graph"
 	"slimgraph/internal/metrics"
+	"slimgraph/internal/obs"
 	"slimgraph/internal/schemes"
 )
 
@@ -143,6 +144,18 @@ type CompressRequest struct {
 	Workers int    `json:"workers"`
 }
 
+// StageTiming is one pipeline stage's contribution to a compression run:
+// where the time went and what each stage left behind.
+type StageTiming struct {
+	// Spec is the stage's canonical scheme spec.
+	Spec string `json:"spec"`
+	// M is the edge count the stage's output retained.
+	M int `json:"m"`
+	// ElapsedMS is the stage's execution time; the per-stage values sum to
+	// the response's ElapsedMS.
+	ElapsedMS float64 `json:"elapsedMs"`
+}
+
 // CompressResponse reports one compression (fresh or cached).
 type CompressResponse struct {
 	Graph string `json:"graph"`
@@ -155,6 +168,9 @@ type CompressResponse struct {
 	InputM        int     `json:"inputM"`
 	EdgeReduction float64 `json:"edgeReduction"`
 	ElapsedMS     float64 `json:"elapsedMs"`
+	// Stages breaks ElapsedMS down per pipeline stage; single-scheme runs
+	// report one stage covering the whole run.
+	Stages []StageTiming `json:"stages,omitempty"`
 }
 
 // BFSResponse is the body of GET /v1/graphs/{name}/bfs.
@@ -210,18 +226,41 @@ type CompareResponse struct {
 }
 
 // ShardStats is one shard's contribution to an aggregated StatsResponse.
+// The telemetry fields (Ready, Requests, InFlight, Latency) are populated
+// by an instrumented coordinator and describe the coordinator→shard
+// sub-request traffic, not the shard's own client-facing surface.
 type ShardStats struct {
 	Shard  int        `json:"shard"`
 	Addr   string     `json:"addr"`
 	Cache  CacheStats `json:"cache"`
 	Graphs int        `json:"graphs"`
+	// Ready reports the outcome of the shard's most recent sub-request (or
+	// readiness probe): true unless the last contact failed at transport
+	// level or with a 5xx.
+	Ready bool `json:"ready"`
+	// Requests counts sub-requests the coordinator has sent this shard.
+	Requests int64 `json:"requests,omitempty"`
+	// InFlight is the number of sub-requests outstanding right now.
+	InFlight int64 `json:"inFlight,omitempty"`
+	// Latency is this shard's sub-request latency distribution. Merging the
+	// per-shard snapshots yields exactly the coordinator's SubRequests
+	// totals — the same invariant MergeStats maintains for cache counters.
+	Latency *obs.HistogramSnapshot `json:"latency,omitempty"`
 }
 
 // StatsResponse is the body of GET /v1/stats. A single node reports its own
 // cache and catalog; a coordinator reports field-wise sums with the
 // per-shard breakdown attached.
 type StatsResponse struct {
-	Cache    CacheStats   `json:"cache"`
-	Graphs   int          `json:"graphs"`
-	PerShard []ShardStats `json:"perShard,omitempty"`
+	Cache  CacheStats `json:"cache"`
+	Graphs int        `json:"graphs"`
+	// UptimeSeconds counts from engine construction.
+	UptimeSeconds float64 `json:"uptimeSeconds"`
+	// Build identifies the serving binary (module version, Go toolchain,
+	// VCS revision when available).
+	Build    *obs.BuildInfo `json:"build,omitempty"`
+	PerShard []ShardStats   `json:"perShard,omitempty"`
+	// SubRequests is the coordinator's aggregate sub-request latency
+	// histogram across all shards; merging PerShard[i].Latency equals it.
+	SubRequests *obs.HistogramSnapshot `json:"subRequests,omitempty"`
 }

@@ -50,6 +50,10 @@ type entry struct {
 	// rebuilt per request.
 	engineOnce sync.Once
 	engine     *triangles.Engine
+	// onEngineBuild, when set, is invoked once when the arena is built —
+	// the catalog's observability hook (copied from the owning catalog at
+	// insertion, before the entry is published).
+	onEngineBuild func()
 }
 
 // adjacency returns the resident neighborhood view: the raw CSR or the
@@ -79,6 +83,9 @@ func (e *entry) adjacencyEdges() graph.AdjacencyEdges {
 func (e *entry) triangleEngine(workers int) *triangles.Engine {
 	e.engineOnce.Do(func() {
 		e.engine = triangles.NewEngineOn(e.adjacencyEdges(), workers)
+		if e.onEngineBuild != nil {
+			e.onEngineBuild()
+		}
 	})
 	return e.engine.WithWorkers(workers)
 }
@@ -102,6 +109,9 @@ type catalog struct {
 	mu      sync.RWMutex
 	graphs  map[string]*entry
 	nextGen uint64
+	// onEngineBuild is copied onto every entry at insertion; set once at
+	// engine construction, before any traffic.
+	onEngineBuild func()
 }
 
 func newCatalog() *catalog {
@@ -145,6 +155,7 @@ func (c *catalog) put(name, memory, source string, g *graph.Graph, workers int) 
 	}
 	c.nextGen++
 	e.gen = c.nextGen
+	e.onEngineBuild = c.onEngineBuild
 	c.graphs[name] = e
 	return e, nil
 }
@@ -180,6 +191,41 @@ func (c *catalog) size() int {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	return len(c.graphs)
+}
+
+// residentBytes estimates the catalog's memory footprint split by residency
+// form: raw CSR bytes versus succinct packed bytes — the residency gauges
+// that make the MemoryPacked policy's savings visible at runtime.
+func (c *catalog) residentBytes() (raw, packed int64) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for _, e := range c.graphs {
+		switch {
+		case e.raw != nil:
+			raw += rawCSRBytes(e.raw)
+		case e.packed != nil:
+			packed += e.packed.SizeBits() / 8
+		}
+	}
+	return raw, packed
+}
+
+// rawCSRBytes estimates a Graph's resident size from its public shape: the
+// out-CSR (64-bit offsets, 32-bit neighbor and edge-ID columns), the
+// mirrored in-CSR for directed graphs, and the canonical edge list with
+// optional weights. Arena slack and struct headers are ignored.
+func rawCSRBytes(g *graph.Graph) int64 {
+	offsets := int64(g.N()+1) * 8
+	arcs := int64(g.NumArcs()) * 8 // 4B neighbor + 4B edge ID per arc
+	b := offsets + arcs
+	if g.Directed() {
+		b += offsets + arcs // the in-CSR mirrors the out-CSR
+	}
+	b += int64(g.M()) * 8 // canonical edge endpoints, 4B each
+	if g.Weighted() {
+		b += int64(g.M()) * 8
+	}
+	return b
 }
 
 // Generate builds a graph from the generator request, mirroring the

@@ -6,10 +6,12 @@ import (
 	"net/http"
 	"sort"
 	"strings"
+	"time"
 
 	"slimgraph/internal/centrality"
 	"slimgraph/internal/graph"
 	"slimgraph/internal/metrics"
+	"slimgraph/internal/obs"
 	"slimgraph/internal/schemes"
 	"slimgraph/internal/traverse"
 	"slimgraph/internal/triangles"
@@ -24,12 +26,68 @@ type Local struct {
 	opts    Options
 	catalog *catalog
 	cache   *cache
+	reg     *obs.Registry
+	start   time.Time
 }
 
 // NewLocal returns an empty Local engine.
 func NewLocal(opts Options) *Local {
 	o := opts.withDefaults()
-	return &Local{opts: o, catalog: newCatalog(), cache: newCache(o.CacheCapacity)}
+	l := &Local{
+		opts:    o,
+		catalog: newCatalog(),
+		cache:   newCache(o.CacheCapacity),
+		reg:     o.Registry,
+		start:   time.Now(),
+	}
+	l.instrument()
+	return l
+}
+
+// instrument registers the engine's observability surface: func-backed
+// counters over the variant cache's own counters (one source of truth, no
+// double bookkeeping), catalog residency gauges, and the triangle-engine
+// build counter. The compress-latency histograms register lazily per scheme
+// family in variantOf.
+func (l *Local) instrument() {
+	cacheCounter := func(name, help string, read func(CacheStats) int64) {
+		l.reg.CounterFunc(name, help, func() float64 { return float64(read(l.cache.Stats())) })
+	}
+	cacheCounter("slimgraph_cache_hits_total",
+		"Variant-cache lookups answered by a resident entry.",
+		func(s CacheStats) int64 { return s.Hits })
+	cacheCounter("slimgraph_cache_misses_total",
+		"Variant-cache lookups that required a compression execution.",
+		func(s CacheStats) int64 { return s.Misses })
+	cacheCounter("slimgraph_cache_coalesced_total",
+		"Lookups that joined an in-flight execution (single-flight).",
+		func(s CacheStats) int64 { return s.Coalesced })
+	cacheCounter("slimgraph_cache_executions_total",
+		"Compression executions the cache actually ran.",
+		func(s CacheStats) int64 { return s.Executions })
+	cacheCounter("slimgraph_cache_failures_total",
+		"Compression executions that failed (failures are never cached).",
+		func(s CacheStats) int64 { return s.Failures })
+	cacheCounter("slimgraph_cache_evictions_total",
+		"Variants evicted by the LRU capacity bound.",
+		func(s CacheStats) int64 { return s.Evictions })
+	l.reg.GaugeFunc("slimgraph_cache_entries",
+		"Compressed variants currently resident.",
+		func() float64 { return float64(l.cache.Stats().Entries) })
+	l.reg.GaugeFunc("slimgraph_cache_capacity",
+		"Variant-cache capacity bound.",
+		func() float64 { return float64(l.cache.Stats().Capacity) })
+	l.reg.GaugeFunc("slimgraph_catalog_graphs",
+		"Named graphs resident in the catalog.",
+		func() float64 { return float64(l.catalog.size()) })
+	l.reg.GaugeFunc("slimgraph_catalog_raw_bytes",
+		"Estimated bytes of raw-resident (CSR) catalog graphs.",
+		func() float64 { raw, _ := l.catalog.residentBytes(); return float64(raw) })
+	l.reg.GaugeFunc("slimgraph_catalog_packed_bytes",
+		"Bytes of packed-resident (succinct) catalog graphs.",
+		func() float64 { _, packed := l.catalog.residentBytes(); return float64(packed) })
+	l.catalog.onEngineBuild = l.reg.Counter("slimgraph_triangle_engine_builds_total",
+		"Oriented triangle-engine arenas built (once per catalog entry, on first exact count).").Inc
 }
 
 // clampWorkers resolves a requested worker budget: <= 0 means the
@@ -111,10 +169,20 @@ func (l *Local) variantOf(e *entry, spec string, seed uint64, workers int) (res 
 	canonical = schemes.Spec(sch)
 	key := Key{Graph: e.name, Gen: e.gen, Spec: canonical, Seed: seed, Workers: workers}
 	res, cached, err = l.cache.GetOrCompute(key, func() (*schemes.Result, error) {
+		// Execution latency lands on a per-scheme-family histogram (the
+		// pipeline family covers multi-stage specs; /compress responses
+		// carry the per-stage breakdown). Only real executions observe:
+		// hits and coalesced waiters cost no compression time.
+		start := time.Now()
 		g := e.materialize(workers)
 		r, err := sch.Apply(g)
 		if err == nil && e.packed != nil {
 			trimInputs(r, g)
+		}
+		if err == nil {
+			l.reg.Histogram("slimgraph_compress_seconds",
+				"Compression execution latency in seconds, by scheme family.", nil,
+				obs.Label{Key: "scheme", Value: sch.Name()}).Observe(time.Since(start).Seconds())
 		}
 		return r, err
 	})
@@ -218,6 +286,14 @@ func (l *Local) Compress(_ context.Context, name, spec string, p QueryParams) (*
 	if e.m > 0 {
 		reduction = 1 - float64(res.Output.M())/float64(e.m)
 	}
+	var stages []StageTiming
+	for _, st := range res.Breakdown() {
+		stages = append(stages, StageTiming{
+			Spec:      st.Spec,
+			M:         st.M,
+			ElapsedMS: float64(st.Elapsed.Microseconds()) / 1000,
+		})
+	}
 	return &CompressResponse{
 		Graph:         e.name,
 		Spec:          canonical,
@@ -228,6 +304,7 @@ func (l *Local) Compress(_ context.Context, name, spec string, p QueryParams) (*
 		InputM:        e.m,
 		EdgeReduction: reduction,
 		ElapsedMS:     float64(res.Elapsed.Microseconds()) / 1000,
+		Stages:        stages,
 	}, nil
 }
 
@@ -372,7 +449,13 @@ func (l *Local) Compare(_ context.Context, name string, p QueryParams) (*Compare
 
 // Stats implements QueryBackend.
 func (l *Local) Stats(_ context.Context) (*StatsResponse, error) {
-	return &StatsResponse{Cache: l.cache.Stats(), Graphs: l.catalog.size()}, nil
+	build := obs.Build()
+	return &StatsResponse{
+		Cache:         l.cache.Stats(),
+		Graphs:        l.catalog.size(),
+		UptimeSeconds: time.Since(l.start).Seconds(),
+		Build:         &build,
+	}, nil
 }
 
 // CacheStats snapshots the variant-cache counters.

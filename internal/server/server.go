@@ -42,6 +42,7 @@ import (
 
 	"slimgraph/internal/graph"
 	"slimgraph/internal/graphio"
+	"slimgraph/internal/obs"
 	"slimgraph/internal/schemes"
 )
 
@@ -56,6 +57,15 @@ type Options struct {
 	MaxConcurrent int
 	// MaxWorkers caps the per-request worker budget (default GOMAXPROCS).
 	MaxWorkers int
+	// Registry receives every metric the server records — request
+	// counters and latency histograms, variant-cache events, catalog
+	// residency gauges — and is served on GET /metrics. Nil creates a
+	// private registry, retrievable via Server.Registry.
+	Registry *obs.Registry
+	// Logger receives one structured record per HTTP request (request ID,
+	// route pattern, status, latency). Nil disables request logging;
+	// metrics are unaffected.
+	Logger obs.Logger
 }
 
 func (o Options) withDefaults() Options {
@@ -67,6 +77,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxWorkers <= 0 {
 		o.MaxWorkers = runtime.GOMAXPROCS(0)
+	}
+	if o.Registry == nil {
+		o.Registry = obs.NewRegistry()
 	}
 	return o
 }
@@ -81,6 +94,8 @@ type Server struct {
 	local   *Local        // non-nil when backed by the in-process engine
 	sem     chan struct{} // MaxConcurrent slots for heavy requests
 	mux     *http.ServeMux
+	handler http.Handler // mux wrapped in the tracing middleware
+	ready   *obs.Gauge   // 1 when /readyz would answer 200
 
 	readyMu    sync.RWMutex
 	notReady   string       // non-empty while explicitly not ready
@@ -88,8 +103,10 @@ type Server struct {
 }
 
 // New returns a Server backed by an in-process Local engine with an empty
-// catalog.
+// catalog. The options are resolved once up front so the engine and the
+// HTTP surface share one metrics registry.
 func New(opts Options) *Server {
+	opts = opts.withDefaults()
 	local := NewLocal(opts)
 	s := NewWithBackend(local, local, opts)
 	s.local = local
@@ -107,12 +124,39 @@ func NewWithBackend(cat Catalog, backend QueryBackend, opts Options) *Server {
 		mux:     http.NewServeMux(),
 	}
 	s.sem = make(chan struct{}, s.opts.MaxConcurrent)
+	s.ready = s.opts.Registry.Gauge("slimgraph_ready",
+		"1 when /readyz would answer 200, 0 otherwise; updated on every probe.")
+	obs.RegisterRuntimeGauges(s.opts.Registry)
 	s.routes()
+	// The middleware resolves the endpoint label through the mux itself:
+	// ServeMux sets r.Pattern only on the clone handed to the handler, which
+	// an outer wrapper never sees, but Handler matches without serving.
+	s.handler = obs.Middleware(s.mux, obs.MiddlewareOptions{
+		Registry: s.opts.Registry,
+		Logger:   s.opts.Logger,
+		PatternOf: func(r *http.Request) string {
+			_, pattern := s.mux.Handler(r)
+			return pattern
+		},
+	})
 	return s
 }
 
-// Handler returns the HTTP handler serving the slimgraphd API.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the HTTP handler serving the slimgraphd API, wrapped in
+// the observability middleware (request IDs, per-endpoint metrics, request
+// logging).
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// Handle registers an extra route on the server's mux, inside the same
+// observability middleware as the /v1 API — the hook cluster shards use to
+// mount their /internal/v1 surface with correct per-endpoint metrics.
+func (s *Server) Handle(pattern string, handler http.HandlerFunc) {
+	s.mux.HandleFunc(pattern, handler)
+}
+
+// Registry returns the metrics registry every server metric records into —
+// the one GET /metrics serves.
+func (s *Server) Registry() *obs.Registry { return s.opts.Registry }
 
 // Local returns the in-process engine backing this server, or nil when the
 // server was built over a remote backend.
@@ -191,12 +235,18 @@ func (s *Server) routes() {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
 	s.mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		// The probe result also lands on the slimgraph_ready gauge, so a
+		// flapping server is visible in metrics history, not only to the
+		// prober that happened to catch the 503.
 		if err := s.readyErr(); err != nil {
+			s.ready.Set(0)
 			writeErr(w, http.StatusServiceUnavailable, "%v", err)
 			return
 		}
+		s.ready.Set(1)
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 	})
+	s.mux.Handle("GET /metrics", s.opts.Registry.Handler())
 	s.mux.HandleFunc("GET /v1/schemes", s.handleSchemes)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /v1/graphs", s.handleListGraphs)
