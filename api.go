@@ -18,6 +18,7 @@ import (
 	"slimgraph/internal/mis"
 	"slimgraph/internal/mst"
 	"slimgraph/internal/obs"
+	"slimgraph/internal/resilience"
 	"slimgraph/internal/rng"
 	"slimgraph/internal/schemes"
 	"slimgraph/internal/server"
@@ -773,7 +774,9 @@ func PartitionByDegree(g *Graph, parts int) []PartitionRange {
 // workers=1. See internal/cluster and cmd/slimgraphd -role.
 
 // ClusterOptions configures a Coordinator: shard base URLs in rank order,
-// the per-shard sub-request deadline, and an optional HTTP client.
+// the per-shard sub-request deadline, an optional HTTP client, and the
+// fault-tolerance knobs (retry policy and budget, circuit-breaker
+// threshold/cooldown, background health-probe interval).
 type ClusterOptions = cluster.Options
 
 // Coordinator serves the public API by scatter/gathering over shards; it
@@ -803,3 +806,52 @@ func NewClusterShard(opts ServerOptions) *ClusterShard { return cluster.NewShard
 func NewLocalCluster(n int, shardOpts ServerOptions, opts ClusterOptions) (*LocalCluster, error) {
 	return cluster.StartLocal(n, shardOpts, opts)
 }
+
+// Resilience: the fault-tolerance layer the cluster coordinator and server
+// ride on — retry with deterministic jitter, per-shard circuit breakers,
+// deadline propagation, and seeded fault injection. See internal/resilience.
+
+// RetryPolicy shapes retries of idempotent shard sub-requests: attempt
+// count, exponential backoff bounds, and the seed of the deterministic
+// jitter (pass via ClusterOptions.Retry).
+type RetryPolicy = resilience.RetryPolicy
+
+// BreakerState is a circuit breaker's position: BreakerClosed,
+// BreakerHalfOpen, or BreakerOpen — the value of the
+// slimgraph_shard_breaker_state gauge and Coordinator.BreakerState.
+type BreakerState = resilience.BreakerState
+
+// Circuit-breaker positions, ordered so the metric gauge reads naturally:
+// 0 closed (routable), 1 half-open (probing), 2 open (shed).
+const (
+	BreakerClosed   = resilience.BreakerClosed
+	BreakerHalfOpen = resilience.BreakerHalfOpen
+	BreakerOpen     = resilience.BreakerOpen
+)
+
+// FaultRule is one deterministic fault-injection rule: request matchers
+// (path/host/method substrings), firing controls (probability, seed,
+// after, times), and the action (drop, delay, status, truncate).
+type FaultRule = resilience.FaultRule
+
+// FaultInjector applies FaultRules as a client RoundTripper or a server
+// middleware; identical seeds replay identical fault sequences.
+type FaultInjector = resilience.Injector
+
+// NewFaultInjector builds an injector over the given rules (first matching
+// rule that fires wins).
+func NewFaultInjector(rules ...*FaultRule) *FaultInjector {
+	return resilience.NewInjector(rules...)
+}
+
+// ParseFaultSpec parses the -fault-inject grammar: ";"-separated rules of
+// ","-separated key=value fields, e.g.
+// "path=/internal/v1,p=0.1,seed=7,status=503;path=/compress,times=1,drop".
+func ParseFaultSpec(spec string) (*FaultInjector, error) {
+	return resilience.ParseFaultSpec(spec)
+}
+
+// DeadlineHeader propagates the caller's context deadline on sub-requests
+// (Unix nanoseconds); servers clamp their request context to it, so a
+// shard never keeps computing for a coordinator that has given up.
+const DeadlineHeader = resilience.DeadlineHeader

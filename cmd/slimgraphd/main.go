@@ -44,6 +44,7 @@ import (
 	"slimgraph/internal/cluster"
 	"slimgraph/internal/graphio"
 	"slimgraph/internal/obs"
+	"slimgraph/internal/resilience"
 	"slimgraph/internal/server"
 )
 
@@ -71,6 +72,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		demo      = fs.Int("demo", 0, "preload a demo R-MAT graph named \"demo\" at this scale (0 = off)")
 		debugAddr = fs.String("debug-addr", "", "serve /debug/pprof and a /metrics mirror on this extra address (empty = off)")
 		version   = fs.Bool("version", false, "print build/version info and exit")
+		retries   = fs.Int("retries", 0, "sub-request attempts per shard call (coordinator only; 0 = default 3)")
+		breakerN  = fs.Int("breaker-threshold", 0, "consecutive failures before a shard's breaker opens (coordinator only; 0 = default 3)")
+		breakerCD = fs.Duration("breaker-cooldown", 0, "open-breaker cooldown before a half-open probe (coordinator only; 0 = default 5s)")
+		probeIvl  = fs.Duration("probe-interval", 0, "background /readyz health-probe interval (coordinator only; 0 = off)")
+		faultSpec = fs.String("fault-inject", "", "deterministic fault-injection spec applied to inbound requests, e.g. \"path=/internal/v1,p=0.1,seed=7,status=503\" (testing only)")
 	)
 	var loads []string
 	fs.Func("load", "preload name=path (edge list or snapshot; repeatable)", func(v string) error {
@@ -131,7 +137,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "slimgraphd: -role coordinator needs -peers")
 			return 2
 		}
-		coord, err := cluster.NewCoordinator(cluster.Options{Shards: shards, ShardTimeout: *shardTO})
+		coord, err := cluster.NewCoordinator(cluster.Options{
+			Shards:           shards,
+			ShardTimeout:     *shardTO,
+			Retry:            resilience.RetryPolicy{MaxAttempts: *retries},
+			BreakerThreshold: *breakerN,
+			BreakerCooldown:  *breakerCD,
+			ProbeInterval:    *probeIvl,
+		})
 		if err != nil {
 			fmt.Fprintf(stderr, "slimgraphd: %v\n", err)
 			return 2
@@ -145,6 +158,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 	default:
 		fmt.Fprintf(stderr, "slimgraphd: unknown -role %q (standalone | coordinator | shard)\n", *role)
 		return 2
+	}
+
+	if *faultSpec != "" {
+		inj, err := resilience.ParseFaultSpec(*faultSpec)
+		if err != nil {
+			fmt.Fprintf(stderr, "slimgraphd: -fault-inject: %v\n", err)
+			return 2
+		}
+		// The injector wraps the whole handler (observability included), so
+		// injected drops and truncations look exactly like network faults to
+		// clients — which is the point.
+		handler = inj.Middleware(handler)
+		lg.Printf("fault injection armed: %d rule(s) from spec %q", len(inj.Rules()), *faultSpec)
 	}
 
 	for _, nv := range loads {

@@ -114,8 +114,32 @@
 // intact (element-keyed scheme randomness needs the whole graph), so a
 // cluster's responses are byte-identical to a single node's for a fixed
 // seed at workers=1, and one compress request populates every replica's
-// variant cache exactly once. A hung or dead shard fails requests fast
-// with a 502 and never leaves a partially replicated variant behind.
+// variant cache exactly once.
+//
+// # Resilience
+//
+// The fault-tolerance layer (internal/resilience) keeps that contract
+// intact when shards misbehave. Idempotent sub-requests retry with
+// exponential backoff and deterministic seeded jitter under a per-request
+// retry budget (RetryPolicy; creates and purges never blind-retry), and
+// per-shard circuit breakers (BreakerState; closed → open after
+// consecutive failures, half-open probes after a cooldown) route traffic
+// around a dead shard — opened proactively by a background /readyz prober
+// when ClusterOptions.ProbeInterval is set. Degraded execution is
+// lossless: relay queries fail over to any live replica, partitioned
+// kernels re-scatter their ranges over the survivors (ranges are pure
+// functions of (part, of), so the merged bytes never change), and compress
+// falls back to a quorum write, queueing the missed replica a repair that
+// replays when its breaker closes — the same queue that replays unloads
+// and purges so DELETE stays idempotent across an outage. Request
+// deadlines propagate on the DeadlineHeader and are clamped shard-side;
+// handler panics become 500s with the request ID (slimgraph_panics_total)
+// instead of torn connections; and admission control bounds the
+// heavy-request wait queue, answering 429 + Retry-After when full. A
+// deterministic fault injector (NewFaultInjector, ParseFaultSpec,
+// slimgraphd -fault-inject) drops, delays, 503s, or truncates matching
+// requests reproducibly from a seed — the chaos harness the kill-a-shard
+// tests drive.
 //
 // # Observability
 //

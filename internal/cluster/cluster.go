@@ -42,6 +42,7 @@ import (
 	"time"
 
 	"slimgraph/internal/obs"
+	"slimgraph/internal/resilience"
 )
 
 // Options configures a Coordinator.
@@ -65,6 +66,26 @@ type Options struct {
 	// Logger receives the front server's structured request log in
 	// StartLocal-built clusters.
 	Logger obs.Logger
+	// Retry shapes the sub-request retry policy (see resilience.RetryPolicy;
+	// zero value = 3 attempts, 25ms base backoff, seeded jitter). Retries
+	// apply only to idempotent sub-requests — partial kernels, compress
+	// (single-flight cached shard-side), relays, probes — never to create or
+	// purge.
+	Retry resilience.RetryPolicy
+	// RetryBudget caps retries per client request across its whole fan-out
+	// (a multi-level BFS included). 0 means the default of 16; negative
+	// disables retries entirely.
+	RetryBudget int
+	// BreakerThreshold and BreakerCooldown configure the per-shard circuit
+	// breakers (defaults: 3 consecutive failures, 5s cooldown).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// ProbeInterval, when positive, runs a background health prober that
+	// polls each routable shard's /readyz — opening breakers before a user
+	// request pays the timeout, and probing cooldown expiry so recovery
+	// isn't gated on user traffic. 0 disables the prober (breakers then
+	// open and recover through regular traffic).
+	ProbeInterval time.Duration
 }
 
 func (o Options) timeout() time.Duration {
@@ -115,14 +136,22 @@ func doJSON(ctx context.Context, client *http.Client, method, addr, path string,
 	if id := obs.RequestID(ctx); id != "" {
 		req.Header.Set(obs.RequestIDHeader, id)
 	}
+	// Propagate the caller's deadline so the shard clamps its own context:
+	// a shard never keeps computing for a coordinator that has given up.
+	resilience.SetDeadlineHeader(req.Header, ctx)
 	resp, err := client.Do(req)
 	if err != nil {
 		return err
 	}
-	defer resp.Body.Close()
 	data, err := io.ReadAll(resp.Body)
+	// Drain whatever is left (bounded — a broken body won't block) and
+	// close on every path, success or error: an undrained body poisons the
+	// keep-alive connection, and under retry load a leaked connection per
+	// failed attempt compounds fast.
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 256<<10))
+	resp.Body.Close()
 	if err != nil {
-		return err
+		return fmt.Errorf("reading reply: %w", err)
 	}
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
 		return errBody(resp.StatusCode, data)
@@ -130,7 +159,10 @@ func doJSON(ctx context.Context, client *http.Client, method, addr, path string,
 	if out == nil {
 		return nil
 	}
-	return json.Unmarshal(data, out)
+	if err := json.Unmarshal(data, out); err != nil {
+		return fmt.Errorf("decoding reply: %w", err)
+	}
+	return nil
 }
 
 // postJSON marshals in and POSTs it as application/json.

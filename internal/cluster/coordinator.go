@@ -3,6 +3,7 @@ package cluster
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"math"
@@ -18,6 +19,7 @@ import (
 	"slimgraph/internal/graphio"
 	"slimgraph/internal/metrics"
 	"slimgraph/internal/obs"
+	"slimgraph/internal/resilience"
 	"slimgraph/internal/server"
 )
 
@@ -30,6 +32,15 @@ type Coordinator struct {
 	client *http.Client
 	start  time.Time
 	met    *coordMetrics // nil until Instrument; set before traffic
+
+	// Resilience state (see resilient.go): one breaker and one pending-
+	// repair queue per shard, the retry policy, and the prober lifecycle.
+	retry      resilience.RetryPolicy
+	breakers   []*resilience.Breaker
+	repairs    []*repairQueue
+	proberStop chan struct{}
+	proberDone chan struct{}
+	closeOnce  sync.Once
 
 	mu     sync.RWMutex
 	graphs map[string]server.GraphInfo
@@ -52,7 +63,8 @@ type shardMetrics struct {
 	up       *obs.Gauge
 }
 
-// NewCoordinator returns a coordinator over opts.Shards.
+// NewCoordinator returns a coordinator over opts.Shards. Close releases
+// its background prober when Options.ProbeInterval is set.
 func NewCoordinator(opts Options) (*Coordinator, error) {
 	if len(opts.Shards) == 0 {
 		return nil, errors.New("cluster: coordinator needs at least one shard")
@@ -61,7 +73,34 @@ func NewCoordinator(opts Options) (*Coordinator, error) {
 	if client == nil {
 		client = &http.Client{}
 	}
-	return &Coordinator{opts: opts, client: client, start: time.Now(), graphs: map[string]server.GraphInfo{}}, nil
+	c := &Coordinator{
+		opts:   opts,
+		client: client,
+		start:  time.Now(),
+		retry:  opts.retryPolicy(),
+		graphs: map[string]server.GraphInfo{},
+	}
+	for i := range opts.Shards {
+		i := i
+		c.breakers = append(c.breakers, resilience.NewBreaker(resilience.BreakerOptions{
+			Threshold: opts.BreakerThreshold,
+			Cooldown:  opts.BreakerCooldown,
+			OnChange: func(_, to resilience.BreakerState) {
+				// A shard that just proved itself healthy settles its debts:
+				// pending unloads, purges, and variant re-replications replay.
+				if to == resilience.BreakerClosed {
+					go c.drainRepairs(i)
+				}
+			},
+		}))
+		c.repairs = append(c.repairs, newRepairQueue())
+	}
+	if opts.ProbeInterval > 0 {
+		c.proberStop = make(chan struct{})
+		c.proberDone = make(chan struct{})
+		go c.probeLoop()
+	}
+	return c, nil
 }
 
 // Shards returns the shard base URLs in rank order.
@@ -92,45 +131,67 @@ func (c *Coordinator) Instrument(reg *obs.Registry) {
 			up: reg.Gauge("slimgraph_shard_up",
 				"1 when the shard's most recent sub-request succeeded (4xx counts as up: the shard answered).", l),
 		})
+		b := c.breakers[i]
+		reg.GaugeFunc("slimgraph_shard_breaker_state",
+			"Shard circuit breaker position: 0 closed, 1 half-open, 2 open.",
+			func() float64 { return float64(b.State()) }, l)
+		q := c.repairs[i]
+		reg.GaugeFunc("slimgraph_shard_pending_repairs",
+			"Replica-consistency operations queued for replay when the shard recovers.",
+			func() float64 { return float64(q.size()) }, l)
 	}
 	c.met = m
 }
 
-// observe wraps one sub-request to shard i with the telemetry: request
-// count, in-flight, latency (per shard and aggregate), and the up gauge. A
-// 4xx shard reply leaves the shard up — it answered; only transport
-// failures, timeouts, and 5xx mark it down and count as failures.
+// observe wraps one sub-request attempt to shard i with the telemetry:
+// request count, in-flight, latency (per shard and aggregate), the up
+// gauge, and the shard's circuit breaker. A 4xx shard reply leaves the
+// shard up — it answered; only transport failures, timeouts, and 5xx mark
+// it down and count as failures. A canceled parent context says nothing
+// about the shard (the client hung up), so it bypasses the breaker.
 func (c *Coordinator) observe(i int, fn func() error) error {
-	m := c.met
-	if m == nil {
-		return fn()
+	var sm *shardMetrics
+	if m := c.met; m != nil {
+		sm = &m.perShard[i]
+		sm.inflight.Add(1)
 	}
-	sm := &m.perShard[i]
-	sm.inflight.Add(1)
 	start := time.Now()
 	err := fn()
 	elapsed := time.Since(start).Seconds()
-	sm.inflight.Add(-1)
-	sm.requests.Inc()
-	sm.latency.Observe(elapsed)
-	m.total.Observe(elapsed)
+	if sm != nil {
+		sm.inflight.Add(-1)
+		sm.requests.Inc()
+		sm.latency.Observe(elapsed)
+		c.met.total.Observe(elapsed)
+	}
 	var he *httpError
 	if err == nil || (errors.As(err, &he) && he.code < 500) {
-		sm.up.Set(1)
+		if sm != nil {
+			sm.up.Set(1)
+		}
+		c.breakers[i].RecordSuccess()
 	} else {
-		sm.failures.Inc()
-		sm.up.Set(0)
+		if sm != nil {
+			sm.failures.Inc()
+			sm.up.Set(0)
+		}
+		if !errors.Is(err, context.Canceled) {
+			c.breakers[i].RecordFailure()
+		}
 	}
 	return err
 }
 
-// Ready probes every shard's /readyz, returning the first failure in shard
-// order — the readiness check cmd/slimgraphd installs on the coordinator's
-// own /readyz.
+// Ready probes every shard's /readyz concurrently — each probe bounded by
+// ShardTimeout — returning the first failure in shard order: the readiness
+// check cmd/slimgraphd installs on the coordinator's own /readyz.
+// Readiness deliberately ignores breakers: it is the ground-truth poll
+// that feeds them.
 func (c *Coordinator) Ready() error {
-	errs := c.scatter(context.Background(), func(ctx context.Context, i int, addr string) error {
-		return doJSON(ctx, c.client, http.MethodGet, addr, "/readyz", nil, "", nil, nil)
-	})
+	errs := c.scatterOver(context.Background(), c.allShards(), "readyz", c.noRetry(),
+		func(ctx context.Context, _, _ int, addr string) error {
+			return doJSON(ctx, c.client, http.MethodGet, addr, "/readyz", nil, "", nil, nil)
+		})
 	for i, err := range errs {
 		if err != nil {
 			return fmt.Errorf("shard %d (%s): %v", i, c.opts.Shards[i], err)
@@ -139,32 +200,15 @@ func (c *Coordinator) Ready() error {
 	return nil
 }
 
-// scatter runs fn against every shard concurrently, each under its own
-// ShardTimeout, and returns the per-shard errors in shard order.
-func (c *Coordinator) scatter(ctx context.Context, fn func(ctx context.Context, shard int, addr string) error) []error {
-	errs := make([]error, len(c.opts.Shards))
-	var wg sync.WaitGroup
-	for i, addr := range c.opts.Shards {
-		wg.Add(1)
-		go func(i int, addr string) {
-			defer wg.Done()
-			sctx, cancel := context.WithTimeout(ctx, c.opts.timeout())
-			defer cancel()
-			errs[i] = c.observe(i, func() error { return fn(sctx, i, addr) })
-		}(i, addr)
-	}
-	wg.Wait()
-	return errs
-}
-
-// mergeErrors reduces per-shard errors to one client-facing error: a 4xx
-// shard reply (validation: unknown scheme, bad root, missing graph) relays
-// verbatim — every replica rejects identically, so the first is THE error,
-// byte-identical to a single node's — while transport failures, timeouts,
-// and 5xx surface as 502 naming the first failing shard.
-func (c *Coordinator) mergeErrors(errs []error) error {
-	var firstIdx = -1
-	for i, err := range errs {
+// mergeErrorsOver reduces per-shard errors (positional, from scatterOver
+// over shards) to one client-facing error: a 4xx shard reply (validation:
+// unknown scheme, bad root, missing graph) relays verbatim — every replica
+// rejects identically, so the first is THE error, byte-identical to a
+// single node's — while transport failures, timeouts, and 5xx surface as
+// 502 naming the first failing shard.
+func (c *Coordinator) mergeErrorsOver(shards []int, errs []error) error {
+	var firstPos = -1
+	for pos, err := range errs {
 		if err == nil {
 			continue
 		}
@@ -172,15 +216,16 @@ func (c *Coordinator) mergeErrors(errs []error) error {
 		if errors.As(err, &he) && he.code >= 400 && he.code < 500 {
 			return server.Errf(he.code, "%s", he.msg)
 		}
-		if firstIdx < 0 {
-			firstIdx = i
+		if firstPos < 0 {
+			firstPos = pos
 		}
 	}
-	if firstIdx < 0 {
+	if firstPos < 0 {
 		return nil
 	}
+	i := shards[firstPos]
 	return server.Errf(http.StatusBadGateway, "shard %d (%s): %v",
-		firstIdx, c.opts.Shards[firstIdx], errs[firstIdx])
+		i, c.opts.Shards[i], errs[firstPos])
 }
 
 // --- server.Catalog --------------------------------------------------------
@@ -188,7 +233,10 @@ func (c *Coordinator) mergeErrors(errs []error) error {
 // Create replicates g to every shard: packed once into the succinct v2
 // snapshot (the PR 3 representation — the cheapest bytes to ship), loaded
 // by each shard under the client's memory policy. A partial failure rolls
-// back the shards that succeeded, so the catalog never diverges.
+// back the shards that succeeded, so the catalog never diverges. Create is
+// deliberately strict — it requires full membership and never blind-retries
+// (a retried load that half-landed would 409) — so a down shard fails the
+// create rather than admitting a graph some replica doesn't hold.
 func (c *Coordinator) Create(ctx context.Context, name, memory, source string, g *graph.Graph, workers int) (*server.GraphInfo, error) {
 	var buf bytes.Buffer
 	if _, err := graphio.WritePacked(&buf, g); err != nil {
@@ -204,19 +252,21 @@ func (c *Coordinator) Create(ctx context.Context, name, memory, source string, g
 		q.Set("directed", "true")
 	}
 	infos := make([]server.GraphInfo, len(c.opts.Shards))
-	errs := c.scatter(ctx, func(ctx context.Context, i int, addr string) error {
+	all := c.allShards()
+	errs := c.scatterOver(ctx, all, "create:"+name, c.noRetry(), func(ctx context.Context, _, i int, addr string) error {
 		return doJSON(ctx, c.client, http.MethodPost, addr, "/internal/v1/graphs", q,
 			"application/octet-stream", bytes.NewReader(data), &infos[i])
 	})
-	if err := c.mergeErrors(errs); err != nil {
+	if err := c.mergeErrorsOver(all, errs); err != nil {
 		// Roll back the shards that accepted the graph; the ones that
 		// failed (or already held the name) are left untouched.
-		c.scatter(context.Background(), func(ctx context.Context, i int, addr string) error {
-			if errs[i] != nil {
-				return nil
-			}
-			return doJSON(ctx, c.client, http.MethodDelete, addr, "/internal/v1/graphs/"+url.PathEscape(name), nil, "", nil, nil)
-		})
+		c.scatterOver(context.Background(), all, "create-rollback:"+name, c.noRetry(),
+			func(ctx context.Context, _, i int, addr string) error {
+				if errs[i] != nil {
+					return nil
+				}
+				return doJSON(ctx, c.client, http.MethodDelete, addr, "/internal/v1/graphs/"+url.PathEscape(name), nil, "", nil, nil)
+			})
 		return nil, err
 	}
 	info := infos[0]
@@ -251,8 +301,12 @@ func (c *Coordinator) List(_ context.Context) ([]server.GraphInfo, error) {
 
 // Drop removes the graph from every shard. VariantsDropped reports the
 // largest per-shard count (replicas hold identical variant sets in steady
-// state, so this is normally every shard's number).
+// state, so this is normally every shard's number). Drop is idempotent
+// across an unreachable shard: instead of failing, the unload is recorded
+// as a pending repair and replayed when that shard's breaker closes, so no
+// stale replica survives recovery.
 func (c *Coordinator) Drop(ctx context.Context, name string) (*server.DeleteResponse, error) {
+	ctx = c.withBudget(ctx)
 	c.mu.Lock()
 	_, ok := c.graphs[name]
 	delete(c.graphs, name)
@@ -262,7 +316,8 @@ func (c *Coordinator) Drop(ctx context.Context, name string) (*server.DeleteResp
 	}
 	dropped := 0
 	var mu sync.Mutex
-	errs := c.scatter(ctx, func(ctx context.Context, i int, addr string) error {
+	live := c.liveShards()
+	errs := c.scatterOver(ctx, live, "drop:"+name, c.retry, func(ctx context.Context, _, i int, addr string) error {
 		var resp server.DeleteResponse
 		err := doJSON(ctx, c.client, http.MethodDelete, addr, "/internal/v1/graphs/"+url.PathEscape(name), nil, "", nil, &resp)
 		if err == nil {
@@ -274,67 +329,122 @@ func (c *Coordinator) Drop(ctx context.Context, name string) (*server.DeleteResp
 		}
 		return err
 	})
-	// A shard that already lost the graph (404) is in the desired state.
-	for i, err := range errs {
+	for pos, err := range errs {
 		var he *httpError
-		if errors.As(err, &he) && he.code == http.StatusNotFound {
-			errs[i] = nil
+		switch {
+		case errors.As(err, &he) && he.code == http.StatusNotFound:
+			// Already lost the graph: the desired state.
+			errs[pos] = nil
+		case err != nil && shardFatal(err):
+			// Unreachable or failing: owe it the unload instead of failing a
+			// delete the healthy replicas already applied.
+			c.queueRepair(live[pos], repairOp{kind: "unload", graph: name})
+			errs[pos] = nil
 		}
 	}
-	if err := c.mergeErrors(errs); err != nil {
+	for _, i := range c.deadShards(live) {
+		c.queueRepair(i, repairOp{kind: "unload", graph: name})
+	}
+	if err := c.mergeErrorsOver(live, errs); err != nil {
 		return nil, err
 	}
 	return &server.DeleteResponse{Deleted: name, VariantsDropped: dropped}, nil
 }
 
+// deadShards returns the complement of live — the shards a cluster-wide
+// write owes a repair to.
+func (c *Coordinator) deadShards(live []int) []int {
+	inLive := make(map[int]bool, len(live))
+	for _, i := range live {
+		inLive[i] = true
+	}
+	var dead []int
+	for i := range c.opts.Shards {
+		if !inLive[i] {
+			dead = append(dead, i)
+		}
+	}
+	return dead
+}
+
 // --- server.QueryBackend ---------------------------------------------------
 
 // Compress replicates one variant: the same (spec, seed, workers) request
-// goes to every shard's public compress endpoint, so each replica's
+// goes to every live shard's public compress endpoint, so each replica's
 // single-flight cache executes the scheme exactly once and then serves
 // identical bytes (schemes are pure functions of graph, canonical spec,
-// and seed). On a partial failure the coordinator purges the key from the
-// shards that succeeded — the client saw an error, so no replica may keep
-// the variant.
+// and seed). On a partial failure among the live shards the coordinator
+// purges the key from the ones that succeeded — the client saw an error,
+// so no replica may keep the variant.
+//
+// With a shard's breaker open, Compress degrades to a quorum write: the
+// variant lands on the live majority, the response merges from them, and
+// the missed replica is owed a compress repair that replays when its
+// breaker closes. Determinism makes this sound — the repaired replica
+// computes byte-identical variant bytes from the same (spec, seed) — and a
+// partial query served meanwhile hits only live shards, which all hold the
+// variant. Below a majority the write is refused (503): accepting it would
+// let a minority serve a variant most of the cluster never saw.
 func (c *Coordinator) Compress(ctx context.Context, name, spec string, p server.QueryParams) (*server.CompressResponse, error) {
+	ctx = c.withBudget(ctx)
 	if _, err := c.Info(ctx, name); err != nil {
 		return nil, err
 	}
-	resps := make([]server.CompressResponse, len(c.opts.Shards))
+	live := c.liveShards()
+	if len(live)*2 <= len(c.opts.Shards) {
+		return nil, server.Errf(http.StatusServiceUnavailable,
+			"compress quorum lost: %d of %d shards live", len(live), len(c.opts.Shards))
+	}
+	resps := make([]server.CompressResponse, len(live))
 	req := server.CompressRequest{Spec: spec, Seed: p.Seed, Workers: p.Workers}
-	errs := c.scatter(ctx, func(ctx context.Context, i int, addr string) error {
-		return postJSON(ctx, c.client, addr, "/v1/graphs/"+url.PathEscape(name)+"/compress", req, &resps[i])
+	errs := c.scatterOver(ctx, live, "compress:"+name, c.retry, func(ctx context.Context, pos, _ int, addr string) error {
+		return postJSON(ctx, c.client, addr, "/v1/graphs/"+url.PathEscape(name)+"/compress", req, &resps[pos])
 	})
-	if err := c.mergeErrors(errs); err != nil {
+	if err := c.mergeErrorsOver(live, errs); err != nil {
 		c.purgeVariant(name, spec, p)
 		return nil, err
 	}
 	merged := resps[0]
-	for i := 1; i < len(resps); i++ {
-		r := resps[i]
+	for pos := 1; pos < len(resps); pos++ {
+		r := resps[pos]
 		if r.Spec != merged.Spec || r.N != merged.N || r.M != merged.M {
 			return nil, server.Errf(http.StatusBadGateway,
-				"replicas disagree on variant %q of %q: shard 0 got n=%d m=%d spec=%q, shard %d got n=%d m=%d spec=%q",
-				spec, name, merged.N, merged.M, merged.Spec, i, r.N, r.M, r.Spec)
+				"replicas disagree on variant %q of %q: shard %d got n=%d m=%d spec=%q, shard %d got n=%d m=%d spec=%q",
+				spec, name, live[0], merged.N, merged.M, merged.Spec, live[pos], r.N, r.M, r.Spec)
 		}
 		merged.Cached = merged.Cached && r.Cached
 		if r.ElapsedMS > merged.ElapsedMS {
 			merged.ElapsedMS = r.ElapsedMS
 		}
 	}
+	for _, i := range c.deadShards(live) {
+		c.queueRepair(i, repairOp{kind: "compress", graph: name, spec: spec, seed: p.Seed, workers: p.Workers})
+	}
 	return &merged, nil
 }
 
-// purgeVariant best-effort drops a variant key from every shard after a
-// partial failure. A shard still executing the scheme (the timeout case)
-// inserts when it finishes; the next successful Compress for the key will
-// simply find it cached — correctness is unaffected since variants are
-// deterministic.
+// purgeVariant drops a variant key from every live shard after a partial
+// failure, and owes dead or still-failing shards a purge repair. A shard
+// still executing the scheme (the timeout case) inserts when it finishes;
+// the next successful Compress for the key will simply find it cached —
+// correctness is unaffected since variants are deterministic. Purges never
+// blind-retry: the repair queue is the durable retry.
 func (c *Coordinator) purgeVariant(name, spec string, p server.QueryParams) {
 	req := purgeRequest{Spec: spec, Seed: p.Seed, Workers: p.Workers}
-	c.scatter(context.Background(), func(ctx context.Context, i int, addr string) error {
-		return postJSON(ctx, c.client, addr, "/internal/v1/graphs/"+url.PathEscape(name)+"/purge", req, nil)
-	})
+	live := c.liveShards()
+	errs := c.scatterOver(context.Background(), live, "purge:"+name, c.noRetry(),
+		func(ctx context.Context, _, i int, addr string) error {
+			return postJSON(ctx, c.client, addr, "/internal/v1/graphs/"+url.PathEscape(name)+"/purge", req, nil)
+		})
+	op := repairOp{kind: "purge", graph: name, spec: spec, seed: p.Seed, workers: p.Workers}
+	for pos, err := range errs {
+		if err != nil && shardFatal(err) {
+			c.queueRepair(live[pos], op)
+		}
+	}
+	for _, i := range c.deadShards(live) {
+		c.queueRepair(i, op)
+	}
 }
 
 // target resolves what a query runs on: (vertex count, canonical spec).
@@ -355,17 +465,71 @@ func (c *Coordinator) target(ctx context.Context, name string, p server.QueryPar
 	return cr.N, cr.Spec, nil
 }
 
-// scatterParts sends one partial request per shard (with Shard/Of filled
-// in) and decodes each shard's reply into out[i], relaying errors with
-// mergeErrors semantics.
-func (c *Coordinator) scatterParts(ctx context.Context, name, path string, req partRequest, out func(i int) any) error {
-	req.Of = len(c.opts.Shards)
-	errs := c.scatter(ctx, func(ctx context.Context, i int, addr string) error {
-		r := req
-		r.Shard = i
-		return postJSON(ctx, c.client, addr, "/internal/v1/graphs/"+url.PathEscape(name)+"/part/"+path, r, out(i))
-	})
-	return c.mergeErrors(errs)
+// scatterParts scatters one partial computation over the live shard set:
+// part p of `of` goes to the p-th live shard, which recomputes its range
+// from (p, of) locally — part index and shard rank are independent, so ANY
+// shard can serve ANY part. It returns how many parts the query ran as
+// (callers merge out(0..of-1) in part order).
+//
+// Failure handling is re-partition-and-retry: a shard whose sub-request
+// fails fatally (after the retry policy's attempts) is blacklisted for
+// this request and the WHOLE part set re-scatters over the survivors with
+// the new `of`. Correctness is unaffected — partition ranges are pure
+// functions of (part, of) and partial kernels pure functions of (graph,
+// range), so the merged response stays byte-identical to single-node no
+// matter how many survivors serve it. Replies decode into out only after
+// a fully successful round, so a half-failed round can't leave stale
+// fields behind. A 4xx relays verbatim immediately: every replica rejects
+// an invalid request identically.
+func (c *Coordinator) scatterParts(ctx context.Context, name, path string, req partRequest, out func(part int) any) (int, error) {
+	bad := make(map[int]bool)
+	var lastErr error
+	lastShard := -1
+	for {
+		candidates := make([]int, 0, len(c.opts.Shards))
+		for _, i := range c.liveShards() {
+			if !bad[i] {
+				candidates = append(candidates, i)
+			}
+		}
+		if len(candidates) == 0 || ctx.Err() != nil {
+			if lastShard < 0 {
+				return 0, server.Errf(http.StatusBadGateway, "no live shards for %s", name)
+			}
+			return 0, server.Errf(http.StatusBadGateway, "shard %d (%s): %v",
+				lastShard, c.opts.Shards[lastShard], lastErr)
+		}
+		of := len(candidates)
+		raws := make([]json.RawMessage, of)
+		errs := c.scatterOver(ctx, candidates, "part:"+path, c.retry, func(ctx context.Context, pos, _ int, addr string) error {
+			r := req
+			r.Shard = pos
+			r.Of = of
+			return postJSON(ctx, c.client, addr, "/internal/v1/graphs/"+url.PathEscape(name)+"/part/"+path, r, &raws[pos])
+		})
+		failed := false
+		for pos, err := range errs {
+			if err == nil {
+				continue
+			}
+			var he *httpError
+			if errors.As(err, &he) && he.code >= 400 && he.code < 500 {
+				return 0, server.Errf(he.code, "%s", he.msg)
+			}
+			bad[candidates[pos]] = true
+			lastErr, lastShard = err, candidates[pos]
+			failed = true
+		}
+		if failed {
+			continue
+		}
+		for pos := range raws {
+			if err := json.Unmarshal(raws[pos], out(pos)); err != nil {
+				return 0, server.Errf(http.StatusBadGateway, "decoding part %d from shard %d: %v", pos, candidates[pos], err)
+			}
+		}
+		return of, nil
+	}
 }
 
 // BFS runs a level-synchronous distributed BFS: the coordinator owns the
@@ -374,6 +538,7 @@ func (c *Coordinator) scatterParts(ctx context.Context, name, path string, req p
 // in shard order. Levels are exact regardless of merge order, so the
 // distance array — and the response bytes — match the single-node server.
 func (c *Coordinator) BFS(ctx context.Context, name string, root int32, p server.QueryParams) (*server.BFSResponse, error) {
+	ctx = c.withBudget(ctx)
 	n, canonical, err := c.target(ctx, name, p)
 	if err != nil {
 		return nil, err
@@ -392,11 +557,12 @@ func (c *Coordinator) BFS(ctx context.Context, name string, root int32, p server
 		parts := make([]bfsPartResponse, len(c.opts.Shards))
 		req := base
 		req.Frontier = frontier
-		if err := c.scatterParts(ctx, name, "bfs", req, func(i int) any { return &parts[i] }); err != nil {
+		of, err := c.scatterParts(ctx, name, "bfs", req, func(p int) any { return &parts[p] })
+		if err != nil {
 			return nil, err
 		}
 		frontier = frontier[:0]
-		for _, part := range parts {
+		for _, part := range parts[:of] {
 			for _, v := range part.Next {
 				if dist[v] < 0 {
 					dist[v] = level
@@ -444,6 +610,7 @@ var prDamping = 0.85
 // associative, so this ordering (not just the partition) is what makes the
 // scores bit-identical to centrality.PageRankOn at workers=1.
 func (c *Coordinator) PageRank(ctx context.Context, name string, k int, p server.QueryParams) (*server.PageRankResponse, error) {
+	ctx = c.withBudget(ctx)
 	n, canonical, err := c.target(ctx, name, p)
 	if err != nil {
 		return nil, err
@@ -452,15 +619,16 @@ func (c *Coordinator) PageRank(ctx context.Context, name string, k int, p server
 	var ranks []float64
 	if n > 0 {
 		inits := make([]prInitResponse, len(c.opts.Shards))
-		if err := c.scatterParts(ctx, name, "pr-init", base, func(i int) any { return &inits[i] }); err != nil {
+		of, err := c.scatterParts(ctx, name, "pr-init", base, func(p int) any { return &inits[p] })
+		if err != nil {
 			return nil, err
 		}
-		// Shard ranges are contiguous and ascending, so concatenating the
+		// Part ranges are contiguous and ascending, so concatenating the
 		// per-range dangling lists yields the globally ascending list; the
 		// non-dangling vertices the single-node sum skips contribute exact
 		// zeros, so summing only these matches it bitwise.
 		var dangling []int32
-		for _, init := range inits {
+		for _, init := range inits[:of] {
 			if init.N != n {
 				return nil, server.Errf(http.StatusBadGateway,
 					"replicas disagree on vertex count: %d vs %d", init.N, n)
@@ -483,10 +651,11 @@ func (c *Coordinator) PageRank(ctx context.Context, name string, k int, p server
 			pulls := make([]prPullResponse, len(c.opts.Shards))
 			req := base
 			req.Ranks = rank
-			if err := c.scatterParts(ctx, name, "pr-pull", req, func(i int) any { return &pulls[i] }); err != nil {
+			pof, err := c.scatterParts(ctx, name, "pr-pull", req, func(p int) any { return &pulls[p] })
+			if err != nil {
 				return nil, err
 			}
-			for _, pull := range pulls {
+			for _, pull := range pulls[:pof] {
 				for j, sum := range pull.Sums {
 					next[int(pull.Lo)+j] = baseMass + danglingShare + prDamping*sum
 				}
@@ -511,6 +680,7 @@ func (c *Coordinator) PageRank(ctx context.Context, name string, k int, p server
 // estimate samples edges by global edge ID, so any single replica computes
 // the canonical answer.
 func (c *Coordinator) Triangles(ctx context.Context, name, mode string, prob float64, p server.QueryParams) (*server.TrianglesResponse, error) {
+	ctx = c.withBudget(ctx)
 	if mode == "approx" {
 		q := url.Values{}
 		q.Set("mode", "approx")
@@ -528,11 +698,12 @@ func (c *Coordinator) Triangles(ctx context.Context, name, mode string, prob flo
 	}
 	parts := make([]trianglesPartResponse, len(c.opts.Shards))
 	base := partRequest{Spec: canonical, Seed: p.Seed, Workers: p.Workers}
-	if err := c.scatterParts(ctx, name, "triangles", base, func(i int) any { return &parts[i] }); err != nil {
+	of, err := c.scatterParts(ctx, name, "triangles", base, func(p int) any { return &parts[p] })
+	if err != nil {
 		return nil, err
 	}
 	var total int64
-	for _, part := range parts {
+	for _, part := range parts[:of] {
 		total += part.Count
 	}
 	return &server.TrianglesResponse{Graph: name, Spec: canonical, Mode: mode, Count: &total}, nil
@@ -542,17 +713,19 @@ func (c *Coordinator) Triangles(ctx context.Context, name, mode string, prob flo
 // reduction in shard order) and computes the fractions and power-law fit
 // exactly as metrics.DegreeDistribution + PowerLawSlope do on one node.
 func (c *Coordinator) Degrees(ctx context.Context, name string, p server.QueryParams) (*server.DegreesResponse, error) {
+	ctx = c.withBudget(ctx)
 	n, canonical, err := c.target(ctx, name, p)
 	if err != nil {
 		return nil, err
 	}
 	parts := make([]degreesPartResponse, len(c.opts.Shards))
 	base := partRequest{Spec: canonical, Seed: p.Seed, Workers: p.Workers}
-	if err := c.scatterParts(ctx, name, "degrees", base, func(i int) any { return &parts[i] }); err != nil {
+	of, err := c.scatterParts(ctx, name, "degrees", base, func(p int) any { return &parts[p] })
+	if err != nil {
 		return nil, err
 	}
-	partials := make([][]int64, len(parts))
-	for i, part := range parts {
+	partials := make([][]int64, of)
+	for i, part := range parts[:of] {
 		partials[i] = part.Counts
 	}
 	merged := distributed.MergeHistograms(partials)
@@ -571,8 +744,9 @@ func (c *Coordinator) Degrees(ctx context.Context, name string, p server.QueryPa
 	return &server.DegreesResponse{Graph: name, Spec: canonical, Dist: dist, Slope: slope, R2: r2}, nil
 }
 
-// Compare relays the §5 quality comparison to shard 0: it needs the whole
-// original and the whole variant side by side, which every replica holds.
+// Compare relays the §5 quality comparison to one live replica: it needs
+// the whole original and the whole variant side by side, which every
+// replica holds.
 func (c *Coordinator) Compare(ctx context.Context, name string, p server.QueryParams) (*server.CompareResponse, error) {
 	q := url.Values{}
 	addCommonParams(q, p)
@@ -583,21 +757,34 @@ func (c *Coordinator) Compare(ctx context.Context, name string, p server.QueryPa
 	return &resp, nil
 }
 
-// relay forwards one GET to shard 0 under the shard timeout.
+// relay forwards one GET to the first live shard, failing over through the
+// live set in rank order. Full replication plus globally-keyed randomness
+// makes every replica's answer byte-identical, so which one serves is
+// invisible to the client. A 4xx relays verbatim (every replica rejects
+// identically); out is only written by a successful exchange, so a
+// truncated reply on one shard can't corrupt the failover's answer.
 func (c *Coordinator) relay(ctx context.Context, path string, q url.Values, out any) error {
-	sctx, cancel := context.WithTimeout(ctx, c.opts.timeout())
-	defer cancel()
-	err := c.observe(0, func() error {
-		return doJSON(sctx, c.client, http.MethodGet, c.opts.Shards[0], path, q, "", nil, out)
-	})
-	if err == nil {
-		return nil
+	ctx = c.withBudget(ctx)
+	var lastErr error
+	lastShard := -1
+	for _, i := range c.liveShards() {
+		addr := c.opts.Shards[i]
+		err := c.callShard(ctx, i, "relay:"+path, c.retry, func(actx context.Context) error {
+			return doJSON(actx, c.client, http.MethodGet, addr, path, q, "", nil, out)
+		})
+		if err == nil {
+			return nil
+		}
+		var he *httpError
+		if errors.As(err, &he) && he.code >= 400 && he.code < 500 {
+			return server.Errf(he.code, "%s", he.msg)
+		}
+		lastErr, lastShard = err, i
+		if ctx.Err() != nil {
+			break
+		}
 	}
-	var he *httpError
-	if errors.As(err, &he) && he.code >= 400 && he.code < 500 {
-		return server.Errf(he.code, "%s", he.msg)
-	}
-	return server.Errf(http.StatusBadGateway, "shard 0 (%s): %v", c.opts.Shards[0], err)
+	return server.Errf(http.StatusBadGateway, "shard %d (%s): %v", lastShard, c.opts.Shards[lastShard], lastErr)
 }
 
 func addCommonParams(q url.Values, p server.QueryParams) {
@@ -608,22 +795,34 @@ func addCommonParams(q url.Values, p server.QueryParams) {
 	q.Set("workers", strconv.Itoa(p.Workers))
 }
 
-// Stats gathers every shard's /v1/stats and merges them: cluster-wide
+// Stats gathers every live shard's /v1/stats and merges them: cluster-wide
 // counter sums with the per-shard breakdown attached. Graphs is the
 // logical catalog size (each graph is replicated everywhere, so summing
-// shard counts would overstate it N-fold).
+// shard counts would overstate it N-fold). A breaker-open shard keeps its
+// row — breaker state, pending repair count, Ready false — but contributes
+// no cache numbers; the aggregate describes what the live cluster holds.
 func (c *Coordinator) Stats(ctx context.Context) (*server.StatsResponse, error) {
+	ctx = c.withBudget(ctx)
 	per := make([]server.ShardStats, len(c.opts.Shards))
-	errs := c.scatter(ctx, func(ctx context.Context, i int, addr string) error {
+	for i, addr := range c.opts.Shards {
+		per[i] = server.ShardStats{Shard: i, Addr: addr}
+	}
+	live := c.liveShards()
+	errs := c.scatterOver(ctx, live, "stats", c.retry, func(ctx context.Context, _, i int, addr string) error {
 		var resp server.StatsResponse
 		if err := doJSON(ctx, c.client, http.MethodGet, addr, "/v1/stats", nil, "", nil, &resp); err != nil {
 			return err
 		}
-		per[i] = server.ShardStats{Shard: i, Addr: addr, Cache: resp.Cache, Graphs: resp.Graphs}
+		per[i].Cache = resp.Cache
+		per[i].Graphs = resp.Graphs
 		return nil
 	})
-	if err := c.mergeErrors(errs); err != nil {
+	if err := c.mergeErrorsOver(live, errs); err != nil {
 		return nil, err
+	}
+	for i := range per {
+		per[i].Breaker = c.breakers[i].State().String()
+		per[i].PendingRepairs = c.repairs[i].size()
 	}
 	c.mu.RLock()
 	graphs := len(c.graphs)

@@ -54,10 +54,15 @@ func StartLocal(n int, shardOpts server.Options, copts Options) (*LocalCluster, 
 		return nil, err
 	}
 	lc.Coordinator = coord
+	// The front shares the shards' sizing knobs: a cluster provisioned for
+	// a workload shard-side must admit that workload at the door too.
 	lc.Front = server.NewWithBackend(coord, coord, server.Options{
-		MaxWorkers: shardOpts.MaxWorkers,
-		Registry:   copts.Registry,
-		Logger:     copts.Logger,
+		MaxWorkers:    shardOpts.MaxWorkers,
+		MaxConcurrent: shardOpts.MaxConcurrent,
+		MaxQueue:      shardOpts.MaxQueue,
+		QueueWait:     shardOpts.QueueWait,
+		Registry:      copts.Registry,
+		Logger:        copts.Logger,
 	})
 	// Sub-request telemetry lands on the front server's registry, so the
 	// coordinator's per-shard histograms and the HTTP metrics expose on the
@@ -74,8 +79,43 @@ func (lc *LocalCluster) Shard(i int) *Shard { return lc.shards[i] }
 // NumShards returns the shard count.
 func (lc *LocalCluster) NumShards() int { return len(lc.shards) }
 
-// Close shuts the shard servers down, bounded by a short deadline.
+// Addr returns shard i's base URL.
+func (lc *LocalCluster) Addr(i int) string { return "http://" + lc.lns[i].Addr().String() }
+
+// KillShard abruptly stops shard i's listener and in-flight connections —
+// the process-crash simulation of the fault-tolerance tests. The shard's
+// engine (catalog, variant cache) survives in memory, modelling a node
+// whose durable state outlives the outage; RestartShard brings it back on
+// the same address.
+func (lc *LocalCluster) KillShard(i int) error {
+	if err := lc.lns[i].Close(); err != nil {
+		return err
+	}
+	return lc.srvs[i].Close()
+}
+
+// RestartShard re-listens shard i on its original address and serves the
+// same engine again. It fails if the kernel gave the port away in the
+// meantime — tests should retry or tolerate that rare collision.
+func (lc *LocalCluster) RestartShard(i int) error {
+	addr := lc.lns[i].Addr().String()
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("cluster: re-listening shard %d on %s: %v", i, addr, err)
+	}
+	srv := &http.Server{Handler: lc.shards[i].Handler()}
+	go srv.Serve(ln)
+	lc.lns[i] = ln
+	lc.srvs[i] = srv
+	return nil
+}
+
+// Close stops the coordinator's background prober and shuts the shard
+// servers down, bounded by a short deadline.
 func (lc *LocalCluster) Close() {
+	if lc.Coordinator != nil {
+		lc.Coordinator.Close()
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	for _, srv := range lc.srvs {

@@ -8,6 +8,7 @@ import (
 	"io"
 	"math/rand/v2"
 	"net/http"
+	"runtime/debug"
 	"strconv"
 	"strings"
 	"sync"
@@ -114,19 +115,23 @@ type MiddlewareOptions struct {
 }
 
 // statusWriter captures the status code and body size for the metrics and
-// the log line.
+// the log line, and tracks whether the header went out — the panic handler
+// can only substitute a 500 while the status line is still unsent.
 type statusWriter struct {
 	http.ResponseWriter
-	status int
-	bytes  int64
+	status      int
+	bytes       int64
+	wroteHeader bool
 }
 
 func (w *statusWriter) WriteHeader(code int) {
 	w.status = code
+	w.wroteHeader = true
 	w.ResponseWriter.WriteHeader(code)
 }
 
 func (w *statusWriter) Write(p []byte) (int, error) {
+	w.wroteHeader = true
 	n, err := w.ResponseWriter.Write(p)
 	w.bytes += int64(n)
 	return n, err
@@ -136,12 +141,20 @@ func (w *statusWriter) Write(p []byte) (int, error) {
 // X-Slimgraph-Request ID or assigns a fresh one, echoes it on the response,
 // threads it through the request context (where the cluster client picks it
 // up for sub-requests), records per-endpoint/per-status counters and
-// latency histograms, and emits one structured log line per request.
+// latency histograms, emits one structured log line per request, and
+// converts handler panics into 500 responses (slimgraph_panics_total) so
+// one poisoned request can't take the connection — or the process's
+// metrics trail — down with it. http.ErrAbortHandler is re-panicked
+// untouched: it is the sanctioned "abort this connection" signal, not a
+// bug.
 func Middleware(next http.Handler, o MiddlewareOptions) http.Handler {
 	var inflight *Gauge
+	var panics *Counter
 	if o.Registry != nil {
 		inflight = o.Registry.Gauge("slimgraph_http_inflight",
 			"HTTP requests currently being served.")
+		panics = o.Registry.Counter("slimgraph_panics_total",
+			"Handler panics recovered by the middleware and answered with a 500.")
 	}
 	// Registry lookups render and sort label strings; at one lookup per
 	// request that is the dominant middleware cost. The route-pattern space
@@ -188,7 +201,40 @@ func Middleware(next http.Handler, o MiddlewareOptions) http.Handler {
 			inflight.Add(1)
 		}
 		start := time.Now()
-		next.ServeHTTP(sw, r)
+		func() {
+			defer func() {
+				p := recover()
+				if p == nil {
+					return
+				}
+				if p == http.ErrAbortHandler {
+					// Deliberate connection abort (fault injection, aborted
+					// streaming): keep the gauge honest, then let net/http
+					// sever the connection as the handler asked.
+					if inflight != nil {
+						inflight.Add(-1)
+					}
+					panic(p)
+				}
+				if panics != nil {
+					panics.Inc()
+				}
+				if o.Logger != nil {
+					o.Logger.Log(
+						Field{Key: "ts", Value: time.Now().UTC().Format(time.RFC3339Nano)},
+						Field{Key: "request_id", Value: id},
+						Field{Key: "panic", Value: fmt.Sprint(p)},
+						Field{Key: "stack", Value: string(debug.Stack())},
+					)
+				}
+				if !sw.wroteHeader {
+					sw.Header().Set("Content-Type", "application/json")
+					sw.WriteHeader(http.StatusInternalServerError)
+					fmt.Fprintf(sw, "{\"error\":\"internal error (request %s)\"}\n", id)
+				}
+			}()
+			next.ServeHTTP(sw, r)
+		}()
 		elapsed := time.Since(start)
 		if inflight != nil {
 			inflight.Add(-1)

@@ -1,0 +1,73 @@
+package resilience
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// DeadlineHeader carries a request's absolute deadline as Unix
+// nanoseconds. The cluster coordinator stamps it on every shard
+// sub-request from its context deadline, and DeadlineMiddleware clamps the
+// receiving server's request context to it — so a shard never keeps
+// computing an answer whose caller has already timed out, no matter how
+// many hops the request took.
+const DeadlineHeader = "X-Slimgraph-Deadline"
+
+// FormatDeadline renders an absolute deadline for the header.
+func FormatDeadline(t time.Time) string {
+	return strconv.FormatInt(t.UnixNano(), 10)
+}
+
+// ParseDeadline parses a header value; ok is false for absent or
+// malformed values (a bad deadline must degrade to "no deadline", never
+// fail the request).
+func ParseDeadline(v string) (time.Time, bool) {
+	if v == "" {
+		return time.Time{}, false
+	}
+	ns, err := strconv.ParseInt(v, 10, 64)
+	if err != nil {
+		return time.Time{}, false
+	}
+	return time.Unix(0, ns), true
+}
+
+// SetDeadlineHeader stamps ctx's deadline (when it has one) onto h.
+func SetDeadlineHeader(h http.Header, ctx context.Context) {
+	if d, ok := ctx.Deadline(); ok {
+		h.Set(DeadlineHeader, FormatDeadline(d))
+	}
+}
+
+// DeadlineMiddleware clamps each request's context to the deadline the
+// caller propagated in DeadlineHeader (tightening only: an existing
+// earlier context deadline wins). A deadline already in the past answers
+// 504 immediately — the caller has given up, so any work would be wasted
+// and its response unread.
+func DeadlineMiddleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		d, ok := ParseDeadline(r.Header.Get(DeadlineHeader))
+		if !ok {
+			next.ServeHTTP(w, r)
+			return
+		}
+		ctx := r.Context()
+		if cur, has := ctx.Deadline(); has && cur.Before(d) {
+			next.ServeHTTP(w, r)
+			return
+		}
+		if !d.After(time.Now()) {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusGatewayTimeout)
+			_ = json.NewEncoder(w).Encode(map[string]string{
+				"error": "deadline already expired before the request was handled"})
+			return
+		}
+		ctx, cancel := context.WithDeadline(ctx, d)
+		defer cancel()
+		next.ServeHTTP(w, r.WithContext(ctx))
+	})
+}

@@ -246,6 +246,12 @@ type ShardStats struct {
 	// per-shard snapshots yields exactly the coordinator's SubRequests
 	// totals — the same invariant MergeStats maintains for cache counters.
 	Latency *obs.HistogramSnapshot `json:"latency,omitempty"`
+	// Breaker is the shard's circuit-breaker position as seen by the
+	// coordinator: "closed", "half-open", or "open".
+	Breaker string `json:"breaker,omitempty"`
+	// PendingRepairs counts replica-consistency operations (unloads, purges,
+	// variant re-replications) queued for replay when the shard recovers.
+	PendingRepairs int `json:"pendingRepairs,omitempty"`
 }
 
 // StatsResponse is the body of GET /v1/stats. A single node reports its own

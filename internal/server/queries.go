@@ -41,7 +41,11 @@ func (s *Server) lookup(w http.ResponseWriter, r *http.Request) (*GraphInfo, boo
 }
 
 func (s *Server) handleCompress(w http.ResponseWriter, r *http.Request) {
-	defer s.acquire()()
+	release, ok := s.admit(w, r)
+	if !ok {
+		return
+	}
+	defer release()
 	if _, ok := s.lookup(w, r); !ok {
 		return
 	}
@@ -64,7 +68,11 @@ func (s *Server) handleCompress(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleBFS(w http.ResponseWriter, r *http.Request) {
-	defer s.acquire()()
+	release, ok := s.admit(w, r)
+	if !ok {
+		return
+	}
+	defer release()
 	if _, ok := s.lookup(w, r); !ok {
 		return
 	}
@@ -87,7 +95,11 @@ func (s *Server) handleBFS(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handlePageRank(w http.ResponseWriter, r *http.Request) {
-	defer s.acquire()()
+	release, ok := s.admit(w, r)
+	if !ok {
+		return
+	}
+	defer release()
 	if _, ok := s.lookup(w, r); !ok {
 		return
 	}
@@ -110,7 +122,11 @@ func (s *Server) handlePageRank(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleTriangles(w http.ResponseWriter, r *http.Request) {
-	defer s.acquire()()
+	release, ok := s.admit(w, r)
+	if !ok {
+		return
+	}
+	defer release()
 	info, ok := s.lookup(w, r)
 	if !ok {
 		return
@@ -156,7 +172,11 @@ func (s *Server) handleTriangles(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleDegrees(w http.ResponseWriter, r *http.Request) {
-	defer s.acquire()()
+	release, ok := s.admit(w, r)
+	if !ok {
+		return
+	}
+	defer release()
 	if _, ok := s.lookup(w, r); !ok {
 		return
 	}
@@ -176,7 +196,11 @@ func (s *Server) handleDegrees(w http.ResponseWriter, r *http.Request) {
 // handleCompare computes the §5 quality metrics of a cached (or freshly
 // computed) variant against its original.
 func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
-	defer s.acquire()()
+	release, ok := s.admit(w, r)
+	if !ok {
+		return
+	}
+	defer release()
 	if _, ok := s.lookup(w, r); !ok {
 		return
 	}

@@ -39,10 +39,13 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"slimgraph/internal/graph"
 	"slimgraph/internal/graphio"
 	"slimgraph/internal/obs"
+	"slimgraph/internal/resilience"
 	"slimgraph/internal/schemes"
 )
 
@@ -66,6 +69,14 @@ type Options struct {
 	// route pattern, status, latency). Nil disables request logging;
 	// metrics are unaffected.
 	Logger obs.Logger
+	// MaxQueue bounds how many heavy requests may WAIT for a concurrency
+	// slot (default 4×MaxConcurrent). Beyond it — or after QueueWait
+	// expires — the request is refused with 429 + Retry-After instead of
+	// piling up goroutines without bound.
+	MaxQueue int
+	// QueueWait bounds how long an admitted-to-the-queue request waits for
+	// a slot before 429 (default 2s).
+	QueueWait time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -77,6 +88,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxWorkers <= 0 {
 		o.MaxWorkers = runtime.GOMAXPROCS(0)
+	}
+	if o.MaxQueue <= 0 {
+		o.MaxQueue = 4 * o.MaxConcurrent
+	}
+	if o.QueueWait <= 0 {
+		o.QueueWait = 2 * time.Second
 	}
 	if o.Registry == nil {
 		o.Registry = obs.NewRegistry()
@@ -93,6 +110,8 @@ type Server struct {
 	backend QueryBackend
 	local   *Local        // non-nil when backed by the in-process engine
 	sem     chan struct{} // MaxConcurrent slots for heavy requests
+	waiters atomic.Int64  // heavy requests currently queued for a slot
+	shed    *obs.Counter  // requests refused with 429 by admission control
 	mux     *http.ServeMux
 	handler http.Handler // mux wrapped in the tracing middleware
 	ready   *obs.Gauge   // 1 when /readyz would answer 200
@@ -124,6 +143,11 @@ func NewWithBackend(cat Catalog, backend QueryBackend, opts Options) *Server {
 		mux:     http.NewServeMux(),
 	}
 	s.sem = make(chan struct{}, s.opts.MaxConcurrent)
+	s.shed = s.opts.Registry.Counter("slimgraph_admission_rejected_total",
+		"Heavy requests refused with 429 because the wait queue was full or QueueWait expired.")
+	s.opts.Registry.GaugeFunc("slimgraph_admission_waiting",
+		"Heavy requests currently queued for a concurrency slot.",
+		func() float64 { return float64(s.waiters.Load()) })
 	s.ready = s.opts.Registry.Gauge("slimgraph_ready",
 		"1 when /readyz would answer 200, 0 otherwise; updated on every probe.")
 	obs.RegisterRuntimeGauges(s.opts.Registry)
@@ -131,7 +155,10 @@ func NewWithBackend(cat Catalog, backend QueryBackend, opts Options) *Server {
 	// The middleware resolves the endpoint label through the mux itself:
 	// ServeMux sets r.Pattern only on the clone handed to the handler, which
 	// an outer wrapper never sees, but Handler matches without serving.
-	s.handler = obs.Middleware(s.mux, obs.MiddlewareOptions{
+	// DeadlineMiddleware sits inside the observability wrapper so a 504 for
+	// an already-expired propagated deadline still gets a request ID, a
+	// metric, and a log line.
+	s.handler = obs.Middleware(resilience.DeadlineMiddleware(s.mux), obs.MiddlewareOptions{
 		Registry: s.opts.Registry,
 		Logger:   s.opts.Logger,
 		PatternOf: func(r *http.Request) string {
@@ -261,11 +288,45 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/graphs/{name}/compare", s.handleCompare)
 }
 
-// acquire claims one of the MaxConcurrent heavy-request slots; the returned
-// release must be deferred.
-func (s *Server) acquire() (release func()) {
-	s.sem <- struct{}{}
-	return func() { <-s.sem }
+// admit claims one of the MaxConcurrent heavy-request slots, waiting at
+// most QueueWait in a queue bounded by MaxQueue. When the queue is full or
+// the wait expires, it answers 429 with a Retry-After hint and reports
+// ok=false — load sheds at the door instead of accumulating goroutines
+// until the process dies of the overload it was supposed to absorb. The
+// returned release must be deferred when ok.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request) (release func(), ok bool) {
+	// Fast path: a free slot costs no queue accounting.
+	select {
+	case s.sem <- struct{}{}:
+		return func() { <-s.sem }, true
+	default:
+	}
+	if n := s.waiters.Add(1); n > int64(s.opts.MaxQueue) {
+		s.waiters.Add(-1)
+		s.reject(w)
+		return nil, false
+	}
+	defer s.waiters.Add(-1)
+	t := time.NewTimer(s.opts.QueueWait)
+	defer t.Stop()
+	select {
+	case s.sem <- struct{}{}:
+		return func() { <-s.sem }, true
+	case <-t.C:
+		s.reject(w)
+		return nil, false
+	case <-r.Context().Done():
+		// The client gave up (or a propagated deadline expired) while
+		// queued; 429 is still the honest answer — no work was done.
+		s.reject(w)
+		return nil, false
+	}
+}
+
+func (s *Server) reject(w http.ResponseWriter) {
+	s.shed.Inc()
+	w.Header().Set("Retry-After", strconv.Itoa(int(s.opts.QueueWait/time.Second)+1))
+	writeErr(w, http.StatusTooManyRequests, "server at capacity: %d executing, %d queued", s.opts.MaxConcurrent, s.opts.MaxQueue)
 }
 
 // --- JSON plumbing ---------------------------------------------------------
@@ -329,7 +390,11 @@ func (s *Server) handleListGraphs(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleCreateGraph(w http.ResponseWriter, r *http.Request) {
-	defer s.acquire()()
+	release, ok := s.admit(w, r)
+	if !ok {
+		return
+	}
+	defer release()
 	if isJSON(r) {
 		s.createGenerated(w, r)
 		return
