@@ -198,6 +198,59 @@ func WritePackedOrder(w io.Writer, g *Graph, order Order) (int64, error) {
 	return graphio.WritePackedOrder(w, g, order)
 }
 
+// Servable images: the v2.1 snapshot layout whose sections are 8-byte
+// aligned so a PackedGraph attaches over the raw bytes in place — the
+// serving form behind slimgraphd's -data-dir tier. Write once, then open
+// memory-mapped in milliseconds with no decode pass and no heap copy.
+
+// MappedGraph is a PackedGraph attached over a memory-mapped servable
+// image: backing bytes live in the page cache, not the Go heap. Lifetime is
+// reference counted — readers bracket use with Acquire, and Close defers
+// the munmap until the last reader drains.
+type MappedGraph = succinct.Mapped
+
+// ServableInfo is the identity a servable header carries (vertices, edges,
+// directedness, weights, ordering, exact image size) — enough to register a
+// catalog entry without mapping or decoding anything.
+type ServableInfo = succinct.ServableInfo
+
+// MmapSupported reports whether OpenServable maps files with mmap on this
+// platform. When false it falls back to reading the image into the heap;
+// every API behaves identically either way.
+const MmapSupported = succinct.MmapSupported
+
+// WriteServable writes g's packed form as a servable image. The inverse is
+// OpenServable (from a file) or AttachServable (from bytes already in
+// memory).
+func WriteServable(w io.Writer, pg *PackedGraph) (int64, error) {
+	return succinct.WriteServable(w, pg)
+}
+
+// ServableSize returns the exact image size WriteServable will produce for
+// pg — useful for preallocating or budgeting before a write.
+func ServableSize(pg *PackedGraph) int64 { return succinct.ServableSize(pg) }
+
+// OpenServable maps the servable image at path and attaches a PackedGraph
+// over it: zero decode pass, and on platforms with MmapSupported zero heap
+// copy. Close the returned graph when done; in-flight Acquire holders keep
+// the mapping alive until they release.
+func OpenServable(path string) (*MappedGraph, error) { return succinct.OpenPacked(path) }
+
+// StatServable reads only the fixed header of the servable image at path.
+// The file size is validated against the size the header implies, so a
+// truncated image is rejected here rather than at query time.
+func StatServable(path string) (ServableInfo, error) { return succinct.StatServable(path) }
+
+// AttachServable attaches a PackedGraph over a servable image already in
+// memory — an mmap window the caller manages, or a snapshot body shipped
+// over the network. Zero-copy on little-endian hosts; the caller must keep
+// data alive and unmodified for the life of the graph.
+func AttachServable(data []byte) (*PackedGraph, error) { return succinct.AttachServable(data) }
+
+// IsServable reports whether prefix begins a servable image (as opposed to
+// the v1/v2.0 wire snapshots ReadSnapshot decodes).
+func IsServable(prefix []byte) bool { return succinct.IsServable(prefix) }
+
 // Adjacency is the neighborhood view shared by *Graph and *PackedGraph;
 // algorithms written against it traverse either representation.
 type Adjacency = graph.Adjacency
@@ -745,9 +798,12 @@ const (
 	MemoryPacked = server.MemoryPacked
 )
 
-// NewServer returns a server with an empty catalog; serve its Handler()
-// with net/http, or preload graphs via AddGraph/AddGenerated.
-func NewServer(opts ServerOptions) *Server { return server.New(opts) }
+// NewServer returns a server; serve its Handler() with net/http, or preload
+// graphs via AddGraph/AddGenerated. The catalog starts empty unless
+// ServerOptions.DataDir holds snapshots from a previous run, which are
+// re-attached memory-mapped (the warm-restart path). NewServer fails only
+// when the data directory cannot be opened or scanned.
+func NewServer(opts ServerOptions) (*Server, error) { return server.New(opts) }
 
 // Distributed compression (§7.3), simulated: see internal/distributed.
 
@@ -798,8 +854,9 @@ func NewCoordinator(opts ClusterOptions) (*Coordinator, error) {
 	return cluster.NewCoordinator(opts)
 }
 
-// NewClusterShard returns a shard around a fresh local server.
-func NewClusterShard(opts ServerOptions) *ClusterShard { return cluster.NewShard(opts) }
+// NewClusterShard returns a shard around a fresh local server. It fails
+// only when opts.DataDir cannot be opened or scanned.
+func NewClusterShard(opts ServerOptions) (*ClusterShard, error) { return cluster.NewShard(opts) }
 
 // NewLocalCluster boots n shards on ephemeral loopback ports plus a
 // coordinator; serve its Front.Handler() or query it in-process.

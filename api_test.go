@@ -3,6 +3,7 @@ package slimgraph_test
 import (
 	"bytes"
 	"math"
+	"os"
 	"testing"
 
 	"slimgraph"
@@ -209,5 +210,66 @@ func TestTriangleEngineAPI(t *testing.T) {
 	}
 	if got := slimgraph.TriangleCountApprox(g, 1, 1, 0); got != float64(want) {
 		t.Fatalf("p=1 approx %v != exact %d", got, want)
+	}
+}
+
+func TestServablePublicAPI(t *testing.T) {
+	g := slimgraph.GenerateRMAT(9, 8, 5)
+	pg := slimgraph.PackGraph(g, 0)
+
+	var buf bytes.Buffer
+	n, err := slimgraph.WriteServable(&buf, pg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != slimgraph.ServableSize(pg) || int64(buf.Len()) != n {
+		t.Fatalf("wrote %d bytes, ServableSize %d, buffer %d", n, slimgraph.ServableSize(pg), buf.Len())
+	}
+	if !slimgraph.IsServable(buf.Bytes()) {
+		t.Fatal("IsServable rejects a fresh image")
+	}
+
+	att, err := slimgraph.AttachServable(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if att.N() != g.N() || att.M() != g.M() {
+		t.Fatalf("attached identity %d/%d, want %d/%d", att.N(), att.M(), g.N(), g.M())
+	}
+	if got, want := slimgraph.BFSOn(att, 0, 0), slimgraph.BFS(g, 0, 0); got.Reached() != want.Reached() {
+		t.Fatalf("BFS over attached image reached %d, raw %d", got.Reached(), want.Reached())
+	}
+
+	path := t.TempDir() + "/g.sgp"
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	info, err := slimgraph.StatServable(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.N != g.N() || info.M != g.M() || info.Bytes != n {
+		t.Fatalf("StatServable = %+v", info)
+	}
+	m, err := slimgraph.OpenServable(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	release, err := m.Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.N() != g.N() || m.M() != g.M() {
+		t.Fatalf("mapped identity %d/%d, want %d/%d", m.N(), m.M(), g.N(), g.M())
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Unmapped() {
+		t.Fatal("unmapped while a reader held the mapping")
+	}
+	release()
+	if !m.Unmapped() {
+		t.Fatal("last release did not unmap")
 	}
 }

@@ -37,6 +37,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -69,6 +70,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		maxConc   = fs.Int("max-concurrent", 0, "max heavy requests in flight (0 = 2x CPUs)")
 		maxWork   = fs.Int("max-workers", 0, "per-request worker-budget cap (0 = all CPUs)")
 		memory    = fs.String("memory", server.MemoryRaw, "residency policy for -load/-demo graphs: raw | packed")
+		dataDir   = fs.String("data-dir", "", "disk tier: persist graphs as servable snapshots here and re-attach them memory-mapped on restart (standalone/shard only)")
+		memBudget = fs.String("mem-budget", "", "catalog heap budget, e.g. 512M or 4G; past it cold graphs spill to -data-dir and serve memory-mapped (requires -data-dir)")
 		demo      = fs.Int("demo", 0, "preload a demo R-MAT graph named \"demo\" at this scale (0 = off)")
 		debugAddr = fs.String("debug-addr", "", "serve /debug/pprof and a /metrics mirror on this extra address (empty = off)")
 		version   = fs.Bool("version", false, "print build/version info and exit")
@@ -105,6 +108,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 
+	budget, err := parseBytes(*memBudget)
+	if err != nil {
+		fmt.Fprintf(stderr, "slimgraphd: -mem-budget: %v\n", err)
+		return 2
+	}
+	if budget > 0 && *dataDir == "" {
+		fmt.Fprintln(stderr, "slimgraphd: -mem-budget requires -data-dir (spilled graphs need somewhere to go)")
+		return 2
+	}
+
 	// Operational messages go through lg; per-request structured logging
 	// goes through the obs logger the server options carry.
 	lg := log.New(stderr, "", log.LstdFlags)
@@ -113,6 +126,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		MaxConcurrent: *maxConc,
 		MaxWorkers:    *maxWork,
 		Logger:        obs.NewTextLogger(stderr),
+		DataDir:       *dataDir,
+		MemBudget:     budget,
 	}
 
 	var srv *server.Server
@@ -123,7 +138,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "slimgraphd: -peers applies only to -role coordinator")
 			return 2
 		}
-		srv = server.New(opts)
+		srv, err = server.New(opts)
+		if err != nil {
+			fmt.Fprintf(stderr, "slimgraphd: -data-dir: %v\n", err)
+			return 1
+		}
+		for _, name := range srv.Local().Attached() {
+			lg.Printf("attached %q from %s (mmap'd, zero decode)", name, *dataDir)
+		}
 		// Hold traffic off until the preloads finish; a load balancer
 		// watching /readyz won't route to a shard still parsing graphs.
 		srv.SetNotReady("loading graphs")
@@ -132,6 +154,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 			handler = cluster.WrapShard(srv).Handler()
 		}
 	case "coordinator":
+		if *dataDir != "" {
+			fmt.Fprintln(stderr, "slimgraphd: -data-dir applies only to standalone and shard roles (a coordinator holds no graphs)")
+			return 2
+		}
 		shards := splitPeers(*peers)
 		if len(shards) == 0 {
 			fmt.Fprintln(stderr, "slimgraphd: -role coordinator needs -peers")
@@ -261,6 +287,30 @@ func splitPeers(s string) []string {
 		}
 	}
 	return out
+}
+
+// parseBytes parses a human byte size: a plain integer, or one with a K, M,
+// or G suffix (powers of 1024). Empty means 0 (unbounded).
+func parseBytes(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, nil
+	}
+	orig := s
+	mult := int64(1)
+	switch s[len(s)-1] {
+	case 'k', 'K':
+		mult, s = 1<<10, s[:len(s)-1]
+	case 'm', 'M':
+		mult, s = 1<<20, s[:len(s)-1]
+	case 'g', 'G':
+		mult, s = 1<<30, s[:len(s)-1]
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("want a byte size like 512M or 4G, got %q", orig)
+	}
+	return n * mult, nil
 }
 
 // preload loads one graph file into the catalog before serving.

@@ -36,6 +36,15 @@ func TestRunFlagValidation(t *testing.T) {
 			2, "flag provided but not defined"},
 		{"load missing file", []string{"-load", "g=/nonexistent/graph.el"},
 			1, "no such file"},
+		{"mem-budget without data-dir", []string{"-mem-budget", "512M"},
+			2, "-mem-budget requires -data-dir"},
+		{"malformed mem-budget", []string{"-mem-budget", "lots"},
+			2, `want a byte size like 512M or 4G, got "lots"`},
+		{"negative mem-budget", []string{"-mem-budget", "-1G"},
+			2, "want a byte size"},
+		{"data-dir on coordinator", []string{"-role", "coordinator",
+			"-peers", "http://x:1", "-data-dir", "/tmp/x"},
+			2, "a coordinator holds no graphs"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -67,6 +76,37 @@ func TestRunVersion(t *testing.T) {
 	}
 	if !strings.HasPrefix(stdout, "slimgraphd ") || !strings.Contains(stdout, "go1.") {
 		t.Fatalf("version output %q", stdout)
+	}
+}
+
+func TestParseBytes(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    int64
+		wantErr bool
+	}{
+		{"", 0, false},
+		{"  ", 0, false},
+		{"0", 0, false},
+		{"1024", 1024, false},
+		{"4k", 4 << 10, false},
+		{"512M", 512 << 20, false},
+		{"4G", 4 << 30, false},
+		{"2g", 2 << 30, false},
+		{"1.5G", 0, true},
+		{"G", 0, true},
+		{"-1G", 0, true},
+		{"lots", 0, true},
+	}
+	for _, tc := range cases {
+		got, err := parseBytes(tc.in)
+		if (err != nil) != tc.wantErr {
+			t.Errorf("parseBytes(%q) err = %v, wantErr %v", tc.in, err, tc.wantErr)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("parseBytes(%q) = %d, want %d", tc.in, got, tc.want)
+		}
 	}
 }
 

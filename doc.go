@@ -79,6 +79,18 @@
 // relabel shrinks, and the lossless "relabel:order=..." scheme composes
 // an ordering into any compression pipeline.
 //
+// The servable image (WriteServable) is the packed form laid out for
+// zero-copy serving: a fixed header plus 8-byte-aligned sections sized
+// exactly by the header, so AttachServable overlays a PackedGraph on the
+// raw bytes without a decode pass — and without copying any section on
+// little-endian hosts. OpenServable memory-maps a servable file
+// (MmapSupported reports the mechanism; off linux the image is read into
+// the heap behind the identical API), returning a reference-counted
+// MappedGraph whose munmap waits for the last Acquire holder.
+// StatServable reads only the header, validating the file size against
+// it, which is how a catalog registers snapshots at restart without
+// touching their payloads.
+//
 // # Serving
 //
 // The serving layer (internal/server, run as cmd/slimgraphd or embedded
@@ -101,6 +113,20 @@
 // across queries, and Unpack is reachable only from variant computation.
 // Answers are byte-identical to a raw-resident catalog; the guarantee is
 // pinned by a test that fails on any Unpack during query serving.
+//
+// With a data directory (slimgraphd -data-dir, ServerOptions.DataDir) the
+// catalog is a two-tier store. Graphs persist as servable snapshots on
+// create (temp file, fsync, rename — crashes never leave a torn snapshot
+// under a final name), and a restart re-attaches every snapshot
+// memory-mapped: no decode pass, no payload heap copy, first answers
+// byte-identical to the previous process. A heap budget (-mem-budget,
+// ServerOptions.MemBudget) spills least-recently-used graphs — and
+// LRU-evicted cache variants — to the same directory, after which they
+// serve mapped (graphs) or fault back in from disk instead of recomputing
+// (variants). DELETE removes the snapshot and defers the munmap until
+// in-flight queries drain. Residency (raw, packed, mapped, cold) shows
+// per graph on the catalog endpoints, with tier counters on /v1/stats
+// and slimgraph_catalog_tier_* metrics.
 //
 // # Cluster
 //

@@ -19,7 +19,10 @@ import (
 func main() {
 	// An in-process server; cmd/slimgraphd serves the identical handler on
 	// a real listener.
-	srv := slimgraph.NewServer(slimgraph.ServerOptions{CacheCapacity: 16})
+	srv, err := slimgraph.NewServer(slimgraph.ServerOptions{CacheCapacity: 16})
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// Graphs can be preloaded programmatically (here: packed residency, so
 	// BFS/PageRank on the original traverse the succinct form in place)...

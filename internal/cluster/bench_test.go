@@ -36,7 +36,7 @@ func BenchmarkCoordinatorOverhead(b *testing.B) {
 	}
 
 	b.Run("single", func(b *testing.B) {
-		s := server.New(server.Options{MaxWorkers: 4})
+		s := mustServer(b, server.Options{MaxWorkers: 4})
 		if err := s.AddGraph("g", server.MemoryRaw, "bench", g.Clone(), 1); err != nil {
 			b.Fatal(err)
 		}

@@ -57,7 +57,7 @@ func expectedBodies(t *testing.T, ts *httptest.Server) map[string][]byte {
 // pending repairs drain — leaving the recovered replica consistent.
 func TestClusterKillShardFailover(t *testing.T) {
 	g := testGraph(t)
-	single := server.New(server.Options{MaxWorkers: 8})
+	single := mustServer(t, server.Options{MaxWorkers: 8})
 	sts := httptest.NewServer(single.Handler())
 	defer sts.Close()
 	if err := single.AddGraph("g", "", "test", g.Clone(), 1); err != nil {
@@ -165,7 +165,7 @@ func TestClusterKillShardFailover(t *testing.T) {
 // failovers never double-run a scheme.
 func TestClusterChaosSoak(t *testing.T) {
 	g := testGraph(t)
-	single := server.New(server.Options{MaxWorkers: 8})
+	single := mustServer(t, server.Options{MaxWorkers: 8})
 	sts := httptest.NewServer(single.Handler())
 	defer sts.Close()
 	if err := single.AddGraph("g", "", "test", g.Clone(), 1); err != nil {

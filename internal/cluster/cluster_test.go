@@ -16,6 +16,27 @@ import (
 	"slimgraph/internal/server"
 )
 
+// mustServer builds a local server, failing the test on construction
+// errors (only possible with a data directory, which these tests omit).
+func mustServer(t testing.TB, opts server.Options) *server.Server {
+	t.Helper()
+	s, err := server.New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// mustShard builds a shard around a fresh local server.
+func mustShard(t testing.TB, opts server.Options) *Shard {
+	t.Helper()
+	sh, err := NewShard(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sh
+}
+
 // startLocal boots an n-shard cluster plus an httptest frontend for the
 // coordinator's public API.
 func startLocal(t *testing.T, n int, shardOpts server.Options, copts Options) (*LocalCluster, *httptest.Server) {
@@ -78,7 +99,7 @@ func TestClusterMatchesSingleNode(t *testing.T) {
 	g := testGraph(t)
 	for _, memory := range []string{server.MemoryRaw, server.MemoryPacked} {
 		t.Run(memory, func(t *testing.T) {
-			single := server.New(server.Options{MaxWorkers: 8})
+			single := mustServer(t, server.Options{MaxWorkers: 8})
 			sts := httptest.NewServer(single.Handler())
 			defer sts.Close()
 			if err := single.AddGraph("g", memory, "test", g.Clone(), 1); err != nil {
@@ -128,7 +149,7 @@ func TestClusterErrorsMatchSingleNode(t *testing.T) {
 	g := testGraph(t)
 	dg := gen.RMATDirected(6, 4, 0.57, 0.19, 0.19, 3)
 
-	single := server.New(server.Options{MaxWorkers: 4})
+	single := mustServer(t, server.Options{MaxWorkers: 4})
 	sts := httptest.NewServer(single.Handler())
 	defer sts.Close()
 	lc, cts := startLocal(t, 3, server.Options{MaxWorkers: 4}, Options{})
@@ -269,8 +290,8 @@ func (f *flakyShard) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // partially replicated variant.
 func TestClusterShardFailure(t *testing.T) {
 	shardOpts := server.Options{MaxWorkers: 4}
-	good0, good1 := NewShard(shardOpts), NewShard(shardOpts)
-	flaky := &flakyShard{inner: NewShard(shardOpts).Handler(), delay: 2 * time.Second}
+	good0, good1 := mustShard(t, shardOpts), mustShard(t, shardOpts)
+	flaky := &flakyShard{inner: mustShard(t, shardOpts).Handler(), delay: 2 * time.Second}
 	t0 := httptest.NewServer(good0.Handler())
 	t1 := httptest.NewServer(good1.Handler())
 	t2 := httptest.NewServer(flaky)

@@ -39,7 +39,11 @@ func StartLocal(n int, shardOpts server.Options, copts Options) (*LocalCluster, 
 			lc.Close()
 			return nil, fmt.Errorf("cluster: listening for shard %d: %v", i, err)
 		}
-		sh := NewShard(shardOpts)
+		sh, err := NewShard(shardOpts)
+		if err != nil {
+			lc.Close()
+			return nil, fmt.Errorf("cluster: building shard %d: %v", i, err)
+		}
 		srv := &http.Server{Handler: sh.Handler()}
 		go srv.Serve(ln)
 		lc.shards = append(lc.shards, sh)

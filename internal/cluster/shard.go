@@ -19,9 +19,14 @@ type Shard struct {
 	srv *server.Server
 }
 
-// NewShard builds a shard around a fresh local server.
-func NewShard(opts server.Options) *Shard {
-	return WrapShard(server.New(opts))
+// NewShard builds a shard around a fresh local server. It fails only when
+// opts.DataDir cannot be opened or scanned.
+func NewShard(opts server.Options) (*Shard, error) {
+	srv, err := server.New(opts)
+	if err != nil {
+		return nil, err
+	}
+	return WrapShard(srv), nil
 }
 
 // WrapShard extends an existing locally backed server (srv.Local() must be
@@ -119,7 +124,7 @@ func (s *Shard) partial(w http.ResponseWriter, r *http.Request) (req partRequest
 		shardWriteJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("invalid partition position %d of %d", req.Shard, req.Of)})
 		return req, t, false
 	}
-	adj, _, err := s.srv.Local().Target(r.PathValue("name"), server.QueryParams{
+	adj, _, release, err := s.srv.Local().Target(r.PathValue("name"), server.QueryParams{
 		Spec: req.Spec, Seed: req.Seed, Workers: req.Workers,
 	})
 	if err != nil {
@@ -127,14 +132,24 @@ func (s *Shard) partial(w http.ResponseWriter, r *http.Request) (req partRequest
 		return req, t, false
 	}
 	t.g = adj
+	t.release = release
 	t.r = distributed.PartitionByDegree(adj, req.Of)[req.Shard]
 	return req, t, true
 }
 
-// partTarget pairs a resolved target with this shard's owned range.
+// partTarget pairs a resolved target with this shard's owned range. done
+// must be called when the handler finishes: it releases the pin that keeps
+// a memory-mapped original from being unmapped mid-computation.
 type partTarget struct {
-	g graph.Adjacency
-	r distributed.Range
+	g       graph.Adjacency
+	r       distributed.Range
+	release func()
+}
+
+func (t partTarget) done() {
+	if t.release != nil {
+		t.release()
+	}
 }
 
 func (s *Shard) handlePartBFS(w http.ResponseWriter, r *http.Request) {
@@ -142,6 +157,7 @@ func (s *Shard) handlePartBFS(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	defer t.done()
 	shardWriteJSON(w, http.StatusOK, bfsPartResponse{Next: expandFrontier(t.g, t.r, req.Frontier)})
 }
 
@@ -150,6 +166,7 @@ func (s *Shard) handlePartPRInit(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	defer t.done()
 	shardWriteJSON(w, http.StatusOK, prInitResponse{
 		N: t.g.N(), Lo: t.r.Lo, Hi: t.r.Hi, Dangling: danglingIn(t.g, t.r),
 	})
@@ -160,6 +177,7 @@ func (s *Shard) handlePartPRPull(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	defer t.done()
 	if len(req.Ranks) != t.g.N() {
 		shardWriteJSON(w, http.StatusBadRequest, map[string]string{
 			"error": fmt.Sprintf("rank vector length %d, graph has %d vertices", len(req.Ranks), t.g.N())})
@@ -173,6 +191,7 @@ func (s *Shard) handlePartDegrees(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	defer t.done()
 	shardWriteJSON(w, http.StatusOK, degreesPartResponse{Counts: distributed.HistogramRange(t.g, t.r)})
 }
 
@@ -181,5 +200,6 @@ func (s *Shard) handlePartTriangles(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	defer t.done()
 	shardWriteJSON(w, http.StatusOK, trianglesPartResponse{Count: countForward(t.g, t.r)})
 }

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"os"
 	"strconv"
 	"strings"
 
@@ -64,16 +65,22 @@ func ReadEdgeListN(r io.Reader, directed bool, n int) (*graph.Graph, error) {
 }
 
 func readEdgeList(r io.Reader, directed bool, forceN int) (*graph.Graph, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	br := bufio.NewReaderSize(r, 1<<16)
 	var edges []graph.Edge
 	maxID := graph.NodeID(-1)
 	headerN := 0
 	weighted := false
 	line := 0
-	for sc.Scan() {
+	for {
+		raw, err := readLine(br)
+		if err == io.EOF && raw == "" {
+			break
+		}
+		if err != nil && err != io.EOF {
+			return nil, fmt.Errorf("graphio: line %d: %v", line+1, err)
+		}
 		line++
-		text := strings.TrimSpace(sc.Text())
+		text := strings.TrimSpace(raw)
 		if text == "" || text[0] == '#' || text[0] == '%' {
 			// First header wins; later comments cannot override it.
 			if n, ok := parseNodesHeader(text); ok && headerN == 0 {
@@ -113,9 +120,6 @@ func readEdgeList(r io.Reader, directed bool, forceN int) (*graph.Graph, error) 
 			maxID = e.V
 		}
 	}
-	if err := sc.Err(); err != nil {
-		return nil, err
-	}
 	n := int(maxID) + 1
 	if headerN > n {
 		n = headerN
@@ -132,6 +136,34 @@ func readEdgeList(r io.Reader, directed bool, forceN int) (*graph.Graph, error) 
 		b.SetWeighted()
 	}
 	return b.Build()
+}
+
+// readLine reads one '\n'-terminated line of any length, growing as needed —
+// unlike a fixed-buffer bufio.Scanner, a single enormous adjacency line (a
+// hub vertex exported one-line-per-vertex, a minified upload) cannot fail
+// the parse. The trailing newline is stripped; the final unterminated line
+// is returned alongside io.EOF.
+func readLine(br *bufio.Reader) (string, error) {
+	frag, err := br.ReadSlice('\n')
+	if err == nil || (err == io.EOF && len(frag) > 0) {
+		return strings.TrimSuffix(string(frag), "\n"), nil
+	}
+	if err != bufio.ErrBufferFull {
+		return string(frag), err
+	}
+	// Line longer than the reader's buffer: accumulate fragments.
+	long := append([]byte(nil), frag...)
+	for {
+		frag, err = br.ReadSlice('\n')
+		long = append(long, frag...)
+		if err == bufio.ErrBufferFull {
+			continue
+		}
+		if err == nil || (err == io.EOF && len(long) > 0) {
+			return strings.TrimSuffix(string(long), "\n"), nil
+		}
+		return string(long), err
+	}
 }
 
 // parseNodesHeader recognizes SNAP-style node-count header comments such as
@@ -157,18 +189,26 @@ func parseNodesHeader(comment string) (int, bool) {
 }
 
 // Binary snapshot formats share a 16-byte header: magic, version, flags,
-// pad, n, m. Version 1 ("binary") is the fixed-width canonical edge list;
+// minor, n, m. Version 1 ("binary") is the fixed-width canonical edge list;
 // version 2 ("packed") is the succinct gap-encoded form. Little-endian
 // throughout.
-const binaryMagic = uint32(0x534c4d47) // "SLMG"
+//
+// The u16 at offset 6 was padding through v2.0 (always written zero) and now
+// carries the minor version: packed minor 0 is the compact wire form decoded
+// here, minor 1 (succinct.ServableMinor) is the 8-aligned servable image of
+// internal/succinct that memory-maps without a decode pass. Old files read
+// as minor 0, old readers see minor-1 files as having a nonzero pad and the
+// magic still routes them here, where the minor dispatch applies.
+const binaryMagic = succinct.SnapshotMagic // "SLMG"
 
 const (
 	binaryVersion = 1
-	packedVersion = 2
+	packedVersion = succinct.SnapshotVersion
 )
 
 type snapshotHeader struct {
 	version  uint8
+	minor    uint16
 	directed bool
 	weighted bool
 	permuted bool // v2 only: a vertex permutation section follows the directory
@@ -190,7 +230,7 @@ func (h snapshotHeader) flags() uint8 {
 }
 
 func writeHeader(bw *bufio.Writer, h snapshotHeader) error {
-	for _, v := range []any{binaryMagic, h.version, h.flags(), uint16(0), uint32(h.n), uint32(h.m)} {
+	for _, v := range []any{binaryMagic, h.version, h.flags(), h.minor, uint32(h.n), uint32(h.m)} {
 		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
 			return err
 		}
@@ -202,11 +242,10 @@ func readHeader(br *bufio.Reader) (snapshotHeader, error) {
 	var (
 		magic uint32
 		flags uint8
-		pad   uint16
 		n, m  uint32
 		h     snapshotHeader
 	)
-	for _, p := range []any{&magic, &h.version, &flags, &pad, &n, &m} {
+	for _, p := range []any{&magic, &h.version, &flags, &h.minor, &n, &m} {
 		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
 			return h, err
 		}
@@ -219,6 +258,20 @@ func readHeader(br *bufio.Reader) (snapshotHeader, error) {
 	h.permuted = flags&4 != 0
 	h.n, h.m = int(n), int(m)
 	return h, nil
+}
+
+// encodeHeader is writeHeader into a fixed buffer — the servable read path
+// re-synthesizes the 16 header bytes it already consumed so the image it
+// hands to succinct.AttachServable is byte-complete.
+func encodeHeader(h snapshotHeader) [16]byte {
+	var b [16]byte
+	binary.LittleEndian.PutUint32(b[0:], binaryMagic)
+	b[4] = h.version
+	b[5] = h.flags()
+	binary.LittleEndian.PutUint16(b[6:], h.minor)
+	binary.LittleEndian.PutUint32(b[8:], uint32(h.n))
+	binary.LittleEndian.PutUint32(b[12:], uint32(h.m))
+	return b
 }
 
 // WriteBinary writes the v1 binary snapshot of g — the fixed-width
@@ -254,6 +307,7 @@ func WriteBinary(w io.Writer, g *graph.Graph) (int64, error) {
 
 // ReadBinary reads a v1 snapshot written by WriteBinary.
 func ReadBinary(r io.Reader) (*graph.Graph, error) {
+	limit := sourceSize(r)
 	br := bufio.NewReader(r)
 	h, err := readHeader(br)
 	if err != nil {
@@ -265,15 +319,64 @@ func ReadBinary(r io.Reader) (*graph.Graph, error) {
 		}
 		return nil, fmt.Errorf("graphio: unsupported version %d", h.version)
 	}
-	return readBinaryBody(br, h)
+	return readBinaryBody(br, h, limit)
 }
 
-func readBinaryBody(br *bufio.Reader, h snapshotHeader) (*graph.Graph, error) {
-	edges := make([]graph.Edge, h.m)
-	rec := make([]byte, 8)
-	if h.weighted {
-		rec = make([]byte, 16)
+// sourceSize reports the total size in bytes of a reader's underlying
+// source when it is knowable without disturbing the read position — a
+// bytes.Reader-style Size or a regular file's Stat — and -1 otherwise. Body
+// readers use it to bound header-declared section sizes before allocating:
+// a corrupt header cannot demand more memory than the source holds.
+func sourceSize(r io.Reader) int64 {
+	switch s := r.(type) {
+	case interface{ Size() int64 }:
+		return s.Size()
+	case interface{ Stat() (os.FileInfo, error) }:
+		if st, err := s.Stat(); err == nil && st.Mode().IsRegular() {
+			return st.Size()
+		}
 	}
+	return -1
+}
+
+// checkBodySize rejects a snapshot whose header-declared sections need more
+// bytes than the source can possibly supply. limit < 0 means the source
+// size is unknowable (a pipe, a network stream) and the check is skipped —
+// the plausibility bounds still apply there.
+func checkBodySize(need, limit int64) error {
+	if limit >= 0 && need > limit {
+		return fmt.Errorf("graphio: snapshot header declares %d bytes of sections but the source holds only %d", need, limit)
+	}
+	return nil
+}
+
+// checkVertexCount rejects a snapshot whose declared vertex count is wildly
+// out of proportion to the source size. Vertices are nearly free on disk
+// (an empty adjacency list costs at most a few bytes in any version) but
+// cost real memory to materialize, so a corrupt 16-byte header must not be
+// able to demand a multi-gigabyte CSR. The slack — 4M vertices regardless
+// of size, plus 4096 per source byte — keeps every legitimate sparse graph
+// loadable while capping the damage a flipped header byte can do.
+func checkVertexCount(n int, limit int64) error {
+	if limit >= 0 && int64(n) > 4<<20+limit*4096 {
+		return fmt.Errorf("graphio: snapshot declares %d vertices from a %d-byte source", n, limit)
+	}
+	return nil
+}
+
+func readBinaryBody(br *bufio.Reader, h snapshotHeader, limit int64) (*graph.Graph, error) {
+	if err := checkVertexCount(h.n, limit); err != nil {
+		return nil, err
+	}
+	recSize := int64(8)
+	if h.weighted {
+		recSize = 16
+	}
+	if err := checkBodySize(16+int64(h.m)*recSize, limit); err != nil {
+		return nil, err
+	}
+	edges := make([]graph.Edge, h.m)
+	rec := make([]byte, recSize)
 	for i := range edges {
 		if _, err := io.ReadFull(br, rec); err != nil {
 			return nil, err
@@ -364,10 +467,14 @@ func WritePackedOrder(w io.Writer, g *graph.Graph, order succinct.Order) (int64,
 	return cw.n, nil
 }
 
-// ReadPacked reads a v2 snapshot written by WritePacked; the blocks decode
-// in parallel. The round trip is lossless: the result is graph.Equal to the
+// ReadPacked reads a v2 snapshot of either minor — the minor-0 compact wire
+// form written by WritePacked (blocks decode in parallel) or the minor-1
+// servable image written by succinct.WriteServable (attached, verified and
+// unpacked; map it instead with succinct.OpenPacked to serve it without
+// decoding). The round trip is lossless: the result is graph.Equal to the
 // written graph.
 func ReadPacked(r io.Reader) (*graph.Graph, error) {
+	limit := sourceSize(r)
 	br := bufio.NewReader(r)
 	h, err := readHeader(br)
 	if err != nil {
@@ -379,10 +486,47 @@ func ReadPacked(r io.Reader) (*graph.Graph, error) {
 		}
 		return nil, fmt.Errorf("graphio: unsupported version %d", h.version)
 	}
-	return readPackedBody(br, h)
+	return readPackedBody(br, h, limit)
 }
 
-func readPackedBody(br *bufio.Reader, h snapshotHeader) (*graph.Graph, error) {
+// readServableBody loads a v2.1 servable image through the heap: the 16
+// header bytes already consumed are re-synthesized in front of the rest of
+// the stream and the whole image is attached, verified (the source is
+// untrusted — attach alone does not decode the payload) and unpacked.
+func readServableBody(br *bufio.Reader, h snapshotHeader, limit int64) (*graph.Graph, error) {
+	if err := checkVertexCount(h.n, limit); err != nil {
+		return nil, err
+	}
+	rest, err := io.ReadAll(br)
+	if err != nil {
+		return nil, err
+	}
+	hdr := encodeHeader(h)
+	img := make([]byte, 0, len(hdr)+len(rest))
+	img = append(img, hdr[:]...)
+	img = append(img, rest...)
+	pg, err := succinct.AttachServable(img)
+	if err != nil {
+		return nil, fmt.Errorf("graphio: %v", err)
+	}
+	if err := pg.Verify(0); err != nil {
+		return nil, fmt.Errorf("graphio: %v", err)
+	}
+	return pg.Unpack(0), nil
+}
+
+func readPackedBody(br *bufio.Reader, h snapshotHeader, limit int64) (*graph.Graph, error) {
+	switch h.minor {
+	case 0:
+		// The compact wire form: decoded below.
+	case succinct.ServableMinor:
+		return readServableBody(br, h, limit)
+	default:
+		return nil, fmt.Errorf("graphio: unsupported packed minor version %d", h.minor)
+	}
+	if err := checkVertexCount(h.n, limit); err != nil {
+		return nil, err
+	}
 	var (
 		blockVertices, numBlocks uint32
 		payloadLen               uint64
@@ -406,6 +550,20 @@ func readPackedBody(br *bufio.Reader, h snapshotHeader) (*graph.Graph, error) {
 			payloadLen, h.n, h.m)
 	}
 	nb := int(numBlocks) // int arithmetic: numBlocks+1 must not wrap
+	// Bound every header-declared section against the source size before a
+	// single byte of it is allocated: 32 bytes consumed so far, two
+	// (nb+1)-entry u64 directories, the optional n×i32 permutation, the
+	// payload, the optional m×f64 weights.
+	need := int64(32) + int64(nb+1)*16 + int64(payloadLen)
+	if h.permuted {
+		need += int64(h.n) * 4
+	}
+	if h.weighted {
+		need += int64(h.m) * 8
+	}
+	if err := checkBodySize(need, limit); err != nil {
+		return nil, err
+	}
 	s := &succinct.Sections{
 		BlockVertices: int(blockVertices),
 		BlockOff:      make([]uint64, nb+1),
@@ -437,9 +595,11 @@ func readPackedBody(br *bufio.Reader, h snapshotHeader) (*graph.Graph, error) {
 	return succinct.DecodeStored(h.n, h.m, h.directed, h.weighted, s, weights, 0)
 }
 
-// Read reads a binary snapshot of either version, dispatching on the
-// header tag: v1 (WriteBinary) and v2 (WritePacked) both load through it.
+// Read reads a binary snapshot of any version, dispatching on the header
+// tag: v1 (WriteBinary), v2.0 (WritePacked) and v2.1 (succinct.WriteServable)
+// all load through it.
 func Read(r io.Reader) (*graph.Graph, error) {
+	limit := sourceSize(r)
 	br := bufio.NewReader(r)
 	h, err := readHeader(br)
 	if err != nil {
@@ -447,9 +607,9 @@ func Read(r io.Reader) (*graph.Graph, error) {
 	}
 	switch h.version {
 	case binaryVersion:
-		return readBinaryBody(br, h)
+		return readBinaryBody(br, h, limit)
 	case packedVersion:
-		return readPackedBody(br, h)
+		return readPackedBody(br, h, limit)
 	default:
 		return nil, fmt.Errorf("graphio: unsupported version %d", h.version)
 	}
@@ -468,11 +628,21 @@ func SniffSnapshot(prefix []byte) bool {
 // snapshots carry their own directedness. This is the sniffing shared by the
 // slimgraph CLI's -input and the server's graph uploads.
 func ReadAuto(r io.Reader, directed bool) (*graph.Graph, error) {
+	limit := sourceSize(r) // before wrapping: the bufio.Reader hides it
 	br := bufio.NewReader(r)
 	if prefix, err := br.Peek(4); err == nil && SniffSnapshot(prefix) {
-		// Read's own bufio.NewReader returns br unchanged, so the peeked
-		// bytes are not lost.
-		return Read(br)
+		h, err := readHeader(br)
+		if err != nil {
+			return nil, err
+		}
+		switch h.version {
+		case binaryVersion:
+			return readBinaryBody(br, h, limit)
+		case packedVersion:
+			return readPackedBody(br, h, limit)
+		default:
+			return nil, fmt.Errorf("graphio: unsupported version %d", h.version)
+		}
 	}
 	return ReadEdgeList(br, directed)
 }

@@ -387,3 +387,127 @@ func TestStorageReductionVisible(t *testing.T) {
 		t.Fatalf("compressed snapshot not smaller: %d vs %d", BinarySize(half), BinarySize(g))
 	}
 }
+
+// TestServableMinorDispatch pins that the v2.1 servable image written by
+// succinct.WriteServable loads through every dispatching reader — Read,
+// ReadPacked, ReadAuto — and round-trips graph.Equal, while an unknown
+// packed minor is rejected by name.
+func TestServableMinorDispatch(t *testing.T) {
+	for name, g := range map[string]*graph.Graph{
+		"plain":    gen.ErdosRenyi(120, 600, 21),
+		"weighted": gen.WithUniformWeights(gen.ErdosRenyi(80, 400, 22), 1, 9, 5),
+	} {
+		t.Run(name, func(t *testing.T) {
+			for _, order := range []succinct.Order{succinct.OrderNone, succinct.OrderDegree} {
+				var buf bytes.Buffer
+				if _, err := succinct.WriteServable(&buf, succinct.Pack(g, 0, succinct.WithOrder(order))); err != nil {
+					t.Fatal(err)
+				}
+				raw := buf.Bytes()
+				if !SniffSnapshot(raw) {
+					t.Fatal("servable image not recognized by SniffSnapshot")
+				}
+				if h, err := Read(bytes.NewReader(raw)); err != nil || !h.Equal(g) {
+					t.Fatalf("Read(servable, %v): %v", order, err)
+				}
+				if h, err := ReadPacked(bytes.NewReader(raw)); err != nil || !h.Equal(g) {
+					t.Fatalf("ReadPacked(servable, %v): %v", order, err)
+				}
+				if h, err := ReadAuto(bytes.NewReader(raw), false); err != nil || !h.Equal(g) {
+					t.Fatalf("ReadAuto(servable, %v): %v", order, err)
+				}
+			}
+		})
+	}
+	// An unknown future minor must fail loudly, not misparse as minor 0.
+	var buf bytes.Buffer
+	if _, err := succinct.WriteServable(&buf, succinct.Pack(gen.ErdosRenyi(10, 30, 23), 0)); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[6] = 9 // minor u16 low byte
+	if _, err := Read(bytes.NewReader(raw)); err == nil || !strings.Contains(err.Error(), "minor") {
+		t.Fatalf("unknown packed minor: %v", err)
+	}
+}
+
+// TestReadEdgeListLongLine pins the unbounded-line fix: a single line far
+// beyond the old 1 MiB scanner buffer must parse, and errors past it must
+// still carry the right line number.
+func TestReadEdgeListLongLine(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString("# padded comment ")
+	sb.WriteString(strings.Repeat("x", 2<<20))
+	sb.WriteString("\n0 ")
+	sb.WriteString(strings.Repeat(" ", 2<<20)) // >1MiB of mid-line padding
+	sb.WriteString("1\n2 3")                   // unterminated final line
+	g, err := ReadEdgeList(strings.NewReader(sb.String()), false)
+	if err != nil {
+		t.Fatalf("long lines rejected: %v", err)
+	}
+	if g.N() != 4 || g.M() != 2 {
+		t.Fatalf("n=%d m=%d, want 4, 2", g.N(), g.M())
+	}
+	bad := sb.String() + "\nnot numbers\n"
+	if _, err := ReadEdgeList(strings.NewReader(bad), false); err == nil ||
+		!strings.Contains(err.Error(), "line 4") {
+		t.Fatalf("error after long line lost its line number: %v", err)
+	}
+}
+
+// TestSnapshotBodySizeBound pins the allocation bound: a header that
+// declares sections larger than the whole source must be rejected before
+// anything is allocated, for both snapshot versions.
+func TestSnapshotBodySizeBound(t *testing.T) {
+	g := gen.WithUniformWeights(gen.ErdosRenyi(50, 200, 25), 1, 3, 7)
+	var v1, v2 bytes.Buffer
+	if _, err := WriteBinary(&v1, g); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := WritePacked(&v2, g); err != nil {
+		t.Fatal(err)
+	}
+	for name, raw := range map[string][]byte{"binary": v1.Bytes(), "packed": v2.Bytes()} {
+		bad := append([]byte(nil), raw...)
+		// Inflate the header's edge count: the weighted body now claims
+		// gigabytes of records/weights the source cannot possibly hold.
+		bad[12], bad[13], bad[14], bad[15] = 0xff, 0xff, 0xff, 0x3f
+		_, err := Read(bytes.NewReader(bad))
+		if err == nil || !strings.Contains(err.Error(), "source holds only") {
+			t.Fatalf("%s: inflated edge count not caught by the size bound: %v", name, err)
+		}
+	}
+}
+
+// FuzzReadSnapshot drives the whole-snapshot surface — header dispatch,
+// both v2 minors, the v1 body, the edge-list fallback — with arbitrary
+// bytes: whatever the input, the readers must return, never panic or
+// over-allocate (the bytes.Reader source size bounds every section).
+func FuzzReadSnapshot(f *testing.F) {
+	g := gen.ErdosRenyi(30, 120, 27)
+	w := gen.WithUniformWeights(gen.ErdosRenyi(20, 60, 28), 1, 4, 3)
+	for _, gg := range []*graph.Graph{g, w} {
+		var bin, packed, servable bytes.Buffer
+		if _, err := WriteBinary(&bin, gg); err != nil {
+			f.Fatal(err)
+		}
+		if _, err := WritePackedOrder(&packed, gg, succinct.OrderDegree); err != nil {
+			f.Fatal(err)
+		}
+		if _, err := succinct.WriteServable(&servable, succinct.Pack(gg, 0)); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(bin.Bytes())
+		f.Add(packed.Bytes())
+		f.Add(servable.Bytes())
+	}
+	f.Add([]byte("# Nodes: 4 Edges: 2\n0 1\n2 3\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if g, err := Read(bytes.NewReader(data)); err == nil && g == nil {
+			t.Fatal("Read returned nil graph without error")
+		}
+		if g, err := ReadAuto(bytes.NewReader(data), false); err == nil && g == nil {
+			t.Fatal("ReadAuto returned nil graph without error")
+		}
+	})
+}

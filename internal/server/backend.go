@@ -111,6 +111,11 @@ type GraphInfo struct {
 	Weighted bool   `json:"weighted"`
 	Memory   string `json:"memory"`
 	Source   string `json:"source"`
+	// Residency is where the graph's bytes live right now: "raw" or
+	// "packed" (heap), "mapped" (memory-mapped servable snapshot), or
+	// "cold" (snapshot on disk, mapped on next access). Memory is the
+	// requested policy; Residency is the spiller's current answer.
+	Residency string `json:"residency,omitempty"`
 }
 
 // CreateRequest is the JSON body of POST /v1/graphs when generating a graph
@@ -269,4 +274,28 @@ type StatsResponse struct {
 	// SubRequests is the coordinator's aggregate sub-request latency
 	// histogram across all shards; merging PerShard[i].Latency equals it.
 	SubRequests *obs.HistogramSnapshot `json:"subRequests,omitempty"`
+	// Tier describes the two-tier catalog when a data directory is
+	// configured; absent on purely in-memory servers.
+	Tier *TierStats `json:"tier,omitempty"`
+}
+
+// TierStats is the disk tier's position and traffic: how many heap bytes
+// the catalog holds against its budget, how many bytes are served from
+// memory-mapped snapshots instead, and the spill/fault-in counters.
+type TierStats struct {
+	DataDir        string `json:"dataDir"`
+	MemBudgetBytes int64  `json:"memBudgetBytes,omitempty"`
+	// HeapBytes is the catalog's current heap footprint (raw CSRs, packed
+	// forms, triangle arenas) — the quantity the budget bounds.
+	HeapBytes int64 `json:"heapBytes"`
+	// MappedBytes is the total size of memory-mapped snapshots; these pages
+	// live in the OS page cache and are reclaimable under pressure.
+	MappedBytes     int64 `json:"mappedBytes"`
+	GraphSpills     int64 `json:"graphSpills"`
+	GraphFaultIns   int64 `json:"graphFaultIns"`
+	VariantSpills   int64 `json:"variantSpills"`
+	VariantFaultIns int64 `json:"variantFaultIns"`
+	// Attached counts graphs the startup scan re-attached from the data
+	// directory — the warm-restart path.
+	Attached int64 `json:"attached"`
 }

@@ -70,6 +70,12 @@ type cache struct {
 	entries  map[Key]*list.Element
 	calls    map[Key]*call
 	stats    CacheStats
+	// onEvict, when set, receives every variant displaced by the LRU
+	// capacity bound (not ones purged by graph deletion) — the hook the
+	// local engine uses to spill evicted variants to the disk tier. It is
+	// invoked outside the cache lock, after the insertion that displaced
+	// the variant completes. Set before traffic; never mutated after.
+	onEvict func(key Key, res *schemes.Result)
 }
 
 func newCache(capacity int) *cache {
@@ -109,6 +115,7 @@ func (c *cache) get(key Key, compute func() (*schemes.Result, error)) (res *sche
 
 	fl.res, fl.err = compute()
 
+	var evicted []*variant
 	c.mu.Lock()
 	delete(c.calls, key)
 	if fl.err != nil {
@@ -119,12 +126,21 @@ func (c *cache) get(key Key, compute func() (*schemes.Result, error)) (res *sche
 		for c.ll.Len() > c.capacity {
 			oldest := c.ll.Back()
 			c.ll.Remove(oldest)
-			delete(c.entries, oldest.Value.(*variant).key)
+			v := oldest.Value.(*variant)
+			delete(c.entries, v.key)
 			c.stats.Evictions++
+			if c.onEvict != nil {
+				evicted = append(evicted, v)
+			}
 		}
 	}
 	c.mu.Unlock()
 	close(fl.done)
+	// Spill displaced variants outside the lock: the hook may pack and
+	// write a snapshot, and other keys must not queue behind that.
+	for _, v := range evicted {
+		c.onEvict(v.key, v.res)
+	}
 	return fl.res, false, fl.err
 }
 

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"slimgraph/internal/gen"
 	"slimgraph/internal/graph"
@@ -27,90 +28,263 @@ const (
 	MemoryPacked = "packed"
 )
 
-// entry is one named graph in the catalog. Entries are immutable after
-// insertion (the triangle-engine arena below is lazily built exactly once
-// under its sync.Once), so concurrent readers need no locking beyond the
-// catalog map.
+// Residency tiers a catalog entry can be in. The memory policy (MemoryRaw /
+// MemoryPacked) is what the client asked for; the residency is where the
+// bytes actually live right now — the memory-budget spiller moves entries
+// down-tier and access faults them back in.
+const (
+	// ResidencyRaw: the raw CSR is on the heap.
+	ResidencyRaw = "raw"
+	// ResidencyPacked: the succinct packed form is on the heap.
+	ResidencyPacked = "packed"
+	// ResidencyMapped: the servable snapshot is memory-mapped from the data
+	// directory; queries read the mapping in place and the heap holds
+	// nothing but the directory views.
+	ResidencyMapped = "mapped"
+	// ResidencyCold: only the snapshot file exists; the first access maps it.
+	ResidencyCold = "cold"
+)
+
+// entry is one named graph in the catalog. The identity fields (name,
+// generation, shape, policy, provenance) are immutable after insertion; the
+// residency fields below mu are not — the spiller and the fault-in path move
+// the graph between tiers while queries hold views pinned via acquire.
 type entry struct {
 	name   string
 	memory string
 	gen    uint64 // catalog generation, part of every cache Key
-	source string // provenance: generator spec or "upload"
-
-	raw    *graph.Graph          // resident under MemoryRaw, nil otherwise
-	packed *succinct.PackedGraph // resident under MemoryPacked, nil otherwise
+	source string
 
 	n, m     int
 	directed bool
 	weighted bool
 
+	cat *catalog // owning catalog: budget, store, counters, hooks
+
+	mu     sync.Mutex
+	raw    *graph.Graph          // ResidencyRaw
+	packed *succinct.PackedGraph // ResidencyPacked
+	mapped *succinct.Mapped      // ResidencyMapped
+	file   string                // servable snapshot path, "" when not persisted
 	// Triangle-engine arena: the rank-oriented forward CSR is a pure
-	// function of the graph, so it is built once per entry on the first
-	// exact triangle query and reused by every later one instead of being
-	// rebuilt per request.
-	engineOnce sync.Once
-	engine     *triangles.Engine
-	// onEngineBuild, when set, is invoked once when the arena is built —
-	// the catalog's observability hook (copied from the owning catalog at
-	// insertion, before the entry is published).
-	onEngineBuild func()
+	// function of the graph, built lazily on the first exact triangle query
+	// and reused until the spiller reclaims it (a rebuild over any tier is
+	// bit-identical).
+	engine  *triangles.Engine
+	lastUse int64 // catalog clock tick of the last acquire, for LRU spill
 }
 
-// adjacency returns the resident neighborhood view: the raw CSR or the
-// packed form traversed in place.
-func (e *entry) adjacency() graph.Adjacency {
-	if e.raw != nil {
-		return e.raw
-	}
-	return e.packed
+// view is one request's pinned access to an entry's resident form. It keeps
+// whatever tier it captured alive for the request's duration: heap forms by
+// ordinary reachability, a mapping by its reference count — which is what
+// lets DELETE unmap only after the last in-flight reader drains. release
+// must be called when the request is done (releasing a heap view is a
+// no-op).
+type view struct {
+	e   *entry
+	raw *graph.Graph
+	pg  *succinct.PackedGraph
+	rel func()
 }
 
-// adjacencyEdges returns the resident canonical-edge view: the raw CSR or
-// the packed form decoded in place. Query handlers consume this (never a
-// transient unpack), which is what keeps packed entries packed on every
-// query path.
-func (e *entry) adjacencyEdges() graph.AdjacencyEdges {
-	if e.raw != nil {
-		return e.raw
+func (v *view) release() {
+	if v.rel != nil {
+		v.rel()
 	}
-	return e.packed
 }
+
+// adjacency returns the pinned neighborhood view: the raw CSR, or the
+// packed/mapped form traversed in place.
+func (v *view) adjacency() graph.Adjacency {
+	if v.raw != nil {
+		return v.raw
+	}
+	return v.pg
+}
+
+// adjacencyEdges returns the pinned canonical-edge view. Query handlers
+// consume this (never a transient unpack), which is what keeps packed and
+// mapped entries serving in place on every query path.
+func (v *view) adjacencyEdges() graph.AdjacencyEdges {
+	if v.raw != nil {
+		return v.raw
+	}
+	return v.pg
+}
+
+// materialize returns the entry as a raw *graph.Graph: the resident CSR
+// under ResidencyRaw, a transient unpack otherwise, which the caller must
+// not retain beyond the request. Only variant computation (variantOf) may
+// call this: every query handler runs on adjacencyEdges.
+func (v *view) materialize(workers int) *graph.Graph {
+	if v.raw != nil {
+		return v.raw
+	}
+	return v.pg.Unpack(workers)
+}
+
+// transient reports whether materialize returns a transient copy whose
+// references must be trimmed from cached results.
+func (v *view) transient() bool { return v.raw == nil }
 
 // triangleEngine returns the entry's oriented triangle engine, building it
-// on first use. The engine's structure is deterministic and worker-count
-// independent, so the cached build is shared and only the enumeration
-// worker budget varies per request.
-func (e *entry) triangleEngine(workers int) *triangles.Engine {
-	e.engineOnce.Do(func() {
-		e.engine = triangles.NewEngineOn(e.adjacencyEdges(), workers)
-		if e.onEngineBuild != nil {
-			e.onEngineBuild()
+// over this view's pinned form on first use (or after a spill reclaimed the
+// previous arena). The engine's structure is deterministic and identical
+// across tiers and worker counts, so the cached build is shared and only
+// the enumeration worker budget varies per request.
+func (v *view) triangleEngine(workers int) *triangles.Engine {
+	e := v.e
+	e.mu.Lock()
+	en := e.engine
+	e.mu.Unlock()
+	if en == nil {
+		// Build outside the entry lock: the arena can take a while on a big
+		// graph and the inputs are this view's pinned (immutable) form. Two
+		// racing builds produce identical structures; the first to publish
+		// wins and the loser's arena is garbage.
+		built := triangles.NewEngineOn(v.adjacencyEdges(), workers)
+		e.mu.Lock()
+		if e.engine == nil {
+			e.engine = built
+			if e.cat != nil && e.cat.onEngineBuild != nil {
+				e.cat.onEngineBuild()
+			}
 		}
-	})
-	return e.engine.WithWorkers(workers)
+		en = e.engine
+		e.mu.Unlock()
+	}
+	return en.WithWorkers(workers)
 }
 
-// materialize returns the entry as a raw *graph.Graph. Under MemoryRaw this
-// is the resident graph; under MemoryPacked it unpacks a transient copy the
-// caller must not retain beyond the request. Only variant computation
-// (variantOf) may call this: every query handler runs on adjacencyEdges.
-func (e *entry) materialize(workers int) *graph.Graph {
-	if e.raw != nil {
-		return e.raw
+// acquire pins the entry's current resident form, faulting it in from the
+// disk tier when cold. The returned view must be released.
+func (e *entry) acquire() (*view, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.cat != nil {
+		e.lastUse = e.cat.clock.Add(1)
 	}
-	return e.packed.Unpack(workers)
+	switch {
+	case e.raw != nil:
+		return &view{e: e, raw: e.raw}, nil
+	case e.packed != nil:
+		return &view{e: e, pg: e.packed}, nil
+	case e.mapped != nil:
+		rel, err := e.mapped.Acquire()
+		if err != nil {
+			return nil, err
+		}
+		return &view{e: e, pg: e.mapped.PackedGraph, rel: rel}, nil
+	case e.file != "":
+		m, err := succinct.OpenPacked(e.file)
+		if err != nil {
+			return nil, fmt.Errorf("graph %q: faulting in %s: %v", e.name, e.file, err)
+		}
+		e.mapped = m
+		if e.cat != nil {
+			e.cat.tier.graphFaultIns.Add(1)
+		}
+		rel, err := m.Acquire()
+		if err != nil {
+			return nil, err
+		}
+		return &view{e: e, pg: m.PackedGraph, rel: rel}, nil
+	}
+	return nil, fmt.Errorf("graph %q has no resident form", e.name)
+}
+
+// heapBytes estimates the entry's heap footprint (mapped bytes live in the
+// page cache and cost nothing here). Callers hold e.mu.
+func (e *entry) heapBytesLocked() int64 {
+	var b int64
+	if e.raw != nil {
+		b += rawCSRBytes(e.raw)
+	}
+	if e.packed != nil {
+		b += e.packed.SizeBits() / 8
+	}
+	if e.engine != nil {
+		b += e.engine.SizeBytes()
+	}
+	return b
+}
+
+// residency names the entry's current tier.
+func (e *entry) residency() string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	switch {
+	case e.raw != nil:
+		return ResidencyRaw
+	case e.packed != nil:
+		return ResidencyPacked
+	case e.mapped != nil:
+		return ResidencyMapped
+	default:
+		return ResidencyCold
+	}
+}
+
+// spill moves the entry's heap-resident form to the disk tier: the servable
+// snapshot is written if missing, mapped back in, and the heap forms
+// (including the triangle arena) are dropped. In-flight queries that
+// acquired the heap form before the spill keep it alive until they finish;
+// new acquires get the mapping. Returns the heap bytes freed (0 when there
+// was nothing to spill or persisting failed).
+func (e *entry) spill(store *store) int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	freed := e.heapBytesLocked()
+	if freed == 0 {
+		return 0
+	}
+	if e.file == "" {
+		pg := e.packed
+		if pg == nil {
+			pg = succinct.Pack(e.raw, 0)
+		}
+		if err := store.saveGraph(e.name, pg, storeMeta{Memory: e.memory, Source: e.source}); err != nil {
+			return 0
+		}
+		e.file = store.graphPath(e.name)
+	}
+	if e.mapped == nil {
+		m, err := succinct.OpenPacked(e.file)
+		if err != nil {
+			return 0
+		}
+		e.mapped = m
+	}
+	e.raw, e.packed, e.engine = nil, nil, nil
+	if e.cat != nil {
+		e.cat.tier.graphSpills.Add(1)
+	}
+	return freed
 }
 
 // errExists reports a name collision on put; the HTTP layer maps it to 409.
 var errExists = errors.New("already exists")
 
-// catalog is the set of named resident graphs.
+// catalog is the set of named graphs across both tiers: heap-resident
+// (raw or packed) and disk-resident (mapped or cold servable snapshots
+// under the store's data directory).
 type catalog struct {
 	mu      sync.RWMutex
 	graphs  map[string]*entry
 	nextGen uint64
-	// onEngineBuild is copied onto every entry at insertion; set once at
-	// engine construction, before any traffic.
+
+	// store is the disk tier; nil disables persistence, spilling and
+	// fault-in (the pre-tier in-memory-only behavior).
+	store *store
+	// budget caps the catalog's heap bytes; 0 means unbounded. Enforcement
+	// spills least-recently-used entries to the store, so a budget without
+	// a store is ignored.
+	budget int64
+	tier   tierCounters
+	clock  atomic.Int64 // acquire ticks, the LRU axis for spilling
+
+	// onEngineBuild is invoked once per triangle-arena build; set at engine
+	// construction, before any traffic.
 	onEngineBuild func()
 }
 
@@ -130,34 +304,88 @@ func validName(name string) error {
 
 // put stores g under name with the given memory policy, failing if the name
 // is taken. The graph is packed (and the raw CSR released) under
-// MemoryPacked.
+// MemoryPacked. With a disk tier attached, the servable snapshot is written
+// through before the entry is published — the warm-restart guarantee — and
+// the memory budget is enforced afterwards.
 func (c *catalog) put(name, memory, source string, g *graph.Graph, workers int) (*entry, error) {
 	if err := validName(name); err != nil {
 		return nil, err
 	}
 	e := &entry{
-		name: name, memory: memory, source: source,
+		name: name, memory: memory, source: source, cat: c,
 		n: g.N(), m: g.M(), directed: g.Directed(), weighted: g.Weighted(),
 	}
+	var pg *succinct.PackedGraph
 	switch memory {
 	case MemoryRaw, "":
 		e.memory = MemoryRaw
 		e.raw = g
 	case MemoryPacked:
-		e.packed = succinct.Pack(g, workers)
+		pg = succinct.Pack(g, workers)
+		e.packed = pg
 	default:
 		return nil, fmt.Errorf("unknown memory policy %q (want %s or %s)", memory, MemoryRaw, MemoryPacked)
 	}
+	// Name availability is checked optimistically before the (possibly
+	// expensive) write-through, then authoritatively at insertion.
+	c.mu.RLock()
+	_, taken := c.graphs[name]
+	c.mu.RUnlock()
+	if taken {
+		return nil, fmt.Errorf("graph %q: %w (DELETE it first)", name, errExists)
+	}
+	if c.store != nil {
+		if pg == nil {
+			pg = succinct.Pack(g, workers)
+		}
+		if err := c.store.saveGraph(name, pg, storeMeta{Memory: e.memory, Source: source}); err != nil {
+			return nil, err
+		}
+		e.file = c.store.graphPath(name)
+	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if _, taken := c.graphs[name]; taken {
+		c.mu.Unlock()
 		return nil, fmt.Errorf("graph %q: %w (DELETE it first)", name, errExists)
 	}
 	c.nextGen++
 	e.gen = c.nextGen
-	e.onEngineBuild = c.onEngineBuild
+	e.lastUse = c.clock.Add(1)
 	c.graphs[name] = e
+	c.mu.Unlock()
+	c.enforceBudget()
 	return e, nil
+}
+
+// attach registers a graph whose servable snapshot already exists on disk —
+// the startup-scan path. The snapshot is memory-mapped immediately (the
+// mapping costs directory validation only, no decode pass and no heap copy
+// of the payload), so the first query after a restart serves straight from
+// the page cache.
+func (c *catalog) attach(name string) error {
+	path := c.store.graphPath(name)
+	m, err := succinct.OpenPacked(path)
+	if err != nil {
+		return err
+	}
+	meta := c.store.loadMeta(name)
+	e := &entry{
+		name: name, memory: meta.Memory, source: meta.Source, cat: c,
+		n: m.N(), m: m.M(), directed: m.Directed(), weighted: m.Weighted(),
+		mapped: m, file: path,
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, taken := c.graphs[name]; taken {
+		m.Close()
+		return fmt.Errorf("graph %q: %w", name, errExists)
+	}
+	c.nextGen++
+	e.gen = c.nextGen
+	e.lastUse = c.clock.Add(1)
+	c.graphs[name] = e
+	c.tier.attached.Add(1)
+	return nil
 }
 
 func (c *catalog) get(name string) (*entry, bool) {
@@ -167,12 +395,28 @@ func (c *catalog) get(name string) (*entry, bool) {
 	return e, ok
 }
 
+// remove drops the entry from the catalog, closes its mapping (deferred
+// until the last in-flight reader drains), and deletes its disk-tier files.
 func (c *catalog) remove(name string) bool {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	_, ok := c.graphs[name]
+	e, ok := c.graphs[name]
 	delete(c.graphs, name)
-	return ok
+	c.mu.Unlock()
+	if !ok {
+		return false
+	}
+	e.mu.Lock()
+	m := e.mapped
+	e.raw, e.packed, e.mapped, e.engine = nil, nil, nil, nil
+	e.file = ""
+	e.mu.Unlock()
+	if m != nil {
+		_ = m.Close()
+	}
+	if c.store != nil {
+		c.store.removeGraph(name)
+	}
+	return true
 }
 
 // list returns the entries sorted by name.
@@ -193,21 +437,68 @@ func (c *catalog) size() int {
 	return len(c.graphs)
 }
 
-// residentBytes estimates the catalog's memory footprint split by residency
-// form: raw CSR bytes versus succinct packed bytes — the residency gauges
-// that make the MemoryPacked policy's savings visible at runtime.
-func (c *catalog) residentBytes() (raw, packed int64) {
+// enforceBudget spills least-recently-used heap-resident entries to the
+// disk tier until the catalog's heap bytes fit the budget. Without a budget
+// or a store it is a no-op. Entries whose spill fails (disk full) are
+// skipped this round rather than retried in a tight loop.
+func (c *catalog) enforceBudget() {
+	if c.budget <= 0 || c.store == nil {
+		return
+	}
+	type cand struct {
+		e       *entry
+		lastUse int64
+		bytes   int64
+	}
+	var total int64
+	var cands []cand
+	for _, e := range c.list() {
+		e.mu.Lock()
+		b := e.heapBytesLocked()
+		lu := e.lastUse
+		e.mu.Unlock()
+		total += b
+		if b > 0 {
+			cands = append(cands, cand{e, lu, b})
+		}
+	}
+	if total <= c.budget {
+		return
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].lastUse < cands[j].lastUse })
+	for _, cd := range cands {
+		if total <= c.budget {
+			return
+		}
+		total -= cd.e.spill(c.store)
+	}
+}
+
+// residentBytes estimates the catalog's memory footprint split by tier:
+// raw CSR bytes, succinct packed bytes, triangle-engine arena bytes (all
+// heap), and memory-mapped servable bytes (page cache, not heap) — the
+// residency gauges that make both the MemoryPacked policy's savings and the
+// disk tier's offload visible at runtime.
+func (c *catalog) residentBytes() (raw, packed, arena, mapped int64) {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	for _, e := range c.graphs {
-		switch {
-		case e.raw != nil:
+		e.mu.Lock()
+		if e.raw != nil {
 			raw += rawCSRBytes(e.raw)
-		case e.packed != nil:
+		}
+		if e.packed != nil {
 			packed += e.packed.SizeBits() / 8
 		}
+		if e.engine != nil {
+			arena += e.engine.SizeBytes()
+		}
+		if e.mapped != nil {
+			mapped += e.mapped.MappedBytes()
+		}
+		e.mu.Unlock()
 	}
-	return raw, packed
+	return raw, packed, arena, mapped
 }
 
 // rawCSRBytes estimates a Graph's resident size from its public shape: the

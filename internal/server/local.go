@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"sort"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"slimgraph/internal/centrality"
@@ -13,11 +14,13 @@ import (
 	"slimgraph/internal/metrics"
 	"slimgraph/internal/obs"
 	"slimgraph/internal/schemes"
+	"slimgraph/internal/succinct"
 	"slimgraph/internal/traverse"
 	"slimgraph/internal/triangles"
 )
 
-// Local is the in-process engine: a catalog of resident graphs plus a
+// Local is the in-process engine: a two-tier catalog of named graphs
+// (heap-resident or memory-mapped from the data directory) plus a
 // single-flight variant cache, implementing Catalog and QueryBackend for a
 // single node. A cluster shard embeds a Local and exposes a few extra
 // methods (Target, PurgeVariant) so the coordinator can drive partial
@@ -28,10 +31,16 @@ type Local struct {
 	cache   *cache
 	reg     *obs.Registry
 	start   time.Time
+	// attached records the graphs the startup scan re-attached from the data
+	// directory, in attach order — cmd/slimgraphd logs them.
+	attached []string
 }
 
-// NewLocal returns an empty Local engine.
-func NewLocal(opts Options) *Local {
+// NewLocal returns a Local engine. With Options.DataDir set it opens the
+// disk tier, deletes interrupted-write leftovers, and re-attaches every
+// complete snapshot memory-mapped — the warm-restart path: the first query
+// after a restart serves from the mapping with no decode pass.
+func NewLocal(opts Options) (*Local, error) {
 	o := opts.withDefaults()
 	l := &Local{
 		opts:    o,
@@ -40,15 +49,40 @@ func NewLocal(opts Options) *Local {
 		reg:     o.Registry,
 		start:   time.Now(),
 	}
+	if o.DataDir != "" {
+		st, err := newStore(o.DataDir)
+		if err != nil {
+			return nil, err
+		}
+		l.catalog.store = st
+		l.catalog.budget = o.MemBudget
+		l.cache.onEvict = l.spillVariant
+		names, err := st.scanGraphs()
+		if err != nil {
+			return nil, err
+		}
+		for _, name := range names {
+			// A snapshot that no longer attaches (torn by an outside force;
+			// the atomic-write protocol never produces one) is skipped, not
+			// fatal: the rest of the catalog must still come up.
+			if err := l.catalog.attach(name); err == nil {
+				l.attached = append(l.attached, name)
+			}
+		}
+	}
 	l.instrument()
-	return l
+	return l, nil
 }
+
+// Attached returns the graphs the startup scan re-attached from the data
+// directory, in attach order.
+func (l *Local) Attached() []string { return l.attached }
 
 // instrument registers the engine's observability surface: func-backed
 // counters over the variant cache's own counters (one source of truth, no
-// double bookkeeping), catalog residency gauges, and the triangle-engine
-// build counter. The compress-latency histograms register lazily per scheme
-// family in variantOf.
+// double bookkeeping), catalog residency gauges, the disk-tier traffic
+// counters, and the triangle-engine build counter. The compress-latency
+// histograms register lazily per scheme family in variantOf.
 func (l *Local) instrument() {
 	cacheCounter := func(name, help string, read func(CacheStats) int64) {
 		l.reg.CounterFunc(name, help, func() float64 { return float64(read(l.cache.Stats())) })
@@ -82,10 +116,34 @@ func (l *Local) instrument() {
 		func() float64 { return float64(l.catalog.size()) })
 	l.reg.GaugeFunc("slimgraph_catalog_raw_bytes",
 		"Estimated bytes of raw-resident (CSR) catalog graphs.",
-		func() float64 { raw, _ := l.catalog.residentBytes(); return float64(raw) })
+		func() float64 { raw, _, _, _ := l.catalog.residentBytes(); return float64(raw) })
 	l.reg.GaugeFunc("slimgraph_catalog_packed_bytes",
 		"Bytes of packed-resident (succinct) catalog graphs.",
-		func() float64 { _, packed := l.catalog.residentBytes(); return float64(packed) })
+		func() float64 { _, packed, _, _ := l.catalog.residentBytes(); return float64(packed) })
+	l.reg.GaugeFunc("slimgraph_catalog_arena_bytes",
+		"Bytes of cached triangle-engine arenas (heap, reclaimed on spill).",
+		func() float64 { _, _, arena, _ := l.catalog.residentBytes(); return float64(arena) })
+	l.reg.GaugeFunc("slimgraph_catalog_mapped_bytes",
+		"Bytes of memory-mapped servable snapshots (page cache, not heap).",
+		func() float64 { _, _, _, mapped := l.catalog.residentBytes(); return float64(mapped) })
+	tierCounter := func(name, help string, v *atomic.Int64) {
+		l.reg.CounterFunc(name, help, func() float64 { return float64(v.Load()) })
+	}
+	tierCounter("slimgraph_catalog_tier_graph_spills_total",
+		"Graphs spilled from the heap to the memory-mapped disk tier.",
+		&l.catalog.tier.graphSpills)
+	tierCounter("slimgraph_catalog_tier_graph_faultins_total",
+		"Cold graphs faulted back in (memory-mapped) on access.",
+		&l.catalog.tier.graphFaultIns)
+	tierCounter("slimgraph_catalog_tier_variant_spills_total",
+		"Evicted variants persisted to the disk tier.",
+		&l.catalog.tier.variantSpills)
+	tierCounter("slimgraph_catalog_tier_variant_faultins_total",
+		"Variant-cache misses answered from a spilled snapshot instead of recomputing.",
+		&l.catalog.tier.variantFaultIns)
+	tierCounter("slimgraph_catalog_tier_attached_total",
+		"Graphs re-attached from the data directory by the startup scan.",
+		&l.catalog.tier.attached)
 	l.catalog.onEngineBuild = l.reg.Counter("slimgraph_triangle_engine_builds_total",
 		"Oriented triangle-engine arenas built (once per catalog entry, on first exact count).").Inc
 }
@@ -147,12 +205,25 @@ func (l *Local) Drop(_ context.Context, name string) (*DeleteResponse, error) {
 	return &DeleteResponse{Deleted: name, VariantsDropped: dropped}, nil
 }
 
+// acquireView pins e's resident form, mapping fault-in failures to a
+// backend Error (a snapshot that vanished out from under the catalog is a
+// server-side failure, not a client one).
+func (l *Local) acquireView(e *entry) (*view, error) {
+	v, err := e.acquire()
+	if err != nil {
+		return nil, Errf(http.StatusInternalServerError, "%v", err)
+	}
+	return v, nil
+}
+
 // --- variant resolution ----------------------------------------------------
 
 // variantOf resolves (graph, spec, seed) through the single-flight cache,
-// executing the scheme on a miss. The returned canonical spec is the
-// registry round trip Spec(Parse(spec)) that also keys the cache, so
-// syntactic spelling differences coalesce on one entry.
+// executing the scheme on a miss — unless the disk tier holds a previously
+// spilled snapshot of exactly this key, which is faulted in instead. The
+// returned canonical spec is the registry round trip Spec(Parse(spec)) that
+// also keys the cache, so syntactic spelling differences coalesce on one
+// entry.
 func (l *Local) variantOf(e *entry, spec string, seed uint64, workers int) (res *schemes.Result, canonical string, cached bool, err error) {
 	// In-spec seed/workers overrides are rejected: the canonical spec does
 	// not carry them, so two different in-spec values would collide on one
@@ -169,14 +240,23 @@ func (l *Local) variantOf(e *entry, spec string, seed uint64, workers int) (res 
 	canonical = schemes.Spec(sch)
 	key := Key{Graph: e.name, Gen: e.gen, Spec: canonical, Seed: seed, Workers: workers}
 	res, cached, err = l.cache.GetOrCompute(key, func() (*schemes.Result, error) {
+		if r, ok := l.loadSpilledVariant(e, canonical, key, workers); ok {
+			return r, nil
+		}
 		// Execution latency lands on a per-scheme-family histogram (the
 		// pipeline family covers multi-stage specs; /compress responses
 		// carry the per-stage breakdown). Only real executions observe:
-		// hits and coalesced waiters cost no compression time.
+		// hits, coalesced waiters, and disk fault-ins cost no compression
+		// time.
+		v, err := l.acquireView(e)
+		if err != nil {
+			return nil, err
+		}
+		defer v.release()
 		start := time.Now()
-		g := e.materialize(workers)
+		g := v.materialize(workers)
 		r, err := sch.Apply(g)
-		if err == nil && e.packed != nil {
+		if err == nil && v.transient() {
 			trimInputs(r, g)
 		}
 		if err == nil {
@@ -195,10 +275,50 @@ func (l *Local) variantOf(e *entry, spec string, seed uint64, workers int) (res 
 	return res, canonical, cached, err
 }
 
-// trimInputs drops references to the transient unpacked CSR of a packed
-// catalog entry before the Result enters the cache; otherwise every cached
-// variant would pin a full raw copy of the graph the packed memory policy
-// exists to avoid keeping resident.
+// loadSpilledVariant checks the disk tier for a previously spilled snapshot
+// of exactly this cache key and restores it, skipping the scheme execution.
+// The restored Result carries the canonical spec as its scheme label (the
+// per-stage breakdown does not survive a spill) and the load time as its
+// elapsed time.
+func (l *Local) loadSpilledVariant(e *entry, canonical string, key Key, workers int) (*schemes.Result, bool) {
+	st := l.catalog.store
+	if st == nil {
+		return nil, false
+	}
+	start := time.Now()
+	m, err := succinct.OpenPacked(st.variantPath(e.name, key))
+	if err != nil {
+		return nil, false
+	}
+	g := m.Unpack(workers)
+	_ = m.Close()
+	l.catalog.tier.variantFaultIns.Add(1)
+	return &schemes.Result{Scheme: canonical, Output: g, Elapsed: time.Since(start)}, true
+}
+
+// spillVariant is the cache's eviction hook: a variant displaced by the LRU
+// bound is persisted to the disk tier (unless already there) so a later
+// request for the same key faults it in instead of recomputing. Variants of
+// dropped or re-created graphs (stale generation) are discarded — their
+// directory is gone or going.
+func (l *Local) spillVariant(key Key, res *schemes.Result) {
+	st := l.catalog.store
+	if st == nil || res.Output == nil {
+		return
+	}
+	e, ok := l.catalog.get(key.Graph)
+	if !ok || e.gen != key.Gen {
+		return
+	}
+	if err := st.saveVariant(key.Graph, key, res.Output); err == nil {
+		l.catalog.tier.variantSpills.Add(1)
+	}
+}
+
+// trimInputs drops references to the transient unpacked CSR of a packed or
+// mapped catalog entry before the Result enters the cache; otherwise every
+// cached variant would pin a full raw copy of the graph the packed memory
+// policy exists to avoid keeping resident.
 func trimInputs(res *schemes.Result, g *graph.Graph) {
 	if res.Input == g {
 		res.Input = nil
@@ -212,8 +332,8 @@ func trimInputs(res *schemes.Result, g *graph.Graph) {
 
 // variantTarget returns the cached (possibly freshly computed) variant's
 // output graph for a non-empty spec. Queries over the original never come
-// here: they run on the entry's resident adjacency — packed or raw — in
-// place, so no query path unpacks a packed graph.
+// here: they run on the entry's resident adjacency — raw, packed, or
+// memory-mapped — in place, so no query path unpacks the original.
 func (l *Local) variantTarget(e *entry, spec string, seed uint64, workers int) (*graph.Graph, string, error) {
 	res, canonical, _, err := l.variantOf(e, spec, seed, workers)
 	if err != nil {
@@ -225,27 +345,34 @@ func (l *Local) variantTarget(e *entry, spec string, seed uint64, workers int) (
 // Target resolves the adjacency a query runs on without materializing a raw
 // CSR for packed originals: the resident adjacency when p.Spec is empty,
 // otherwise the cached variant. The canonical spec ("" for the original)
-// rides along. This is the entry point cluster shards use for partial
-// computations over their vertex range.
-func (l *Local) Target(name string, p QueryParams) (graph.Adjacency, string, error) {
+// rides along, as does a release the caller must invoke when done with the
+// adjacency — it pins a memory-mapped original against concurrent unmap.
+// This is the entry point cluster shards use for partial computations over
+// their vertex range.
+func (l *Local) Target(name string, p QueryParams) (graph.Adjacency, string, func(), error) {
 	e, ok := l.catalog.get(name)
 	if !ok {
-		return nil, "", Errf(http.StatusNotFound, "no graph %q", name)
+		return nil, "", nil, Errf(http.StatusNotFound, "no graph %q", name)
 	}
 	if p.Spec == "" {
-		return e.adjacency(), "", nil
+		v, err := l.acquireView(e)
+		if err != nil {
+			return nil, "", nil, err
+		}
+		return v.adjacency(), "", v.release, nil
 	}
 	res, canonical, _, err := l.variantOf(e, p.Spec, p.Seed, l.clampWorkers(p.Workers))
 	if err != nil {
-		return nil, "", err
+		return nil, "", nil, err
 	}
-	return res.Output, canonical, nil
+	return res.Output, canonical, func() {}, nil
 }
 
 // PurgeVariant drops the cached variant for the canonical
 // (spec, seed, workers) key, reporting whether it was resident. The
 // coordinator scatters this after a partial cluster failure so no replica
-// keeps a variant the client was told failed.
+// keeps a variant the client was told failed. A spilled snapshot of the key
+// is deleted too: purge means gone, not "gone until the next fault-in".
 func (l *Local) PurgeVariant(name, spec string, seed uint64, workers int) (bool, error) {
 	e, ok := l.catalog.get(name)
 	if !ok {
@@ -256,6 +383,9 @@ func (l *Local) PurgeVariant(name, spec string, seed uint64, workers int) (bool,
 		return false, Errf(http.StatusUnprocessableEntity, "%v", err)
 	}
 	key := Key{Graph: e.name, Gen: e.gen, Spec: schemes.Spec(sch), Seed: seed, Workers: workers}
+	if st := l.catalog.store; st != nil {
+		st.removeVariant(e.name, key)
+	}
 	return l.cache.PurgeKey(key), nil
 }
 
@@ -318,9 +448,14 @@ func (l *Local) BFS(_ context.Context, name string, root int32, p QueryParams) (
 	var res *traverse.BFSResult
 	spec := ""
 	if p.Spec == "" {
-		// The original traverses through Adjacency, so a packed entry is
-		// walked in place without unpacking.
-		adj := e.adjacency()
+		// The original traverses through Adjacency, so a packed or mapped
+		// entry is walked in place without unpacking.
+		v, err := l.acquireView(e)
+		if err != nil {
+			return nil, err
+		}
+		defer v.release()
+		adj := v.adjacency()
 		if root < 0 || int(root) >= adj.N() {
 			return nil, Errf(http.StatusBadRequest, "root %d outside [0, %d)", root, adj.N())
 		}
@@ -352,7 +487,12 @@ func (l *Local) PageRank(_ context.Context, name string, k int, p QueryParams) (
 	var ranks []float64
 	spec := ""
 	if p.Spec == "" {
-		ranks = centrality.PageRankOn(e.adjacency(), centrality.PageRankOptions{Workers: workers})
+		v, err := l.acquireView(e)
+		if err != nil {
+			return nil, err
+		}
+		defer v.release()
+		ranks = centrality.PageRankOn(v.adjacency(), centrality.PageRankOptions{Workers: workers})
 	} else {
 		g, canonical, err := l.variantTarget(e, p.Spec, p.Seed, workers)
 		if err != nil {
@@ -379,12 +519,20 @@ func (l *Local) Triangles(_ context.Context, name, mode string, prob float64, p 
 	if p.Spec == "" {
 		// The original counts on the resident form in place: exact counting
 		// reuses the entry's cached oriented engine, and DOULION samples by
-		// canonical edge ID, which packed and raw forms share.
+		// canonical edge ID, which all residency tiers share.
+		v, err := l.acquireView(e)
+		if err != nil {
+			return nil, err
+		}
+		defer v.release()
 		if mode == "exact" {
-			c := e.triangleEngine(workers).Count()
+			c := v.triangleEngine(workers).Count()
 			resp.Count = &c
+			// The arena build above may have pushed the catalog past its
+			// budget; settle up before answering.
+			l.catalog.enforceBudget()
 		} else {
-			est := triangles.CountApproxOn(e.adjacencyEdges(), prob, p.Seed, workers)
+			est := triangles.CountApproxOn(v.adjacencyEdges(), prob, p.Seed, workers)
 			resp.Estimate = &est
 		}
 		return resp, nil
@@ -413,7 +561,12 @@ func (l *Local) Degrees(_ context.Context, name string, p QueryParams) (*Degrees
 	var dist []float64
 	spec := ""
 	if p.Spec == "" {
-		dist = metrics.DegreeDistributionOn(e.adjacency())
+		v, err := l.acquireView(e)
+		if err != nil {
+			return nil, err
+		}
+		defer v.release()
+		dist = metrics.DegreeDistributionOn(v.adjacency())
 	} else {
 		g, canonical, err := l.variantTarget(e, p.Spec, p.Seed, l.clampWorkers(p.Workers))
 		if err != nil {
@@ -437,10 +590,15 @@ func (l *Local) Compare(_ context.Context, name string, p QueryParams) (*Compare
 	if err != nil {
 		return nil, err
 	}
-	// The original side runs on the resident view (packed in place under
-	// MemoryPacked); every Quality sub-metric is representation-independent,
-	// so the report is byte-identical to comparing against the raw CSR.
-	q, err := metrics.CompareGraphsOn(e.adjacencyEdges(), res.Output, workers)
+	// The original side runs on the resident view (packed or mapped in
+	// place); every Quality sub-metric is representation-independent, so the
+	// report is byte-identical to comparing against the raw CSR.
+	v, err := l.acquireView(e)
+	if err != nil {
+		return nil, err
+	}
+	defer v.release()
+	q, err := metrics.CompareGraphsOn(v.adjacencyEdges(), res.Output, workers)
 	if err != nil {
 		return nil, Errf(http.StatusUnprocessableEntity, "%v", err)
 	}
@@ -450,12 +608,27 @@ func (l *Local) Compare(_ context.Context, name string, p QueryParams) (*Compare
 // Stats implements QueryBackend.
 func (l *Local) Stats(_ context.Context) (*StatsResponse, error) {
 	build := obs.Build()
-	return &StatsResponse{
+	resp := &StatsResponse{
 		Cache:         l.cache.Stats(),
 		Graphs:        l.catalog.size(),
 		UptimeSeconds: time.Since(l.start).Seconds(),
 		Build:         &build,
-	}, nil
+	}
+	if st := l.catalog.store; st != nil {
+		raw, packed, arena, mapped := l.catalog.residentBytes()
+		resp.Tier = &TierStats{
+			DataDir:         st.dir,
+			MemBudgetBytes:  l.catalog.budget,
+			HeapBytes:       raw + packed + arena,
+			MappedBytes:     mapped,
+			GraphSpills:     l.catalog.tier.graphSpills.Load(),
+			GraphFaultIns:   l.catalog.tier.graphFaultIns.Load(),
+			VariantSpills:   l.catalog.tier.variantSpills.Load(),
+			VariantFaultIns: l.catalog.tier.variantFaultIns.Load(),
+			Attached:        l.catalog.tier.attached.Load(),
+		}
+	}
+	return resp, nil
 }
 
 // CacheStats snapshots the variant-cache counters.

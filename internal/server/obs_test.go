@@ -159,7 +159,10 @@ func TestReadyGaugeTracksReadiness(t *testing.T) {
 // one run; the acceptance bar is < 3% (tracked in BENCH_pr8.json).
 func BenchmarkMiddlewareOverhead(b *testing.B) {
 	bench := func(b *testing.B, instrumented bool) {
-		s := New(Options{CacheCapacity: 8})
+		s, err := New(Options{CacheCapacity: 8})
+		if err != nil {
+			b.Fatal(err)
+		}
 		if err := s.AddGenerated("g", "communities", 0, 0, 20000, 1, false, MemoryRaw, 0); err != nil {
 			b.Fatal(err)
 		}

@@ -77,6 +77,16 @@ type Options struct {
 	// QueueWait bounds how long an admitted-to-the-queue request waits for
 	// a slot before 429 (default 2s).
 	QueueWait time.Duration
+	// DataDir enables the disk tier: every created graph's servable
+	// snapshot is written through to this directory (atomically: temp file,
+	// fsync, rename), and on startup existing snapshots are re-attached
+	// memory-mapped, so a restart serves its first packed query without
+	// re-decoding anything. Empty keeps the catalog purely in-memory.
+	DataDir string
+	// MemBudget caps the catalog's heap bytes (raw CSRs, packed forms,
+	// triangle arenas); past it, least-recently-used graphs spill to
+	// DataDir and serve memory-mapped. 0 means unbounded. Requires DataDir.
+	MemBudget int64
 }
 
 func (o Options) withDefaults() Options {
@@ -121,15 +131,20 @@ type Server struct {
 	readyCheck func() error // optional dynamic readiness probe
 }
 
-// New returns a Server backed by an in-process Local engine with an empty
-// catalog. The options are resolved once up front so the engine and the
-// HTTP surface share one metrics registry.
-func New(opts Options) *Server {
+// New returns a Server backed by an in-process Local engine. The catalog
+// starts empty unless Options.DataDir holds snapshots from a previous run,
+// which are re-attached memory-mapped. The options are resolved once up
+// front so the engine and the HTTP surface share one metrics registry. New
+// fails only when the data directory cannot be opened or scanned.
+func New(opts Options) (*Server, error) {
 	opts = opts.withDefaults()
-	local := NewLocal(opts)
+	local, err := NewLocal(opts)
+	if err != nil {
+		return nil, err
+	}
 	s := NewWithBackend(local, local, opts)
 	s.local = local
-	return s
+	return s, nil
 }
 
 // NewWithBackend returns a Server serving the /v1 API through the given
@@ -354,6 +369,7 @@ func infoOf(e *entry) GraphInfo {
 		Name: e.name, N: e.n, M: e.m,
 		Directed: e.directed, Weighted: e.weighted,
 		Memory: e.memory, Source: e.source,
+		Residency: e.residency(),
 	}
 }
 

@@ -1,0 +1,209 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+
+	"slimgraph/internal/graph"
+	"slimgraph/internal/succinct"
+)
+
+// store is the catalog's disk tier: a data directory holding one servable
+// (v2.1) snapshot per graph plus a small JSON sidecar with the fields a
+// snapshot cannot carry (memory policy, provenance), and one directory of
+// spilled variants per graph. Every write is crash-consistent — temp file,
+// fsync, rename, directory fsync — so a file that exists under its final
+// name is always a complete image, and anything that died mid-write is a
+// *.tmp leftover the startup scan deletes.
+//
+// Layout under the data directory:
+//
+//	graphs/<name>.sgp         servable snapshot (mmap'd to serve)
+//	graphs/<name>.json        {"memory": ..., "source": ...}
+//	variants/<name>/<key>.sgp spilled variant outputs, key = fnv64a(spec|seed|workers)
+type store struct {
+	dir string
+}
+
+// storeMeta is the graph sidecar: catalog state that is not part of the
+// graph itself and must survive a restart.
+type storeMeta struct {
+	Memory string `json:"memory"`
+	Source string `json:"source"`
+}
+
+func newStore(dir string) (*store, error) {
+	for _, d := range []string{dir, filepath.Join(dir, "graphs"), filepath.Join(dir, "variants")} {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			return nil, err
+		}
+	}
+	return &store{dir: dir}, nil
+}
+
+func (s *store) graphPath(name string) string {
+	return filepath.Join(s.dir, "graphs", name+".sgp")
+}
+
+func (s *store) metaPath(name string) string {
+	return filepath.Join(s.dir, "graphs", name+".json")
+}
+
+func (s *store) variantDir(name string) string {
+	return filepath.Join(s.dir, "variants", name)
+}
+
+func (s *store) variantPath(name string, key Key) string {
+	// The generation is deliberately not part of the filename: it resets on
+	// restart, and the files must be addressable across restarts. Dropping a
+	// graph removes its whole variant directory, so a re-created graph (new
+	// generation) can never fault in a predecessor's variants.
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s\x00%d\x00%d", key.Spec, key.Seed, key.Workers)
+	return filepath.Join(s.variantDir(name), fmt.Sprintf("%016x.sgp", h.Sum64()))
+}
+
+// writeAtomic writes data-producing fn's output to path crash-consistently:
+// the bytes land in path+".tmp" and are fsync'd before the rename, so a
+// crash at any point leaves either the old state or the complete new file —
+// never a short read under the final name.
+func writeAtomic(path string, write func(f *os.File) error) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	// Persist the rename itself: fsync the containing directory.
+	if d, err := os.Open(filepath.Dir(path)); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// saveGraph persists a graph's servable image and sidecar under its final
+// names. It is the write-through half of the warm-restart guarantee.
+func (s *store) saveGraph(name string, pg *succinct.PackedGraph, meta storeMeta) error {
+	if err := writeAtomic(s.graphPath(name), func(f *os.File) error {
+		_, err := succinct.WriteServable(f, pg)
+		return err
+	}); err != nil {
+		return fmt.Errorf("persisting graph %q: %v", name, err)
+	}
+	raw, err := json.Marshal(meta)
+	if err != nil {
+		return err
+	}
+	if err := writeAtomic(s.metaPath(name), func(f *os.File) error {
+		_, err := f.Write(raw)
+		return err
+	}); err != nil {
+		return fmt.Errorf("persisting graph %q metadata: %v", name, err)
+	}
+	return nil
+}
+
+// saveVariant persists an evicted variant's output graph as a servable
+// snapshot, skipping the write when a complete snapshot for the key already
+// exists (re-evictions of a re-computed variant are common and the bytes
+// are deterministic).
+func (s *store) saveVariant(name string, key Key, g *graph.Graph) error {
+	if err := os.MkdirAll(s.variantDir(name), 0o755); err != nil {
+		return err
+	}
+	path := s.variantPath(name, key)
+	if _, err := succinct.StatServable(path); err == nil {
+		return nil
+	}
+	return writeAtomic(path, func(f *os.File) error {
+		_, err := succinct.WriteServable(f, succinct.Pack(g, 1))
+		return err
+	})
+}
+
+// removeVariant deletes one spilled variant snapshot.
+func (s *store) removeVariant(name string, key Key) {
+	os.Remove(s.variantPath(name, key))
+}
+
+// loadMeta reads a graph's sidecar; missing or corrupt sidecars degrade to
+// defaults (raw policy, unknown source) rather than failing the attach —
+// the snapshot itself is the source of truth for the graph.
+func (s *store) loadMeta(name string) storeMeta {
+	meta := storeMeta{Memory: MemoryRaw, Source: "restored"}
+	raw, err := os.ReadFile(s.metaPath(name))
+	if err == nil {
+		_ = json.Unmarshal(raw, &meta)
+	}
+	if meta.Memory != MemoryRaw && meta.Memory != MemoryPacked {
+		meta.Memory = MemoryRaw
+	}
+	return meta
+}
+
+// removeGraph deletes a graph's snapshot, sidecar, and spilled variants.
+func (s *store) removeGraph(name string) {
+	os.Remove(s.graphPath(name))
+	os.Remove(s.metaPath(name))
+	os.RemoveAll(s.variantDir(name))
+}
+
+// scanGraphs returns the names of every complete graph snapshot on disk,
+// deleting *.tmp leftovers of interrupted writes along the way (the
+// crash-consistency contract: a partial spill is garbage, not a graph).
+func (s *store) scanGraphs() ([]string, error) {
+	var names []string
+	for _, sub := range []string{filepath.Join(s.dir, "graphs"), filepath.Join(s.dir, "variants")} {
+		_ = filepath.WalkDir(sub, func(path string, d os.DirEntry, err error) error {
+			if err == nil && !d.IsDir() && strings.HasSuffix(path, ".tmp") {
+				os.Remove(path)
+			}
+			return nil
+		})
+	}
+	ents, err := os.ReadDir(filepath.Join(s.dir, "graphs"))
+	if err != nil {
+		return nil, err
+	}
+	for _, ent := range ents {
+		if ent.IsDir() || !strings.HasSuffix(ent.Name(), ".sgp") {
+			continue
+		}
+		names = append(names, strings.TrimSuffix(ent.Name(), ".sgp"))
+	}
+	return names, nil
+}
+
+// tierCounters tracks spill/fault-in traffic across both tiers; the catalog
+// and the variant cache share one instance, and /v1/stats plus the
+// slimgraph_catalog_tier_* metrics read it.
+type tierCounters struct {
+	graphSpills     atomic.Int64
+	graphFaultIns   atomic.Int64
+	variantSpills   atomic.Int64
+	variantFaultIns atomic.Int64
+	attached        atomic.Int64 // graphs re-attached by the startup scan
+}

@@ -1,0 +1,393 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sync/atomic"
+	"testing"
+
+	"slimgraph/internal/graph"
+	"slimgraph/internal/succinct"
+)
+
+func mustGen(t *testing.T, seed uint64) *graph.Graph {
+	t.Helper()
+	g, _, err := Generate("communities", 0, 0, 400, seed, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestTierWarmRestart pins the headline guarantee: a second server over the
+// same data directory re-attaches every snapshot memory-mapped and answers
+// its first queries byte-identically to the heap-resident twin — with ZERO
+// Unpack calls, i.e. no decode pass of any snapshot.
+func TestTierWarmRestart(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{CacheCapacity: 16, MaxWorkers: 4}
+	warmOpts := opts
+	warmOpts.DataDir = dir
+	first, firstTS := newTestServer(t, warmOpts)
+
+	code, body := postJSON(t, firstTS.URL+"/v1/graphs", map[string]any{
+		"name": "g", "gen": "communities", "numVertices": 400, "seed": 11,
+		"weighted": true, "memory": MemoryPacked,
+	})
+	mustStatus(t, http.StatusCreated, code, body)
+	if got := len(first.Local().Attached()); got != 0 {
+		t.Fatalf("fresh directory attached %d graphs", got)
+	}
+
+	queries := []string{
+		"/v1/graphs/g/bfs?root=0&workers=2",
+		"/v1/graphs/g/pagerank?k=8&workers=2",
+		"/v1/graphs/g/triangles?workers=2",
+		"/v1/graphs/g/degrees?workers=2",
+	}
+	want := map[string][]byte{}
+	for _, q := range queries {
+		code, body := get(t, firstTS.URL+q)
+		mustStatus(t, http.StatusOK, code, body)
+		want[q] = body
+	}
+
+	// "Restart": a second server over the same directory. The snapshot must
+	// be attached mapped, visible in the graph info and the tier stats.
+	second, secondTS := newTestServer(t, warmOpts)
+	if got := second.Local().Attached(); len(got) != 1 || got[0] != "g" {
+		t.Fatalf("restart attached %v, want [g]", got)
+	}
+	code, body = get(t, secondTS.URL+"/v1/graphs/g")
+	mustStatus(t, http.StatusOK, code, body)
+	var info GraphInfo
+	mustJSON(t, body, &info)
+	if info.Residency != ResidencyMapped {
+		t.Fatalf("restarted graph residency %q, want %q", info.Residency, ResidencyMapped)
+	}
+	if info.N != 400 || !info.Weighted || info.Memory != MemoryPacked {
+		t.Fatalf("restarted graph identity wrong: %+v", info)
+	}
+
+	// The tripwire: from here on, ANY Unpack is a failed restart guarantee.
+	var unpacks atomic.Int64
+	succinct.UnpackHook = func(*succinct.PackedGraph) { unpacks.Add(1) }
+	defer func() { succinct.UnpackHook = nil }()
+	for _, q := range queries {
+		code, body := get(t, secondTS.URL+q)
+		mustStatus(t, http.StatusOK, code, body)
+		if !bytes.Equal(want[q], body) {
+			t.Errorf("%s: restarted response differs\nwarm:      %s\nrestarted: %s", q, want[q], body)
+		}
+		if n := unpacks.Load(); n != 0 {
+			t.Fatalf("%s: restart decoded a snapshot %d time(s); must serve the mapping in place", q, n)
+		}
+	}
+	succinct.UnpackHook = nil
+
+	// Variants still compute correctly over the mapped original (this path
+	// legitimately unpacks one transient copy).
+	code, body = get(t, secondTS.URL+"/v1/graphs/g/bfs?root=0&spec=uniform:p=0.5&seed=3&workers=2")
+	mustStatus(t, http.StatusOK, code, body)
+	code, wantVar := get(t, firstTS.URL+"/v1/graphs/g/bfs?root=0&spec=uniform:p=0.5&seed=3&workers=2")
+	mustStatus(t, http.StatusOK, code, wantVar)
+	if !bytes.Equal(wantVar, body) {
+		t.Fatalf("variant query differs after restart\nwarm:      %s\nrestarted: %s", wantVar, body)
+	}
+
+	code, body = get(t, secondTS.URL+"/v1/stats")
+	mustStatus(t, http.StatusOK, code, body)
+	var st StatsResponse
+	mustJSON(t, body, &st)
+	if st.Tier == nil {
+		t.Fatal("stats over a data directory carry no tier block")
+	}
+	if st.Tier.Attached != 1 {
+		t.Fatalf("tier.attached = %d, want 1", st.Tier.Attached)
+	}
+	if st.Tier.DataDir != dir {
+		t.Fatalf("tier.dataDir = %q, want %q", st.Tier.DataDir, dir)
+	}
+}
+
+// TestTierBudgetSpill pins the memory-budget spiller: past the budget the
+// LRU graph drops its heap forms and serves memory-mapped, byte-identically
+// to an unbounded twin.
+func TestTierBudgetSpill(t *testing.T) {
+	opts := Options{CacheCapacity: 16, MaxWorkers: 4}
+	_, heapTS := newTestServer(t, opts)
+	spillOpts := opts
+	spillOpts.DataDir = t.TempDir()
+	spillOpts.MemBudget = 1 // every heap byte is over budget
+	spilled, spillTS := newTestServer(t, spillOpts)
+
+	for _, ts := range []string{heapTS.URL, spillTS.URL} {
+		code, body := postJSON(t, ts+"/v1/graphs", map[string]any{
+			"name": "g", "gen": "communities", "numVertices": 400, "seed": 11,
+			"weighted": true,
+		})
+		mustStatus(t, http.StatusCreated, code, body)
+	}
+
+	code, body := get(t, spillTS.URL+"/v1/graphs/g")
+	mustStatus(t, http.StatusOK, code, body)
+	var info GraphInfo
+	mustJSON(t, body, &info)
+	if info.Residency != ResidencyMapped {
+		t.Fatalf("over-budget graph residency %q, want %q", info.Residency, ResidencyMapped)
+	}
+	var st StatsResponse
+	code, body = get(t, spillTS.URL+"/v1/stats")
+	mustStatus(t, http.StatusOK, code, body)
+	mustJSON(t, body, &st)
+	if st.Tier == nil || st.Tier.GraphSpills < 1 {
+		t.Fatalf("expected at least one graph spill, stats: %s", body)
+	}
+
+	for _, q := range []string{
+		"/v1/graphs/g/bfs?root=0&workers=2",
+		"/v1/graphs/g/pagerank?k=8&workers=2",
+		"/v1/graphs/g/triangles?workers=2",
+		"/v1/graphs/g/triangles?mode=approx&p=0.5&seed=9&workers=2",
+		"/v1/graphs/g/degrees?workers=2",
+	} {
+		heapCode, heapBody := get(t, heapTS.URL+q)
+		mustStatus(t, http.StatusOK, heapCode, heapBody)
+		spillCode, spillBody := get(t, spillTS.URL+q)
+		mustStatus(t, http.StatusOK, spillCode, spillBody)
+		if !bytes.Equal(heapBody, spillBody) {
+			t.Errorf("%s: spilled response differs from heap twin\nheap:    %s\nspilled: %s", q, heapBody, spillBody)
+		}
+	}
+	// The spill dropped the triangle arena the exact count rebuilt; heap
+	// bytes must be back under scrutiny (the arena is charged to the budget,
+	// so the post-query enforcement reclaims it).
+	raw, packed, arena, mapped := spilled.Local().catalog.residentBytes()
+	if raw != 0 || packed != 0 || arena != 0 {
+		t.Fatalf("heap bytes after spill: raw=%d packed=%d arena=%d, want all 0", raw, packed, arena)
+	}
+	if mapped == 0 {
+		t.Fatal("no mapped bytes after spill")
+	}
+}
+
+// TestTierCrashConsistency pins the atomic-write contract: interrupted
+// spills (*.tmp leftovers) are deleted by the startup scan, torn snapshots
+// are skipped rather than served, and the name is free to be re-created —
+// which re-persists a complete snapshot.
+func TestTierCrashConsistency(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{MaxWorkers: 2, DataDir: dir}
+	l, err := NewLocal(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Create(context.Background(), "g", MemoryRaw, "test", mustGen(t, 1), 1); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate a crash mid-spill: a partial temp file, and a torn snapshot
+	// under its final name (only an outside force produces the latter; the
+	// rename protocol never does).
+	gpath := filepath.Join(dir, "graphs", "g.sgp")
+	whole, err := os.ReadFile(gpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmp := filepath.Join(dir, "graphs", "h.sgp.tmp")
+	if err := os.WriteFile(tmp, whole[:len(whole)/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	torn := filepath.Join(dir, "graphs", "h.sgp")
+	if err := os.WriteFile(torn, whole[:len(whole)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart. The temp file must be gone, the torn snapshot must not have
+	// become a catalog entry, and the complete one must be attached.
+	l2, err := NewLocal(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Fatalf("startup scan left the temp file behind (stat err: %v)", err)
+	}
+	if got := l2.Attached(); len(got) != 1 || got[0] != "g" {
+		t.Fatalf("restart attached %v, want [g] (torn snapshot must be skipped)", got)
+	}
+	if _, ok := l2.catalog.get("h"); ok {
+		t.Fatal("torn snapshot became a catalog entry")
+	}
+
+	// The torn name is free: re-creating it overwrites the torn file with a
+	// complete snapshot — the re-spill after a crash.
+	if _, err := l2.Create(context.Background(), "h", MemoryRaw, "test", mustGen(t, 2), 1); err != nil {
+		t.Fatalf("re-creating over a torn snapshot: %v", err)
+	}
+	if _, err := succinct.StatServable(torn); err != nil {
+		t.Fatalf("re-created snapshot is not servable: %v", err)
+	}
+}
+
+// TestTierDeleteDrainsReaders pins the unmap-after-last-reader contract: a
+// DELETE while a query holds the mapping must not unmap until that query
+// releases, and the reader can keep walking the mapping in the meantime.
+func TestTierDeleteDrainsReaders(t *testing.T) {
+	opts := Options{MaxWorkers: 2, DataDir: t.TempDir(), MemBudget: 1}
+	l, err := NewLocal(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := mustGen(t, 3)
+	if _, err := l.Create(context.Background(), "g", MemoryRaw, "test", g, 1); err != nil {
+		t.Fatal(err)
+	}
+	e, ok := l.catalog.get("g")
+	if !ok {
+		t.Fatal("no entry")
+	}
+	if e.residency() != ResidencyMapped {
+		t.Fatalf("residency %q, want mapped (budget=1)", e.residency())
+	}
+	adj, _, release, err := l.Target("g", QueryParams{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.mu.Lock()
+	m := e.mapped
+	e.mu.Unlock()
+	if m == nil {
+		t.Fatal("no mapping")
+	}
+
+	if _, err := l.Drop(context.Background(), "g"); err != nil {
+		t.Fatal(err)
+	}
+	if m.Unmapped() {
+		t.Fatal("DELETE unmapped while a reader was in flight")
+	}
+	// The in-flight reader still walks the (unlinked, still-mapped) pages.
+	deg := 0
+	for v := 0; v < adj.N(); v++ {
+		deg += adj.Degree(graph.NodeID(v))
+	}
+	if deg != 2*g.M() {
+		t.Fatalf("degree sum %d, want %d", deg, 2*g.M())
+	}
+	release()
+	if !m.Unmapped() {
+		t.Fatal("last release did not unmap the deleted graph")
+	}
+	if _, err := os.Stat(filepath.Join(opts.DataDir, "graphs", "g.sgp")); !os.IsNotExist(err) {
+		t.Fatalf("DELETE left the snapshot on disk (stat err: %v)", err)
+	}
+}
+
+// TestTierVariantSpillAndFaultIn pins the variant tier: an LRU-evicted
+// variant is persisted, and the next request for the same key restores it
+// from disk instead of recomputing — with byte-identical query results.
+func TestTierVariantSpillAndFaultIn(t *testing.T) {
+	opts := Options{CacheCapacity: 1, MaxWorkers: 4}
+	_, heapTS := newTestServer(t, opts)
+	tierOpts := opts
+	tierOpts.DataDir = t.TempDir()
+	tiered, tierTS := newTestServer(t, tierOpts)
+
+	for _, ts := range []string{heapTS.URL, tierTS.URL} {
+		code, body := postJSON(t, ts+"/v1/graphs", map[string]any{
+			"name": "g", "gen": "communities", "numVertices": 400, "seed": 11,
+		})
+		mustStatus(t, http.StatusCreated, code, body)
+	}
+	compress := func(base, spec string) {
+		code, body := postJSON(t, base+"/v1/graphs/g/compress", map[string]any{
+			"spec": spec, "seed": 3,
+		})
+		mustStatus(t, http.StatusOK, code, body)
+	}
+	// Capacity 1: the second spec evicts the first, which must spill.
+	compress(tierTS.URL, "uniform:p=0.5")
+	compress(tierTS.URL, "uniform:p=0.25")
+	tc := &tiered.Local().catalog.tier
+	if n := tc.variantSpills.Load(); n != 1 {
+		t.Fatalf("variant spills = %d, want 1", n)
+	}
+
+	// Re-requesting the evicted spec faults it in from disk (no recompute)
+	// and the query over it matches an untiered twin bit for bit.
+	compress(heapTS.URL, "uniform:p=0.5")
+	q := "/v1/graphs/g/bfs?root=0&spec=uniform:p=0.5&seed=3"
+	code, wantBody := get(t, heapTS.URL+q)
+	mustStatus(t, http.StatusOK, code, wantBody)
+	code, gotBody := get(t, tierTS.URL+q)
+	mustStatus(t, http.StatusOK, code, gotBody)
+	if !bytes.Equal(wantBody, gotBody) {
+		t.Fatalf("faulted-in variant differs\nheap:   %s\ntiered: %s", wantBody, gotBody)
+	}
+	if n := tc.variantFaultIns.Load(); n != 1 {
+		t.Fatalf("variant fault-ins = %d, want 1", n)
+	}
+
+	// PurgeVariant means gone from BOTH tiers: the next request recomputes.
+	if _, err := tiered.Local().PurgeVariant("g", "uniform:p=0.5", 3, 1); err != nil {
+		t.Fatal(err)
+	}
+	code, gotBody = get(t, tierTS.URL+q)
+	mustStatus(t, http.StatusOK, code, gotBody)
+	if !bytes.Equal(wantBody, gotBody) {
+		t.Fatalf("recomputed variant differs after purge")
+	}
+	if n := tc.variantFaultIns.Load(); n != 1 {
+		t.Fatalf("purged variant was served from disk (fault-ins = %d, want still 1)", n)
+	}
+}
+
+// TestArenaBytesAccounted pins the PR 7 regression: the triangle-engine
+// arena is part of the catalog's resident bytes, exposed on the
+// slimgraph_catalog_arena_bytes gauge, and equals the engine's own
+// accounting.
+func TestArenaBytesAccounted(t *testing.T) {
+	s, ts := newTestServer(t, Options{MaxWorkers: 2})
+	code, body := postJSON(t, ts.URL+"/v1/graphs", map[string]any{
+		"name": "g", "gen": "communities", "numVertices": 400, "seed": 11,
+	})
+	mustStatus(t, http.StatusCreated, code, body)
+
+	_, _, arena, _ := s.Local().catalog.residentBytes()
+	if arena != 0 {
+		t.Fatalf("arena bytes before any triangle query: %d, want 0", arena)
+	}
+	code, body = get(t, ts.URL+"/v1/graphs/g/triangles")
+	mustStatus(t, http.StatusOK, code, body)
+
+	e, _ := s.Local().catalog.get("g")
+	e.mu.Lock()
+	en := e.engine
+	e.mu.Unlock()
+	if en == nil {
+		t.Fatal("exact count built no engine")
+	}
+	_, _, arena, _ = s.Local().catalog.residentBytes()
+	if arena == 0 || arena != en.SizeBytes() {
+		t.Fatalf("arena bytes = %d, engine accounts %d", arena, en.SizeBytes())
+	}
+
+	code, body = get(t, ts.URL+"/metrics")
+	mustStatus(t, http.StatusOK, code, body)
+	re := regexp.MustCompile(`(?m)^slimgraph_catalog_arena_bytes ([1-9][0-9.e+]*)$`)
+	if !re.Match(body) {
+		t.Fatalf("metrics exposition lacks a non-zero slimgraph_catalog_arena_bytes gauge")
+	}
+}
+
+func mustJSON(t *testing.T, body []byte, v any) {
+	t.Helper()
+	if err := json.Unmarshal(body, v); err != nil {
+		t.Fatalf("unmarshaling %s: %v", body, err)
+	}
+}

@@ -30,10 +30,27 @@
 //     worker count: blocks are encoded independently and concatenated in
 //     block order, so the bytes never depend on scheduling.
 //
+//   - Servable image (servable.go, mapped.go): format version 2, minor 1 —
+//     the PackedGraph's complete section set (payloads, directory,
+//     bit-packed relative offsets, edge starts, permutation, weights)
+//     written with every section padded to an 8-byte boundary and sized
+//     exactly by a fixed 64-byte header. The alignment rule is what makes
+//     the image attachable in place: each word-typed section lands on its
+//     natural boundary, so AttachServable overlays a PackedGraph on the
+//     raw bytes — zero decode pass, and on little-endian hosts zero copy
+//     (big-endian hosts copy-swap the word sections; the byte-addressed
+//     payloads are never copied anywhere). OpenPacked mmaps a servable
+//     file into a reference-counted Mapped (MmapSupported; a heap ReaderAt
+//     fallback serves other platforms identically) whose munmap waits for
+//     the last Acquire holder, and StatServable validates identity and
+//     exact size from the header alone.
+//
 // Use PackedGraph when a graph must stay resident but is traversed with
 // simple neighborhood scans (BFS, PageRank, component labeling): it is
 // typically 3-6x smaller than the raw CSR arrays at a 2-4x traversal
 // slowdown. Use the v2 storage stream (graphio.WritePacked) for on-disk
-// footprint; use the raw CSR (graph.Graph) when algorithms need canonical
+// footprint and interchange, the servable minor-1 image (WriteServable,
+// OpenPacked) when graphs are served from disk and restarts must not
+// re-decode; use the raw CSR (graph.Graph) when algorithms need canonical
 // EdgeIDs, weights on arcs, or maximum traversal speed.
 package succinct

@@ -1,0 +1,28 @@
+//go:build linux
+
+package succinct
+
+import (
+	"os"
+	"syscall"
+)
+
+// MmapSupported reports whether OpenPacked maps files with mmap (true on
+// linux). Elsewhere the image is read into the heap through io.ReaderAt —
+// still attach-without-decode, but one copy of the file.
+const MmapSupported = true
+
+// mapFile returns a read-only view of the first size bytes of f and the
+// function that releases it. On linux this is a shared PROT_READ mapping:
+// the kernel pages the image in on demand and the process heap never holds
+// a copy.
+func mapFile(f *os.File, size int64) (data []byte, unmap func() error, err error) {
+	if size == 0 {
+		return nil, func() error { return nil }, nil
+	}
+	b, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, err
+	}
+	return b, func() error { return syscall.Munmap(b) }, nil
+}

@@ -1,0 +1,25 @@
+//go:build !linux
+
+package succinct
+
+import (
+	"io"
+	"os"
+)
+
+// MmapSupported reports whether OpenPacked maps files with mmap (true on
+// linux). Elsewhere the image is read into the heap through io.ReaderAt —
+// still attach-without-decode, but one copy of the file.
+const MmapSupported = false
+
+// mapFile is the portable fallback: the image is read into the heap via
+// io.ReaderAt. Attach semantics are unchanged (no decode pass), but the
+// bytes live on the heap instead of the page cache.
+func mapFile(f *os.File, size int64) (data []byte, unmap func() error, err error) {
+	data = make([]byte, size)
+	var ra io.ReaderAt = f
+	if _, err := ra.ReadAt(data, 0); err != nil && size > 0 {
+		return nil, nil, err
+	}
+	return data, func() error { return nil }, nil
+}

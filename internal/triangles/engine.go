@@ -45,6 +45,11 @@ type Engine struct {
 	// work[e] = total intersection cost of edges [0, e) — the prefix-summed
 	// per-edge estimate |F(u)|+|F(v)|+1 that drives balanced scheduling.
 	work []int64
+
+	// ownsCols records whether eu/ev were allocated by the build (decoded
+	// from a packed form) rather than borrowed zero-copy from a raw CSR —
+	// SizeBytes only charges the arena for columns it owns.
+	ownsCols bool
 }
 
 // NewEngine builds the enumeration substrate for a raw CSR graph. workers
@@ -72,7 +77,7 @@ func NewEngineOn(a graph.AdjacencyEdges, workers int) *Engine {
 		en.key[v] = uint64(a.Degree(graph.NodeID(v)))<<32 | uint64(uint32(v))
 	})
 
-	en.eu, en.ev = edgeColumns(a, workers)
+	en.eu, en.ev, en.ownsCols = edgeColumns(a, workers)
 
 	// Edge-centric forward fill: stably scatter every canonical edge to its
 	// lower-rank endpoint. Edges arrive in canonical (u, v) order, so the
@@ -113,11 +118,12 @@ func NewEngineOn(a graph.AdjacencyEdges, workers int) *Engine {
 // edgeColumns fetches the canonical edge columns of a: zero-copy views when
 // the representation exposes them (raw CSR), a block-parallel bulk decode
 // when it supports one (packed), and a serial ForEdges sweep otherwise.
-func edgeColumns(a graph.AdjacencyEdges, workers int) (eu, ev []graph.NodeID) {
+func edgeColumns(a graph.AdjacencyEdges, workers int) (eu, ev []graph.NodeID, owned bool) {
 	if t, ok := a.(interface {
 		EdgeColumns() (eu, ev []graph.NodeID)
 	}); ok {
-		return t.EdgeColumns()
+		eu, ev = t.EdgeColumns()
+		return eu, ev, false
 	}
 	m := a.M()
 	eu = make([]graph.NodeID, m)
@@ -126,12 +132,27 @@ func edgeColumns(a graph.AdjacencyEdges, workers int) (eu, ev []graph.NodeID) {
 		FillEdgeColumns(eu, ev []graph.NodeID, workers int)
 	}); ok {
 		t.FillEdgeColumns(eu, ev, workers)
-		return eu, ev
+		return eu, ev, true
 	}
 	a.ForEdges(func(e graph.EdgeID, u, v graph.NodeID, _ float64) {
 		eu[e], ev[e] = u, v
 	})
-	return eu, ev
+	return eu, ev, true
+}
+
+// SizeBytes estimates the heap bytes the engine's arena holds: the rank
+// keys, the forward CSR (offsets, neighbor and edge-ID columns), the
+// scheduling prefix sums, and the canonical edge columns when the build
+// decoded its own copy (a raw CSR lends them zero-copy and is charged
+// nothing here). A catalog uses this to account triangle arenas against its
+// memory budget.
+func (en *Engine) SizeBytes() int64 {
+	b := int64(len(en.key))*8 + int64(len(en.off))*8 + int64(len(en.work))*8
+	b += int64(len(en.nbr))*4 + int64(len(en.eid))*4
+	if en.ownsCols {
+		b += int64(len(en.eu))*4 + int64(len(en.ev))*4
+	}
+	return b
 }
 
 // Graph returns the canonical-edge view the engine was built for.

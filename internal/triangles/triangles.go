@@ -113,7 +113,7 @@ func CountApproxOn(a graph.AdjacencyEdges, p float64, seed uint64, workers int) 
 	if p <= 0 || p > 1 {
 		panic("triangles: sampling probability must be in (0, 1]")
 	}
-	eu, ev := edgeColumns(a, workers)
+	eu, ev, _ := edgeColumns(a, workers)
 	keep := func(e int) bool { return sampleEdge(graph.EdgeID(e), p, seed) }
 	kept := make([]graph.Edge, parallel.Pack(a.M(), workers, keep, nil))
 	parallel.Pack(a.M(), workers, keep, func(e int, pos int64) {
